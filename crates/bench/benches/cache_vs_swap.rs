@@ -1,0 +1,50 @@
+//! E2 regression bench: the three memory-pressure regimes (fits-LLC,
+//! fits-EPC-misses-LLC, exceeds-EPC) at 1/16 scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use securecloud_scbr::engine::MatchEngine;
+use securecloud_scbr::index::PosetIndex;
+use securecloud_scbr::workload::WorkloadSpec;
+use securecloud_sgx::costs::{CostModel, MemoryGeometry};
+use securecloud_sgx::mem::MemorySim;
+
+fn small_geometry() -> MemoryGeometry {
+    MemoryGeometry {
+        line_bytes: 64,
+        llc_bytes: 512 << 10,
+        page_bytes: 4096,
+        epc_total_bytes: 8 << 20,
+        epc_reserved_bytes: 2 << 20,
+    }
+}
+
+fn bench_regimes(c: &mut Criterion) {
+    let spec = WorkloadSpec::fig3();
+    let mut group = c.benchmark_group("cache_vs_swap");
+    for (regime, db_kb) in [
+        ("fits_llc", 256u64),
+        ("fits_epc", 3 << 10),
+        ("swapping", 12 << 10),
+    ] {
+        let mut mem = MemorySim::enclave(small_geometry(), CostModel::sgx_v1());
+        let mut engine = MatchEngine::new(PosetIndex::with_partition_attr("topic"));
+        for sub in spec.subscriptions_for_db_size(db_kb << 10) {
+            engine.subscribe(&mut mem, sub);
+        }
+        let pubs = spec.publications(32);
+        group.bench_with_input(BenchmarkId::from_parameter(regime), &pubs, |b, pubs| {
+            b.iter(|| {
+                let mut faults = 0u64;
+                for publication in pubs {
+                    engine.publish(&mut mem, publication);
+                }
+                faults += mem.stats().epc_faults;
+                faults
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_regimes);
+criterion_main!(benches);

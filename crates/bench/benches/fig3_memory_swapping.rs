@@ -1,0 +1,61 @@
+//! E1 / Figure 3 regression bench: matching throughput of the SCBR engine
+//! in native vs enclave memory at database sizes below and beyond the EPC.
+//!
+//! Uses a 1/16-scale geometry (8 MiB EPC) so setup stays cheap; the
+//! full-scale sweep is `cargo run --release -p securecloud-bench --bin
+//! repro -- fig3`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use securecloud_scbr::engine::MatchEngine;
+use securecloud_scbr::index::PosetIndex;
+use securecloud_scbr::workload::WorkloadSpec;
+use securecloud_sgx::costs::{CostModel, MemoryGeometry};
+use securecloud_sgx::mem::MemorySim;
+
+fn small_geometry() -> MemoryGeometry {
+    MemoryGeometry {
+        line_bytes: 64,
+        llc_bytes: 512 << 10,
+        page_bytes: 4096,
+        epc_total_bytes: 8 << 20,
+        epc_reserved_bytes: 2 << 20,
+    }
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let spec = WorkloadSpec::fig3();
+    let mut group = c.benchmark_group("fig3_matching");
+    for &db_mb in &[2u64, 6, 16] {
+        for enclave in [false, true] {
+            let label = if enclave { "enclave" } else { "native" };
+            let mut mem = if enclave {
+                MemorySim::enclave(small_geometry(), CostModel::sgx_v1())
+            } else {
+                MemorySim::native(small_geometry(), CostModel::sgx_v1())
+            };
+            let mut engine = MatchEngine::new(PosetIndex::with_partition_attr("topic"));
+            for sub in spec.subscriptions_for_db_size(db_mb << 20) {
+                engine.subscribe(&mut mem, sub);
+            }
+            let pubs = spec.publications(16);
+            group.throughput(Throughput::Elements(pubs.len() as u64));
+            group.bench_with_input(
+                BenchmarkId::new(label, format!("{db_mb}MB")),
+                &pubs,
+                |b, pubs| {
+                    b.iter(|| {
+                        let mut matched = 0usize;
+                        for publication in pubs {
+                            matched += engine.publish(&mut mem, publication).len();
+                        }
+                        matched
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! E3 regression bench: one scheduling simulation per scheduler over a
+//! 2-hour, 20-server trace.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use securecloud_genpack::schedulers::{
+    FirstFitScheduler, GenPackScheduler, RandomScheduler, Scheduler, SpreadScheduler,
+};
+use securecloud_genpack::sim::{simulate, SimConfig};
+use securecloud_genpack::workload::WorkloadConfig;
+
+fn bench_schedulers(c: &mut Criterion) {
+    let trace = WorkloadConfig {
+        duration: 2 * 3600,
+        churn_per_hour: 120.0,
+        system_services: 8,
+        long_running: 20,
+        ..WorkloadConfig::default()
+    }
+    .generate();
+    let config = SimConfig {
+        servers: 20,
+        sample_every: 0,
+        ..SimConfig::default()
+    };
+    let mut group = c.benchmark_group("genpack_energy");
+    type Factory = fn() -> Box<dyn Scheduler>;
+    let make: Vec<(&str, Factory)> = vec![
+        ("random", || Box::new(RandomScheduler::new(1))),
+        ("spread", || Box::new(SpreadScheduler)),
+        ("first_fit", || Box::new(FirstFitScheduler)),
+        ("genpack", || Box::new(GenPackScheduler::new())),
+    ];
+    for (name, factory) in make {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &trace, |b, trace| {
+            b.iter(|| {
+                let mut scheduler = factory();
+                simulate(scheduler.as_mut(), trace, config).energy_joules
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers);
+criterion_main!(benches);

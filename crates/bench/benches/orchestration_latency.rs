@@ -1,0 +1,51 @@
+//! E7 regression bench: streaming power-quality detection and orchestrator
+//! anomaly judgement throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use securecloud_smartgrid::orchestration::Orchestrator;
+use securecloud_smartgrid::quality::{run_detector, QualityDetector, QualitySpec};
+
+fn bench_detector(c: &mut Criterion) {
+    let trace = QualitySpec {
+        samples: 20_000,
+        faults: 5,
+        seed: 9,
+        ..QualitySpec::default()
+    }
+    .generate();
+    let mut group = c.benchmark_group("power_quality");
+    group.throughput(Throughput::Elements(trace.samples.len() as u64));
+    group.bench_function("detector_20k_samples", |b| {
+        b.iter(|| {
+            let report = run_detector(&trace, &mut QualityDetector::new());
+            report.events.len()
+        })
+    });
+    group.finish();
+}
+
+fn bench_judge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("orchestrator");
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("judge_10k_samples", |b| {
+        b.iter(|| {
+            let mut orchestrator = Orchestrator::new();
+            let mut anomalies = 0usize;
+            for i in 0..10_000u32 {
+                let latency = if i % 1000 == 999 {
+                    120.0
+                } else {
+                    5.0 + f64::from(i % 7) * 0.01
+                };
+                if orchestrator.judge("svc", latency).is_some() {
+                    anomalies += 1;
+                }
+            }
+            anomalies
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_detector, bench_judge);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! E6 regression bench: matching throughput of the containment index vs
+//! the naive linear scan on a 20k-subscription database.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use securecloud_scbr::index::{NaiveIndex, PosetIndex, SubscriptionIndex};
+use securecloud_scbr::types::SubId;
+use securecloud_scbr::workload::WorkloadSpec;
+
+const SUBS: usize = 20_000;
+const PUBS: usize = 16;
+
+fn bench_indexes(c: &mut Criterion) {
+    let spec = WorkloadSpec::fig3();
+    let database = spec.subscriptions(SUBS);
+    let publications = spec.publications(PUBS);
+
+    let mut naive = NaiveIndex::new();
+    let mut poset = PosetIndex::with_partition_attr("topic");
+    for (i, sub) in database.iter().enumerate() {
+        naive.insert(SubId(i as u64), sub.clone(), i as u64 * 256);
+        poset.insert(SubId(i as u64), sub.clone(), i as u64 * 256);
+    }
+
+    let mut group = c.benchmark_group("index_matching_20k_subs");
+    group.throughput(Throughput::Elements(PUBS as u64));
+    group.bench_with_input(
+        BenchmarkId::from_parameter("naive"),
+        &publications,
+        |b, pubs| {
+            b.iter(|| {
+                let mut matched = 0usize;
+                for publication in pubs {
+                    matched += naive.match_publication(publication, &mut |_| {}).len();
+                }
+                matched
+            })
+        },
+    );
+    group.bench_with_input(
+        BenchmarkId::from_parameter("poset"),
+        &publications,
+        |b, pubs| {
+            b.iter(|| {
+                let mut matched = 0usize;
+                for publication in pubs {
+                    matched += poset.match_publication(publication, &mut |_| {}).len();
+                }
+                matched
+            })
+        },
+    );
+    group.finish();
+
+    c.bench_function("poset_insert_1k", |b| {
+        let subs = spec.subscriptions(1_000);
+        b.iter(|| {
+            let mut index = PosetIndex::with_partition_attr("topic");
+            for (i, sub) in subs.iter().enumerate() {
+                index.insert(SubId(i as u64), sub.clone(), i as u64 * 256);
+            }
+            index.len()
+        })
+    });
+}
+
+criterion_group!(benches, bench_indexes);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! E5 regression bench: secure image build (FS encryption + protection
+//! file) and secure container start (attestation + SCF + mount) on a
+//! 1 MiB protected file system.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use securecloud::containers::build::SecureImageBuilder;
+use securecloud::SecureCloud;
+
+fn bench_build(c: &mut Criterion) {
+    let payload = vec![0xa7u8; 1 << 20];
+    c.bench_function("secure_image_build_1MiB", |b| {
+        b.iter(|| {
+            SecureImageBuilder::new("bench", "v1", b"binary")
+                .protect_file("/data/blob", &payload)
+                .build()
+                .unwrap()
+                .measurement
+        })
+    });
+}
+
+fn bench_start(c: &mut Criterion) {
+    let payload = vec![0xa7u8; 1 << 20];
+    c.bench_function("secure_container_start_1MiB", |b| {
+        b.iter_batched(
+            || {
+                let mut cloud = SecureCloud::new();
+                let built = SecureImageBuilder::new("bench", "v1", b"binary")
+                    .protect_file("/data/blob", &payload)
+                    .build()
+                    .unwrap();
+                let image = cloud.deploy_image(built);
+                (cloud, image)
+            },
+            |(mut cloud, image)| cloud.run_container(image).unwrap(),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_build, bench_start);
+criterion_main!(benches);

@@ -1,0 +1,272 @@
+//! E1 (Figure 3) and E2 (cache misses vs memory swapping).
+//!
+//! The same SCBR matching engine runs against a native-domain and an
+//! enclave-domain memory simulator over subscription databases of growing
+//! size; the enclave/native time ratio reproduces Figure 3's "effect of
+//! memory swapping".
+
+use securecloud_scbr::engine::{Layout, MatchEngine};
+use securecloud_scbr::index::PosetIndex;
+use securecloud_scbr::workload::WorkloadSpec;
+use securecloud_sgx::costs::{CostModel, MemoryGeometry};
+use securecloud_sgx::mem::MemorySim;
+
+/// The database sizes swept for Figure 3 (MiB). The vertical line of the
+/// paper's figure sits at 128 MiB.
+pub const PAPER_DB_SIZES_MB: &[u64] = &[
+    8, 16, 32, 48, 64, 80, 96, 112, 128, 144, 160, 176, 192, 208, 224,
+];
+
+/// One point of the Figure 3 sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fig3Point {
+    /// Subscription database size in MiB.
+    pub db_mb: u64,
+    /// Steady-state native matching time per publication, microseconds.
+    pub native_us: f64,
+    /// Steady-state in-enclave matching time per publication, microseconds.
+    pub enclave_us: f64,
+    /// enclave / native ratio (the y-axis of Figure 3).
+    pub ratio: f64,
+    /// Index nodes visited per publication.
+    pub visits_per_pub: u64,
+    /// EPC page faults per publication (enclave run).
+    pub faults_per_pub: u64,
+    /// LLC misses per publication (enclave run).
+    pub llc_misses_per_pub: u64,
+}
+
+struct DomainRun {
+    us_per_pub: f64,
+    visits_per_pub: u64,
+    faults_per_pub: u64,
+    llc_misses_per_pub: u64,
+}
+
+fn run_domain(
+    spec: &WorkloadSpec,
+    db_bytes: u64,
+    publications: usize,
+    geometry: MemoryGeometry,
+    costs: CostModel,
+    enclave: bool,
+) -> DomainRun {
+    run_domain_with_layout(
+        spec,
+        db_bytes,
+        publications,
+        geometry,
+        costs,
+        enclave,
+        Layout::ArrivalOrder,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_domain_with_layout(
+    spec: &WorkloadSpec,
+    db_bytes: u64,
+    publications: usize,
+    geometry: MemoryGeometry,
+    costs: CostModel,
+    enclave: bool,
+    layout: Layout,
+) -> DomainRun {
+    let mut mem = if enclave {
+        MemorySim::enclave(geometry, costs)
+    } else {
+        MemorySim::native(geometry, costs)
+    };
+    let mut engine = MatchEngine::with_layout(PosetIndex::with_partition_attr("topic"), layout);
+    for sub in spec.subscriptions_for_db_size(db_bytes) {
+        engine.subscribe(&mut mem, sub);
+    }
+    let pubs = spec.publications(publications);
+    // Warm-up pass (cold-start faults excluded), then the measured pass.
+    for publication in &pubs {
+        engine.publish(&mut mem, publication);
+    }
+    mem.reset_metrics();
+    let visits_before = engine.stats().nodes_visited;
+    for publication in &pubs {
+        engine.publish(&mut mem, publication);
+    }
+    let visits = engine.stats().nodes_visited - visits_before;
+    let n = publications as u64;
+    DomainRun {
+        us_per_pub: mem.elapsed().as_micros() as f64 / publications as f64,
+        visits_per_pub: visits / n,
+        faults_per_pub: mem.stats().epc_faults / n,
+        llc_misses_per_pub: mem.stats().llc_misses / n,
+    }
+}
+
+/// Runs one database size in both domains with explicit geometry/costs.
+#[must_use]
+pub fn run_point_with(
+    db_bytes: u64,
+    publications: usize,
+    geometry: MemoryGeometry,
+    costs: CostModel,
+) -> Fig3Point {
+    let spec = WorkloadSpec::fig3();
+    let native = run_domain(
+        &spec,
+        db_bytes,
+        publications,
+        geometry,
+        costs.clone(),
+        false,
+    );
+    let enclave = run_domain(&spec, db_bytes, publications, geometry, costs, true);
+    Fig3Point {
+        db_mb: db_bytes >> 20,
+        native_us: native.us_per_pub,
+        enclave_us: enclave.us_per_pub,
+        ratio: enclave.us_per_pub / native.us_per_pub,
+        visits_per_pub: enclave.visits_per_pub,
+        faults_per_pub: enclave.faults_per_pub,
+        llc_misses_per_pub: enclave.llc_misses_per_pub,
+    }
+}
+
+/// Runs one database size in both domains with SGX1 defaults.
+#[must_use]
+pub fn run_point(db_mb: u64, publications: usize) -> Fig3Point {
+    run_point_with(
+        db_mb << 20,
+        publications,
+        MemoryGeometry::sgx_v1(),
+        CostModel::sgx_v1(),
+    )
+}
+
+/// Full Figure 3 sweep.
+#[must_use]
+pub fn sweep(db_sizes_mb: &[u64], publications: usize) -> Vec<Fig3Point> {
+    db_sizes_mb
+        .iter()
+        .map(|&mb| run_point(mb, publications))
+        .collect()
+}
+
+/// E8: one Figure 3 point under the paper's proposed optimisations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimisedPoint {
+    /// Variant label.
+    pub variant: &'static str,
+    /// Database size, MiB.
+    pub db_mb: u64,
+    /// In-enclave matching time per publication, microseconds.
+    pub enclave_us: f64,
+    /// enclave / native ratio against the shared native baseline.
+    pub ratio: f64,
+    /// EPC faults per publication.
+    pub faults_per_pub: u64,
+}
+
+/// E8: the paper's future-work directions quantified — a topic-clustered
+/// arena layout ("optimise our data structures to avoid paging") and a
+/// larger-EPC platform (SGX2-class hardware) — against the measured
+/// baseline, at one past-EPC database size.
+#[must_use]
+pub fn optimisations(db_mb: u64, publications: usize) -> Vec<OptimisedPoint> {
+    let spec = WorkloadSpec::fig3();
+    let costs = CostModel::sgx_v1();
+    // Each variant is compared against a native run on the *same*
+    // geometry, so larger-LLC platforms do not skew the ratio.
+    let native_v1 = run_domain(
+        &spec,
+        db_mb << 20,
+        publications,
+        MemoryGeometry::sgx_v1(),
+        costs.clone(),
+        false,
+    );
+    let native_v2 = run_domain(
+        &spec,
+        db_mb << 20,
+        publications,
+        MemoryGeometry::sgx_v2(),
+        costs.clone(),
+        false,
+    );
+    let variants: Vec<(&'static str, MemoryGeometry, Layout)> = vec![
+        (
+            "baseline (arrival order, SGX1)",
+            MemoryGeometry::sgx_v1(),
+            Layout::ArrivalOrder,
+        ),
+        (
+            "clustered layout, SGX1",
+            MemoryGeometry::sgx_v1(),
+            Layout::Clustered("topic".into()),
+        ),
+        (
+            "arrival order, SGX2 EPC",
+            MemoryGeometry::sgx_v2(),
+            Layout::ArrivalOrder,
+        ),
+        (
+            "clustered layout, SGX2 EPC",
+            MemoryGeometry::sgx_v2(),
+            Layout::Clustered("topic".into()),
+        ),
+    ];
+    variants
+        .into_iter()
+        .map(|(variant, geometry, layout)| {
+            let run = run_domain_with_layout(
+                &spec,
+                db_mb << 20,
+                publications,
+                geometry,
+                costs.clone(),
+                true,
+                layout,
+            );
+            let native_us = if geometry == MemoryGeometry::sgx_v2() {
+                native_v2.us_per_pub
+            } else {
+                native_v1.us_per_pub
+            };
+            OptimisedPoint {
+                variant,
+                db_mb,
+                enclave_us: run.us_per_pub,
+                ratio: run.us_per_pub / native_us,
+                faults_per_pub: run.faults_per_pub,
+            }
+        })
+        .collect()
+}
+
+/// E2: the three memory-pressure regimes of §V-B.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheRegime {
+    /// Regime label.
+    pub regime: &'static str,
+    /// Database size, MiB.
+    pub db_mb: u64,
+    /// The measured point.
+    pub point: Fig3Point,
+}
+
+/// Runs the cache-vs-swap comparison: a working set inside the LLC, one
+/// inside the EPC but beyond the LLC (MEE overhead only — "limited"), and
+/// one beyond the EPC (paging — "more critical").
+#[must_use]
+pub fn cache_vs_swap(publications: usize) -> Vec<CacheRegime> {
+    [
+        ("fits LLC", 4u64),
+        ("fits EPC, misses LLC", 48),
+        ("exceeds EPC (swapping)", 160),
+    ]
+    .into_iter()
+    .map(|(regime, db_mb)| CacheRegime {
+        regime,
+        db_mb,
+        point: run_point(db_mb, publications),
+    })
+    .collect()
+}

@@ -1,0 +1,169 @@
+//! E3: GenPack energy savings versus non-generational schedulers (§VI:
+//! "up to 23% energy savings ... for typical data-center workloads").
+
+use securecloud_genpack::schedulers::{
+    FirstFitScheduler, GenPackScheduler, RandomScheduler, Scheduler, SpreadScheduler,
+};
+use securecloud_genpack::sim::{simulate, SimConfig, SimResult};
+use securecloud_genpack::workload::WorkloadConfig;
+
+/// Parameters of one energy-comparison run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyExperiment {
+    /// Cluster size.
+    pub servers: usize,
+    /// Trace duration in hours.
+    pub hours: u64,
+    /// Short/batch job churn per hour.
+    pub churn_per_hour: f64,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Default for EnergyExperiment {
+    fn default() -> Self {
+        EnergyExperiment {
+            servers: 60,
+            hours: 24,
+            churn_per_hour: 150.0,
+            seed: 1,
+        }
+    }
+}
+
+/// Result bundle: one [`SimResult`] per scheduler plus derived savings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyComparison {
+    /// Per-scheduler results (random, spread, first-fit, genpack).
+    pub results: Vec<SimResult>,
+    /// GenPack savings vs the strongest baseline (first-fit), percent.
+    pub savings_vs_best_baseline: f64,
+    /// GenPack savings vs spread, percent.
+    pub savings_vs_spread: f64,
+}
+
+/// Runs all four schedulers over the same trace.
+#[must_use]
+pub fn run(experiment: EnergyExperiment) -> EnergyComparison {
+    let workload = WorkloadConfig {
+        duration: experiment.hours * 3600,
+        churn_per_hour: experiment.churn_per_hour,
+        system_services: experiment.servers / 2,
+        long_running: (experiment.servers * 4) / 3,
+        seed: experiment.seed,
+        ..WorkloadConfig::default()
+    };
+    let trace = workload.generate();
+    let config = SimConfig {
+        servers: experiment.servers,
+        ..SimConfig::default()
+    };
+    let mut schedulers: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(RandomScheduler::new(experiment.seed)),
+        Box::new(SpreadScheduler),
+        Box::new(FirstFitScheduler),
+        Box::new(GenPackScheduler::new()),
+    ];
+    let results: Vec<SimResult> = schedulers
+        .iter_mut()
+        .map(|s| simulate(s.as_mut(), &trace, config))
+        .collect();
+    let genpack = results.last().expect("four schedulers ran").clone();
+    let first_fit = &results[2];
+    let spread = &results[1];
+    EnergyComparison {
+        savings_vs_best_baseline: genpack.savings_vs(first_fit),
+        savings_vs_spread: genpack.savings_vs(spread),
+        results,
+    }
+}
+
+/// E3c: savings as a function of workload churn — substantiating the
+/// paper's "up to 23 %": the saving depends on how much consolidation
+/// opportunity the workload offers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChurnPoint {
+    /// Short/batch arrivals per hour.
+    pub churn_per_hour: f64,
+    /// GenPack energy, kWh.
+    pub genpack_kwh: f64,
+    /// Best-baseline (first-fit) energy, kWh.
+    pub baseline_kwh: f64,
+    /// Savings vs the best baseline, percent.
+    pub savings_percent: f64,
+}
+
+/// Sweeps churn rates at a fixed cluster size.
+#[must_use]
+pub fn churn_sweep(churns: &[f64], servers: usize, hours: u64) -> Vec<ChurnPoint> {
+    churns
+        .iter()
+        .map(|&churn_per_hour| {
+            let comparison = run(EnergyExperiment {
+                servers,
+                hours,
+                churn_per_hour,
+                seed: 1,
+            });
+            let genpack = comparison.results.last().expect("ran");
+            let baseline = &comparison.results[2];
+            ChurnPoint {
+                churn_per_hour,
+                genpack_kwh: genpack.energy_kwh(),
+                baseline_kwh: baseline.energy_kwh(),
+                savings_percent: comparison.savings_vs_best_baseline,
+            }
+        })
+        .collect()
+}
+
+/// Ablation of DESIGN.md: GenPack variants with pieces disabled, isolating
+/// where the savings come from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationResult {
+    /// Variant label.
+    pub variant: &'static str,
+    /// Simulation result.
+    pub result: SimResult,
+}
+
+/// Runs the GenPack ablation: full, no-consolidation (promotion only), and
+/// conservative thresholds.
+#[must_use]
+pub fn ablation(experiment: EnergyExperiment) -> Vec<AblationResult> {
+    let workload = WorkloadConfig {
+        duration: experiment.hours * 3600,
+        churn_per_hour: experiment.churn_per_hour,
+        system_services: experiment.servers / 2,
+        long_running: (experiment.servers * 4) / 3,
+        seed: experiment.seed,
+        ..WorkloadConfig::default()
+    };
+    let trace = workload.generate();
+    let config = SimConfig {
+        servers: experiment.servers,
+        ..SimConfig::default()
+    };
+    let mut variants: Vec<(&'static str, GenPackScheduler)> = vec![
+        ("genpack (full)", GenPackScheduler::new()),
+        (
+            "no consolidation",
+            GenPackScheduler::new().with_consolidation_threshold(0.0),
+        ),
+        (
+            "slow promotion (1h/6h)",
+            GenPackScheduler::new().with_promotion_secs(3600, 6 * 3600),
+        ),
+        (
+            "aggressive consolidation (0.8)",
+            GenPackScheduler::new().with_consolidation_threshold(0.8),
+        ),
+    ];
+    variants
+        .iter_mut()
+        .map(|(variant, scheduler)| AblationResult {
+            variant,
+            result: simulate(scheduler, &trace, config),
+        })
+        .collect()
+}

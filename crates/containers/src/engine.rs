@@ -1,0 +1,430 @@
+//! The container engine: lifecycle of plain and secure containers.
+//!
+//! From the engine's perspective, secure containers are indistinguishable
+//! from regular containers (§V-A): both are materialised from registry
+//! images onto a per-container untrusted host file system. A secure
+//! container additionally launches an enclave from the image entrypoint and
+//! runs the SCONE bootstrap (attested SCF provisioning + shielded FS
+//! mount) before entering the `Running` state.
+
+use crate::build::{BuiltImage, PROTECTION_PATH};
+use crate::image::ImageId;
+use crate::registry::Registry;
+use crate::ContainerError;
+use parking_lot::RwLock;
+use securecloud_crypto::channel::memory_pair;
+use securecloud_scone::hostos::{HostOs, MemHost, Syscall, SyscallRet};
+use securecloud_scone::runtime::SconeRuntime;
+use securecloud_scone::scf::ConfigService;
+use securecloud_sgx::enclave::{EnclaveConfig, Platform};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Container identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ContainerId(pub u64);
+
+/// Lifecycle state of a container.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContainerState {
+    /// Image materialised, not started.
+    Created,
+    /// Running (for secure containers: enclave provisioned).
+    Running,
+    /// Stopped.
+    Stopped,
+}
+
+/// Resource usage counters, the basis for the paper's "accounting and
+/// billing" and for GenPack's monitoring.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResourceUsage {
+    /// Simulated CPU cycles consumed (secure containers only).
+    pub cpu_cycles: u64,
+    /// Bytes of image content materialised on the host.
+    pub image_bytes: u64,
+    /// Host syscalls served.
+    pub host_calls: u64,
+}
+
+/// A container managed by the [`Engine`].
+#[derive(Debug)]
+pub struct Container {
+    id: ContainerId,
+    image: ImageId,
+    state: ContainerState,
+    host: Arc<MemHost>,
+    image_bytes: u64,
+    runtime: Option<SconeRuntime>,
+}
+
+impl Container {
+    /// The container's id.
+    #[must_use]
+    pub fn id(&self) -> ContainerId {
+        self.id
+    }
+
+    /// The image this container was created from.
+    #[must_use]
+    pub fn image(&self) -> ImageId {
+        self.image
+    }
+
+    /// Current lifecycle state.
+    #[must_use]
+    pub fn state(&self) -> ContainerState {
+        self.state
+    }
+
+    /// Whether this container hosts an enclave.
+    #[must_use]
+    pub fn is_secure(&self) -> bool {
+        self.runtime.is_some()
+    }
+
+    /// The container's untrusted host file system.
+    #[must_use]
+    pub fn host(&self) -> &Arc<MemHost> {
+        &self.host
+    }
+
+    /// The SCONE runtime, for secure containers in the `Running` state.
+    pub fn runtime_mut(&mut self) -> Option<&mut SconeRuntime> {
+        self.runtime.as_mut()
+    }
+
+    /// Resource usage snapshot.
+    #[must_use]
+    pub fn usage(&mut self) -> ResourceUsage {
+        ResourceUsage {
+            cpu_cycles: self
+                .runtime
+                .as_mut()
+                .map_or(0, |r| r.enclave_mut().memory().cycles()),
+            image_bytes: self.image_bytes,
+            host_calls: self.host.call_count(),
+        }
+    }
+}
+
+/// The engine: registry access, platform, configuration service, and the
+/// set of managed containers.
+#[derive(Debug)]
+pub struct Engine {
+    registry: Arc<Registry>,
+    platform: Platform,
+    config_service: Arc<RwLock<ConfigService>>,
+    containers: HashMap<ContainerId, Container>,
+    next_id: u64,
+}
+
+impl Engine {
+    /// Creates an engine over `registry` on `platform`, provisioning SCFs
+    /// from `config_service`.
+    #[must_use]
+    pub fn new(
+        registry: Arc<Registry>,
+        platform: Platform,
+        config_service: Arc<RwLock<ConfigService>>,
+    ) -> Self {
+        Engine {
+            registry,
+            platform,
+            config_service,
+            containers: HashMap::new(),
+            next_id: 1,
+        }
+    }
+
+    /// Publishes a built secure image: pushes it to the registry, registers
+    /// its SCF and allows its measurement at the config service. Returns
+    /// the image id. (In production, push and SCF registration happen from
+    /// the trusted build environment; this helper keeps tests honest about
+    /// *what* must be registered where.)
+    pub fn deploy(&self, built: BuiltImage) -> ImageId {
+        let mut service = self.config_service.write();
+        service
+            .attestation_mut()
+            .allow_measurement(built.measurement);
+        service.register(built.measurement, built.scf);
+        self.registry.push(built.image)
+    }
+
+    /// Creates and starts a container from `image_id`.
+    ///
+    /// # Errors
+    ///
+    /// * [`ContainerError::ImageNotFound`] — unknown image,
+    /// * [`ContainerError::Start`] — the secure bootstrap failed (bad
+    ///   attestation, tampered protection file, missing SCF).
+    pub fn run(&mut self, image_id: ImageId) -> Result<ContainerId, ContainerError> {
+        let image = self.registry.pull(image_id)?;
+        let host = Arc::new(MemHost::new());
+        let flat = image.flatten();
+        let mut image_bytes = 0u64;
+        for (path, content) in &flat {
+            image_bytes += content.len() as u64;
+            let SyscallRet::Fd(fd) = host.execute(&Syscall::Open {
+                path: path.clone(),
+                create: true,
+            }) else {
+                return Err(ContainerError::Start(format!("cannot materialise {path}")));
+            };
+            host.execute(&Syscall::Pwrite {
+                fd,
+                offset: 0,
+                data: content.clone(),
+            });
+            host.execute(&Syscall::Close { fd });
+        }
+
+        let runtime = if image.secure {
+            let sealed_protection = flat.get(PROTECTION_PATH).ok_or_else(|| {
+                ContainerError::Start("secure image lacks FS protection file".into())
+            })?;
+            let enclave = self
+                .platform
+                .launch(EnclaveConfig::new(&image.reference(), &image.entrypoint))
+                .map_err(|e| ContainerError::Start(e.to_string()))?;
+            let (client_t, server_t) = memory_pair();
+            let service = Arc::clone(&self.config_service);
+            let service_key = service.read().public_key();
+            let server = std::thread::spawn(move || service.read().serve_one(server_t));
+            let runtime = SconeRuntime::bootstrap(
+                enclave,
+                client_t,
+                service_key,
+                host.clone() as Arc<dyn HostOs>,
+                sealed_protection,
+            );
+            let served = server.join().expect("config service thread");
+            match runtime {
+                Ok(rt) => {
+                    served.map_err(|e| ContainerError::Start(e.to_string()))?;
+                    Some(rt)
+                }
+                Err(e) => return Err(ContainerError::Start(e.to_string())),
+            }
+        } else {
+            None
+        };
+
+        let id = ContainerId(self.next_id);
+        self.next_id += 1;
+        self.containers.insert(
+            id,
+            Container {
+                id,
+                image: image_id,
+                state: ContainerState::Running,
+                host,
+                image_bytes,
+                runtime,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Creates and starts a container by `name:tag`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::run`].
+    pub fn run_by_reference(&mut self, reference: &str) -> Result<ContainerId, ContainerError> {
+        let id = self.registry.resolve(reference)?;
+        self.run(id)
+    }
+
+    /// Stops a container. For secure containers the enclave is destroyed.
+    ///
+    /// # Errors
+    ///
+    /// [`ContainerError::ContainerNotFound`] for unknown ids.
+    pub fn stop(&mut self, id: ContainerId) -> Result<(), ContainerError> {
+        let container = self
+            .containers
+            .get_mut(&id)
+            .ok_or(ContainerError::ContainerNotFound(id))?;
+        if let Some(runtime) = &mut container.runtime {
+            runtime.enclave_mut().destroy();
+        }
+        container.state = ContainerState::Stopped;
+        Ok(())
+    }
+
+    /// Access to a container.
+    #[must_use]
+    pub fn container(&self, id: ContainerId) -> Option<&Container> {
+        self.containers.get(&id)
+    }
+
+    /// Mutable access to a container.
+    pub fn container_mut(&mut self, id: ContainerId) -> Option<&mut Container> {
+        self.containers.get_mut(&id)
+    }
+
+    /// Ids of all managed containers.
+    #[must_use]
+    pub fn container_ids(&self) -> Vec<ContainerId> {
+        let mut ids: Vec<_> = self.containers.keys().copied().collect();
+        ids.sort_by_key(|id| id.0);
+        ids
+    }
+
+    /// The engine's platform (for attestation wiring in tests).
+    #[must_use]
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::SecureImageBuilder;
+    use crate::image::{Image, Layer};
+    use securecloud_sgx::attest::AttestationService;
+
+    fn engine() -> Engine {
+        let platform = Platform::new();
+        let mut attestation = AttestationService::new();
+        attestation.register_platform(&platform);
+        let config_service = Arc::new(RwLock::new(ConfigService::new(attestation)));
+        Engine::new(Arc::new(Registry::new()), platform, config_service)
+    }
+
+    fn built_image() -> BuiltImage {
+        SecureImageBuilder::new("meter", "v1", b"meter service binary")
+            .protect_file("/data/keys", b"secret key material")
+            .plain_file("/etc/motd", b"hello")
+            .arg("--window=60")
+            .env("REGION", "eu")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn secure_container_end_to_end() {
+        let mut engine = engine();
+        let image_id = engine.deploy(built_image());
+        let cid = engine.run(image_id).unwrap();
+        let container = engine.container_mut(cid).unwrap();
+        assert!(container.is_secure());
+        assert_eq!(container.state(), ContainerState::Running);
+        let runtime = container.runtime_mut().unwrap();
+        assert_eq!(runtime.args(), ["--window=60"]);
+        assert_eq!(runtime.env("REGION"), Some("eu"));
+        // The protected file is readable inside, ciphertext outside.
+        let content = runtime.read_file("/data/keys", 0, 100).unwrap();
+        assert_eq!(content, b"secret key material");
+        let usage = container.usage();
+        assert!(usage.cpu_cycles > 0);
+        assert!(usage.image_bytes > 0);
+    }
+
+    #[test]
+    fn plain_container_runs_without_enclave() {
+        let mut engine = engine();
+        let image =
+            Image::new("plain", "v1", b"bin").with_layer(Layer::new().with_file("/app", b"code"));
+        let id = engine.registry.push(image);
+        let cid = engine.run(id).unwrap();
+        let container = engine.container(cid).unwrap();
+        assert!(!container.is_secure());
+        assert_eq!(container.state(), ContainerState::Running);
+        assert_eq!(container.host().raw_file("/app").unwrap(), b"code");
+    }
+
+    #[test]
+    fn tampered_registry_image_fails_to_start() {
+        let mut engine = engine();
+        let built = built_image();
+        let measurement = built.measurement;
+        let scf = built.scf.clone();
+        // Attacker republishes the image with a modified protection file.
+        let mut image = built.image.clone();
+        let mut evil_layer = Layer::new();
+        evil_layer = evil_layer.with_file(PROTECTION_PATH, b"forged protection");
+        image.layers.push(evil_layer);
+        {
+            let mut service = engine.config_service.write();
+            service.attestation_mut().allow_measurement(measurement);
+            service.register(measurement, scf);
+        }
+        let id = engine.registry.push(image);
+        let err = engine.run(id);
+        assert!(matches!(err, Err(ContainerError::Start(_))));
+    }
+
+    #[test]
+    fn modified_binary_fails_attestation() {
+        let mut engine = engine();
+        let built = built_image();
+        engine.deploy(built.clone());
+        // Attacker swaps the entrypoint; measurement changes, SCF withheld.
+        let mut evil = built.image.clone();
+        evil.entrypoint = b"trojaned binary".to_vec();
+        let evil_id = engine.registry.push(evil);
+        assert!(matches!(engine.run(evil_id), Err(ContainerError::Start(_))));
+    }
+
+    #[test]
+    fn unknown_image_and_container() {
+        let mut engine = engine();
+        assert!(matches!(
+            engine.run(ImageId([9u8; 32])),
+            Err(ContainerError::ImageNotFound(_))
+        ));
+        assert!(matches!(
+            engine.run_by_reference("ghost:latest"),
+            Err(ContainerError::ImageNotFound(_))
+        ));
+        assert!(matches!(
+            engine.stop(ContainerId(404)),
+            Err(ContainerError::ContainerNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn stop_destroys_enclave() {
+        let mut engine = engine();
+        let image_id = engine.deploy(built_image());
+        let cid = engine.run(image_id).unwrap();
+        engine.stop(cid).unwrap();
+        let container = engine.container_mut(cid).unwrap();
+        assert_eq!(container.state(), ContainerState::Stopped);
+        let runtime = container.runtime_mut().unwrap();
+        assert!(runtime.enclave().is_destroyed());
+        assert!(
+            runtime.read_file("/data/keys", 0, 1).is_err(),
+            "destroyed enclave must not serve shielded reads"
+        );
+    }
+
+    #[test]
+    fn secure_state_survives_restart_via_new_container() {
+        // Persisted shielded writes travel with the host FS, and a new
+        // container from the same image starts cleanly.
+        let mut engine = engine();
+        let image_id = engine.deploy(built_image());
+        let c1 = engine.run(image_id).unwrap();
+        engine.stop(c1).unwrap();
+        let c2 = engine.run(image_id).unwrap();
+        let container = engine.container_mut(c2).unwrap();
+        let runtime = container.runtime_mut().unwrap();
+        assert_eq!(
+            runtime.read_file("/data/keys", 0, 100).unwrap(),
+            b"secret key material"
+        );
+    }
+
+    #[test]
+    fn container_ids_listed_in_order() {
+        let mut engine = engine();
+        let image_id = engine.deploy(built_image());
+        let a = engine.run(image_id).unwrap();
+        let b = engine.run(image_id).unwrap();
+        assert_eq!(engine.container_ids(), vec![a, b]);
+    }
+}

@@ -1,0 +1,189 @@
+//! Layered container images.
+//!
+//! An [`Image`] is a stack of file-system [`Layer`]s plus a code entrypoint,
+//! exactly enough of the Docker model for the paper's workflow: developers
+//! publish an image featuring their micro-service, and end-users customise
+//! it by adding additional layers (§V-A).
+
+use securecloud_crypto::impl_wire_struct;
+use securecloud_crypto::sha256::Sha256;
+use securecloud_crypto::wire::Wire;
+use std::collections::BTreeMap;
+
+/// A content-addressed image identifier (SHA-256 of the canonical encoding).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ImageId(pub [u8; 32]);
+
+impl ImageId {
+    /// Hex rendering.
+    #[must_use]
+    pub fn to_hex(&self) -> String {
+        securecloud_crypto::hex(&self.0)
+    }
+}
+
+/// One file-system layer: path → content. Later layers shadow earlier ones;
+/// an empty content entry is a whiteout (deletion).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Layer {
+    /// Files added or replaced by this layer.
+    pub files: BTreeMap<String, Vec<u8>>,
+    /// Paths removed by this layer.
+    pub whiteouts: Vec<String>,
+}
+
+impl_wire_struct!(Layer { files, whiteouts });
+
+impl Layer {
+    /// Creates an empty layer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a file (builder style).
+    #[must_use]
+    pub fn with_file(mut self, path: &str, content: &[u8]) -> Self {
+        self.files.insert(path.to_string(), content.to_vec());
+        self
+    }
+
+    /// Marks a path deleted (builder style).
+    #[must_use]
+    pub fn with_whiteout(mut self, path: &str) -> Self {
+        self.whiteouts.push(path.to_string());
+        self
+    }
+
+    /// Total bytes in this layer.
+    #[must_use]
+    pub fn size(&self) -> u64 {
+        self.files.values().map(|v| v.len() as u64).sum()
+    }
+}
+
+/// A container image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Image {
+    /// Image name (repository).
+    pub name: String,
+    /// Image tag.
+    pub tag: String,
+    /// The code entrypoint measured into the enclave for secure images.
+    pub entrypoint: Vec<u8>,
+    /// Whether this image expects to run inside an enclave.
+    pub secure: bool,
+    /// File-system layers, bottom first.
+    pub layers: Vec<Layer>,
+}
+
+impl_wire_struct!(Image {
+    name,
+    tag,
+    entrypoint,
+    secure,
+    layers
+});
+
+impl Image {
+    /// Creates a plain (non-secure) image.
+    #[must_use]
+    pub fn new(name: &str, tag: &str, entrypoint: &[u8]) -> Self {
+        Image {
+            name: name.to_string(),
+            tag: tag.to_string(),
+            entrypoint: entrypoint.to_vec(),
+            secure: false,
+            layers: Vec::new(),
+        }
+    }
+
+    /// Appends a layer (builder style).
+    #[must_use]
+    pub fn with_layer(mut self, layer: Layer) -> Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// The content-addressed id of this image.
+    #[must_use]
+    pub fn id(&self) -> ImageId {
+        ImageId(Sha256::digest(&self.to_wire()))
+    }
+
+    /// Full `name:tag` reference.
+    #[must_use]
+    pub fn reference(&self) -> String {
+        format!("{}:{}", self.name, self.tag)
+    }
+
+    /// The flattened file system: layers applied bottom-up with whiteouts.
+    #[must_use]
+    pub fn flatten(&self) -> BTreeMap<String, Vec<u8>> {
+        let mut fs = BTreeMap::new();
+        for layer in &self.layers {
+            for (path, content) in &layer.files {
+                fs.insert(path.clone(), content.clone());
+            }
+            for path in &layer.whiteouts {
+                fs.remove(path);
+            }
+        }
+        fs
+    }
+
+    /// Total size across layers (pre-flattening).
+    #[must_use]
+    pub fn size(&self) -> u64 {
+        self.layers.iter().map(Layer::size).sum::<u64>() + self.entrypoint.len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layering_and_whiteouts() {
+        let image = Image::new("svc", "v1", b"bin")
+            .with_layer(
+                Layer::new()
+                    .with_file("/etc/conf", b"base")
+                    .with_file("/bin/app", b"app"),
+            )
+            .with_layer(
+                Layer::new()
+                    .with_file("/etc/conf", b"override")
+                    .with_whiteout("/bin/app"),
+            );
+        let fs = image.flatten();
+        assert_eq!(fs.get("/etc/conf").unwrap(), b"override");
+        assert!(!fs.contains_key("/bin/app"));
+    }
+
+    #[test]
+    fn id_is_content_addressed() {
+        let a = Image::new("svc", "v1", b"bin").with_layer(Layer::new().with_file("/f", b"x"));
+        let b = Image::new("svc", "v1", b"bin").with_layer(Layer::new().with_file("/f", b"x"));
+        let c = Image::new("svc", "v1", b"bin").with_layer(Layer::new().with_file("/f", b"y"));
+        assert_eq!(a.id(), b.id());
+        assert_ne!(a.id(), c.id());
+        assert_eq!(a.id().to_hex().len(), 64);
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let image = Image::new("svc", "v2", b"entry")
+            .with_layer(Layer::new().with_file("/a", b"1").with_whiteout("/b"));
+        assert_eq!(Image::from_wire(&image.to_wire()).unwrap(), image);
+    }
+
+    #[test]
+    fn size_accounts_layers_and_entrypoint() {
+        let image = Image::new("s", "t", b"12345")
+            .with_layer(Layer::new().with_file("/a", &[0u8; 100]))
+            .with_layer(Layer::new().with_file("/b", &[0u8; 50]));
+        assert_eq!(image.size(), 155);
+        assert_eq!(image.reference(), "s:t");
+    }
+}

@@ -1,0 +1,122 @@
+//! Property tests for image layering semantics and the secure build
+//! pipeline's confidentiality/integrity invariants.
+
+use proptest::prelude::*;
+use securecloud_containers::build::SecureImageBuilder;
+use securecloud_containers::image::{Image, Layer};
+use securecloud_containers::registry::Registry;
+use securecloud_scone::fshield::FsProtection;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum LayerOp {
+    Add(String, Vec<u8>),
+    Whiteout(String),
+}
+
+fn arb_path() -> impl Strategy<Value = String> {
+    "[a-d]".prop_map(|s| format!("/{s}"))
+}
+
+fn arb_layer() -> impl Strategy<Value = Vec<LayerOp>> {
+    prop::collection::vec(
+        prop_oneof![
+            (arb_path(), prop::collection::vec(any::<u8>(), 0..32))
+                .prop_map(|(p, c)| LayerOp::Add(p, c)),
+            arb_path().prop_map(LayerOp::Whiteout),
+        ],
+        0..5,
+    )
+}
+
+proptest! {
+    /// Image flattening equals a sequential map interpretation of the
+    /// layer operations.
+    #[test]
+    fn flatten_matches_model(layers in prop::collection::vec(arb_layer(), 0..6)) {
+        let mut image = Image::new("svc", "v1", b"bin");
+        let mut model: BTreeMap<String, Vec<u8>> = BTreeMap::new();
+        for ops in &layers {
+            let mut layer = Layer::new();
+            // Model semantics: all adds apply, then all whiteouts (matches
+            // Layer's structure of files + whiteouts).
+            for op in ops {
+                if let LayerOp::Add(path, content) = op {
+                    layer = layer.with_file(path, content);
+                }
+            }
+            for op in ops {
+                if let LayerOp::Whiteout(path) = op {
+                    layer = layer.with_whiteout(path);
+                }
+            }
+            for op in ops {
+                if let LayerOp::Add(path, content) = op {
+                    model.insert(path.clone(), content.clone());
+                }
+            }
+            for op in ops {
+                if let LayerOp::Whiteout(path) = op {
+                    model.remove(path);
+                }
+            }
+            image = image.with_layer(layer);
+        }
+        prop_assert_eq!(image.flatten(), model);
+    }
+
+    /// Content addressing: equal images share an id; any content change
+    /// changes it; the registry returns exactly what was pushed.
+    #[test]
+    fn content_addressing(
+        name in "[a-z]{1,8}",
+        content in prop::collection::vec(any::<u8>(), 1..64),
+        flip in 0usize..64,
+    ) {
+        let a = Image::new(&name, "v1", b"bin")
+            .with_layer(Layer::new().with_file("/f", &content));
+        let b = Image::new(&name, "v1", b"bin")
+            .with_layer(Layer::new().with_file("/f", &content));
+        prop_assert_eq!(a.id(), b.id());
+        let mut mutated = content.clone();
+        mutated[flip % content.len()] ^= 1;
+        let c = Image::new(&name, "v1", b"bin")
+            .with_layer(Layer::new().with_file("/f", &mutated));
+        prop_assert_ne!(a.id(), c.id());
+
+        let registry = Registry::new();
+        let id = registry.push(a.clone());
+        prop_assert_eq!(registry.pull(id).unwrap(), a);
+    }
+
+    /// The secure build never leaks protected plaintext into the image,
+    /// and the SCF always pins the exact protection file it ships.
+    #[test]
+    fn secure_build_confidentiality(
+        secret in prop::collection::vec(any::<u8>(), 24..200),
+    ) {
+        prop_assume!(secret.windows(2).any(|w| w[0] != w[1]));
+        let built = SecureImageBuilder::new("svc", "v1", b"binary")
+            .protect_file("/data/secret", &secret)
+            .build()
+            .unwrap();
+        let window = &secret[..16];
+        if window.iter().any(|&b| b != window[0]) {
+            for (path, content) in built.image.flatten() {
+                prop_assert!(
+                    !content.windows(16).any(|w| w == window),
+                    "secret window leaked into {path}"
+                );
+            }
+        }
+        let sealed = built.image.flatten().remove("/scone/fs.protection").unwrap();
+        prop_assert_eq!(FsProtection::digest(&sealed), built.scf.fs_protection_digest);
+        // The pinned key actually opens it and describes the secret file.
+        let protection =
+            FsProtection::open_sealed(&built.scf.fs_protection_key, &sealed).unwrap();
+        prop_assert_eq!(
+            protection.files.get("/data/secret").map(|m| m.len),
+            Some(secret.len() as u64)
+        );
+    }
+}

@@ -1,0 +1,240 @@
+//! **SecureCloud** — secure big-data processing in untrusted clouds.
+//!
+//! This crate is the facade over the full layered architecture of the
+//! SecureCloud project (Kelbert et al., DSN 2018):
+//!
+//! | Layer | Crate (re-exported module) |
+//! |---|---|
+//! | Enclave hardware (simulated SGX) | [`sgx`] |
+//! | Cryptography + wire codec | [`crypto`] |
+//! | SCONE secure-container runtime | [`scone`] |
+//! | Secure containers / images / registry | [`containers`] |
+//! | Secure content-based routing | [`scbr`] |
+//! | GenPack generational scheduler | [`genpack`] |
+//! | Event bus + micro-services | [`eventbus`] |
+//! | Secure KV store | [`kvstore`] |
+//! | Secure map/reduce | [`mapreduce`] |
+//! | Smart-grid use cases | [`smartgrid`] |
+//!
+//! [`SecureCloud`] assembles the trusted control plane (platform,
+//! attestation, configuration service, registry, container engine, event
+//! bus) into the deployment API the paper's Figure 1 sketches: build a
+//! secure micro-service image, deploy it, and wire services over the bus.
+//!
+//! # Example
+//!
+//! ```
+//! use securecloud::containers::build::SecureImageBuilder;
+//! use securecloud::SecureCloud;
+//!
+//! let mut cloud = SecureCloud::new();
+//! let built = SecureImageBuilder::new("meter-svc", "v1", b"service code")
+//!     .protect_file("/data/keys", b"secret")
+//!     .build()
+//!     .unwrap();
+//! let image = cloud.deploy_image(built);
+//! let container = cloud.run_container(image).unwrap();
+//! let plaintext = cloud
+//!     .with_runtime(container, |rt| rt.read_file("/data/keys", 0, 16))
+//!     .unwrap()
+//!     .unwrap();
+//! assert_eq!(plaintext, b"secret");
+//! ```
+
+pub use securecloud_containers as containers;
+pub use securecloud_crypto as crypto;
+pub use securecloud_eventbus as eventbus;
+pub use securecloud_genpack as genpack;
+pub use securecloud_kvstore as kvstore;
+pub use securecloud_mapreduce as mapreduce;
+pub use securecloud_scbr as scbr;
+pub use securecloud_scone as scone;
+pub use securecloud_sgx as sgx;
+pub use securecloud_smartgrid as smartgrid;
+
+use containers::build::BuiltImage;
+use containers::engine::{ContainerId, Engine};
+use containers::image::ImageId;
+use containers::registry::Registry;
+use containers::ContainerError;
+use eventbus::service::{MicroService, ServiceHost};
+use eventbus::TopicKeyService;
+use parking_lot::RwLock;
+use scone::runtime::SconeRuntime;
+use scone::scf::ConfigService;
+use sgx::attest::AttestationService;
+use sgx::enclave::Platform;
+use std::sync::Arc;
+
+/// The assembled SecureCloud control plane.
+///
+/// Owns one SGX-capable platform, the attestation + configuration trust
+/// anchors, an image registry, the container engine, the per-topic key
+/// service, and the event bus connecting micro-services.
+pub struct SecureCloud {
+    platform: Platform,
+    registry: Arc<Registry>,
+    config_service: Arc<RwLock<ConfigService>>,
+    engine: Engine,
+    key_service: TopicKeyService,
+    host: ServiceHost,
+}
+
+impl std::fmt::Debug for SecureCloud {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SecureCloud").finish_non_exhaustive()
+    }
+}
+
+impl Default for SecureCloud {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SecureCloud {
+    /// Bootstraps a platform with fresh trust anchors.
+    #[must_use]
+    pub fn new() -> Self {
+        let platform = Platform::new();
+        let mut attestation = AttestationService::new();
+        attestation.register_platform(&platform);
+        let mut key_attestation = AttestationService::new();
+        key_attestation.register_platform(&platform);
+        let registry = Arc::new(Registry::new());
+        let config_service = Arc::new(RwLock::new(ConfigService::new(attestation)));
+        let engine = Engine::new(
+            Arc::clone(&registry),
+            platform.clone(),
+            Arc::clone(&config_service),
+        );
+        SecureCloud {
+            platform,
+            registry,
+            config_service,
+            engine,
+            key_service: TopicKeyService::new(key_attestation),
+            host: ServiceHost::new(1_000),
+        }
+    }
+
+    /// The underlying (simulated) SGX platform.
+    #[must_use]
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// The image registry.
+    #[must_use]
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// The configuration service trust anchor (SCF registration,
+    /// attestation policy).
+    #[must_use]
+    pub fn config_service(&self) -> &Arc<RwLock<ConfigService>> {
+        &self.config_service
+    }
+
+    /// The per-topic payload key service.
+    pub fn key_service_mut(&mut self) -> &mut TopicKeyService {
+        &mut self.key_service
+    }
+
+    /// Publishes a built secure image: pushes it, registers its SCF, and
+    /// allows its measurement.
+    pub fn deploy_image(&mut self, built: BuiltImage) -> ImageId {
+        self.engine.deploy(built)
+    }
+
+    /// Starts a container from a deployed image (secure bootstrap included
+    /// for secure images).
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::run`].
+    pub fn run_container(&mut self, image: ImageId) -> Result<ContainerId, ContainerError> {
+        self.engine.run(image)
+    }
+
+    /// Stops a container (destroying its enclave if secure).
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::stop`].
+    pub fn stop_container(&mut self, id: ContainerId) -> Result<(), ContainerError> {
+        self.engine.stop(id)
+    }
+
+    /// Runs `f` with the SCONE runtime of a secure container.
+    ///
+    /// Returns `None` for unknown ids or plain containers.
+    pub fn with_runtime<R>(
+        &mut self,
+        id: ContainerId,
+        f: impl FnOnce(&mut SconeRuntime) -> R,
+    ) -> Option<R> {
+        self.engine.container_mut(id)?.runtime_mut().map(f)
+    }
+
+    /// The container engine (fleet inspection, resource accounting).
+    #[must_use]
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Mutable engine access.
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
+
+    /// Registers a micro-service on the platform event bus.
+    pub fn register_service(&mut self, service: Box<dyn MicroService>) {
+        self.host.register(service);
+    }
+
+    /// The event-bus service host.
+    pub fn services_mut(&mut self) -> &mut ServiceHost {
+        &mut self.host
+    }
+
+    /// Pumps bus deliveries until quiet; returns messages processed.
+    pub fn run_services(&mut self, max_steps: usize) -> usize {
+        self.host.run_until_quiet(max_steps)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use containers::build::SecureImageBuilder;
+
+    #[test]
+    fn facade_deploy_run_read() {
+        let mut cloud = SecureCloud::new();
+        let built = SecureImageBuilder::new("svc", "v1", b"binary")
+            .protect_file("/data/secret", b"42")
+            .arg("--run")
+            .build()
+            .unwrap();
+        let image = cloud.deploy_image(built);
+        let container = cloud.run_container(image).unwrap();
+        let content = cloud
+            .with_runtime(container, |rt| rt.read_file("/data/secret", 0, 2))
+            .unwrap()
+            .unwrap();
+        assert_eq!(content, b"42");
+        cloud.stop_container(container).unwrap();
+    }
+
+    #[test]
+    fn with_runtime_none_for_unknown_or_plain() {
+        let mut cloud = SecureCloud::new();
+        assert!(cloud.with_runtime(ContainerId(77), |_| ()).is_none());
+        let plain = containers::image::Image::new("p", "1", b"bin");
+        let id = cloud.registry().push(plain);
+        let container = cloud.run_container(id).unwrap();
+        assert!(cloud.with_runtime(container, |_| ()).is_none());
+    }
+}

@@ -1,0 +1,276 @@
+//! AES-128-GCM authenticated encryption (NIST SP 800-38D).
+
+use crate::aes::Aes128;
+use crate::CryptoError;
+
+/// Length in bytes of the GCM authentication tag.
+pub const TAG_LEN: usize = 16;
+/// Length in bytes of the GCM nonce (96-bit IVs only).
+pub const NONCE_LEN: usize = 12;
+
+/// AES-128-GCM AEAD cipher.
+///
+/// ```
+/// use securecloud_crypto::gcm::AesGcm;
+///
+/// let cipher = AesGcm::new(&[1u8; 16]);
+/// let sealed = cipher.seal(&[2u8; 12], b"secret", b"assoc");
+/// assert_eq!(cipher.open(&[2u8; 12], &sealed, b"assoc").unwrap(), b"secret");
+/// assert!(cipher.open(&[2u8; 12], &sealed, b"tampered").is_err());
+/// ```
+#[derive(Clone)]
+pub struct AesGcm {
+    aes: Aes128,
+    h: u128,
+}
+
+impl std::fmt::Debug for AesGcm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AesGcm").finish_non_exhaustive()
+    }
+}
+
+fn gf128_mul(x: u128, y: u128) -> u128 {
+    const R: u128 = 0xe1 << 120;
+    let mut z = 0u128;
+    let mut v = y;
+    for i in 0..128 {
+        if (x >> (127 - i)) & 1 == 1 {
+            z ^= v;
+        }
+        let lsb = v & 1;
+        v >>= 1;
+        if lsb == 1 {
+            v ^= R;
+        }
+    }
+    z
+}
+
+fn block_to_u128(block: &[u8]) -> u128 {
+    let mut buf = [0u8; 16];
+    buf[..block.len()].copy_from_slice(block);
+    u128::from_be_bytes(buf)
+}
+
+impl AesGcm {
+    /// Creates a GCM cipher from a 16-byte key.
+    #[must_use]
+    pub fn new(key: &[u8; 16]) -> Self {
+        let aes = Aes128::new(key);
+        let mut h_block = [0u8; 16];
+        aes.encrypt_block(&mut h_block);
+        AesGcm {
+            aes,
+            h: u128::from_be_bytes(h_block),
+        }
+    }
+
+    fn ghash(&self, aad: &[u8], ciphertext: &[u8]) -> [u8; 16] {
+        let mut y = 0u128;
+        for chunk in aad.chunks(16) {
+            y = gf128_mul(y ^ block_to_u128(chunk), self.h);
+        }
+        for chunk in ciphertext.chunks(16) {
+            y = gf128_mul(y ^ block_to_u128(chunk), self.h);
+        }
+        let lengths = ((aad.len() as u128 * 8) << 64) | (ciphertext.len() as u128 * 8);
+        y = gf128_mul(y ^ lengths, self.h);
+        y.to_be_bytes()
+    }
+
+    /// CTR over the message area: counter starts at inc32(J0) and increments
+    /// only in the low 32 bits, per the GCM spec.
+    fn gctr(&self, j0: &[u8; 16], buf: &mut [u8]) {
+        let mut counter = u32::from_be_bytes(j0[12..16].try_into().expect("ctr"));
+        let mut block = *j0;
+        for chunk in buf.chunks_mut(16) {
+            counter = counter.wrapping_add(1);
+            block[12..16].copy_from_slice(&counter.to_be_bytes());
+            let mut keystream = block;
+            self.aes.encrypt_block(&mut keystream);
+            for (b, k) in chunk.iter_mut().zip(keystream.iter()) {
+                *b ^= k;
+            }
+        }
+    }
+
+    fn j0(nonce: &[u8; NONCE_LEN]) -> [u8; 16] {
+        let mut j0 = [0u8; 16];
+        j0[..12].copy_from_slice(nonce);
+        j0[15] = 1;
+        j0
+    }
+
+    /// Encrypts `plaintext` and returns `ciphertext || tag`.
+    #[must_use]
+    pub fn seal(&self, nonce: &[u8; NONCE_LEN], plaintext: &[u8], aad: &[u8]) -> Vec<u8> {
+        let j0 = Self::j0(nonce);
+        let mut out = plaintext.to_vec();
+        self.gctr(&j0, &mut out);
+        let s = self.ghash(aad, &out);
+        let mut tag = j0;
+        self.aes.encrypt_block(&mut tag);
+        for (t, s) in tag.iter_mut().zip(s.iter()) {
+            *t ^= s;
+        }
+        out.extend_from_slice(&tag);
+        out
+    }
+
+    /// Decrypts `sealed` (as produced by [`AesGcm::seal`]) and returns the
+    /// plaintext.
+    ///
+    /// # Errors
+    ///
+    /// [`CryptoError::AuthenticationFailed`] if the input is shorter than a
+    /// tag or the tag does not verify; no plaintext is released in that case.
+    pub fn open(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        sealed: &[u8],
+        aad: &[u8],
+    ) -> Result<Vec<u8>, CryptoError> {
+        if sealed.len() < TAG_LEN {
+            return Err(CryptoError::AuthenticationFailed);
+        }
+        let (ciphertext, tag) = sealed.split_at(sealed.len() - TAG_LEN);
+        let j0 = Self::j0(nonce);
+        let s = self.ghash(aad, ciphertext);
+        let mut expect = j0;
+        self.aes.encrypt_block(&mut expect);
+        for (t, s) in expect.iter_mut().zip(s.iter()) {
+            *t ^= s;
+        }
+        if !crate::ct_eq(&expect, tag) {
+            return Err(CryptoError::AuthenticationFailed);
+        }
+        let mut out = ciphertext.to_vec();
+        self.gctr(&j0, &mut out);
+        Ok(out)
+    }
+}
+
+/// Builds a deterministic 12-byte nonce from a 4-byte domain and an 8-byte
+/// sequence number. Callers must never reuse a (key, domain, seq) triple.
+#[must_use]
+pub fn nonce_from_seq(domain: u32, seq: u64) -> [u8; NONCE_LEN] {
+    let mut nonce = [0u8; NONCE_LEN];
+    nonce[..4].copy_from_slice(&domain.to_be_bytes());
+    nonce[4..].copy_from_slice(&seq.to_be_bytes());
+    nonce
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{hex, unhex};
+
+    #[test]
+    fn nist_case_1_empty() {
+        let cipher = AesGcm::new(&[0u8; 16]);
+        let sealed = cipher.seal(&[0u8; 12], b"", b"");
+        assert_eq!(hex(&sealed), "58e2fccefa7e3061367f1d57a4e7455a");
+    }
+
+    #[test]
+    fn nist_case_2_single_block() {
+        let cipher = AesGcm::new(&[0u8; 16]);
+        let sealed = cipher.seal(&[0u8; 12], &[0u8; 16], b"");
+        assert_eq!(
+            hex(&sealed),
+            "0388dace60b6a392f328c2b971b2fe78ab6e47d42cec13bdf53a67b21257bddf"
+        );
+    }
+
+    #[test]
+    fn nist_case_3_four_blocks() {
+        let key: [u8; 16] = unhex("feffe9928665731c6d6a8f9467308308")
+            .unwrap()
+            .try_into()
+            .unwrap();
+        let nonce: [u8; 12] = unhex("cafebabefacedbaddecaf888")
+            .unwrap()
+            .try_into()
+            .unwrap();
+        let pt = unhex(concat!(
+            "d9313225f88406e5a55909c5aff5269a",
+            "86a7a9531534f7da2e4c303d8a318a72",
+            "1c3c0c95956809532fcf0e2449a6b525",
+            "b16aedf5aa0de657ba637b391aafd255"
+        ))
+        .unwrap();
+        let sealed = AesGcm::new(&key).seal(&nonce, &pt, b"");
+        assert_eq!(
+            hex(&sealed),
+            concat!(
+                "42831ec2217774244b7221b784d0d49c",
+                "e3aa212f2c02a4e035c17e2329aca12e",
+                "21d514b25466931c7d8f6a5aac84aa05",
+                "1ba30b396a0aac973d58e091473f5985",
+                "4d5c2af327cd64a62cf35abd2ba6fab4"
+            )
+        );
+    }
+
+    #[test]
+    fn nist_case_4_with_aad() {
+        let key: [u8; 16] = unhex("feffe9928665731c6d6a8f9467308308")
+            .unwrap()
+            .try_into()
+            .unwrap();
+        let nonce: [u8; 12] = unhex("cafebabefacedbaddecaf888")
+            .unwrap()
+            .try_into()
+            .unwrap();
+        let pt = unhex(concat!(
+            "d9313225f88406e5a55909c5aff5269a",
+            "86a7a9531534f7da2e4c303d8a318a72",
+            "1c3c0c95956809532fcf0e2449a6b525",
+            "b16aedf5aa0de657ba637b39"
+        ))
+        .unwrap();
+        let aad = unhex("feedfacedeadbeeffeedfacedeadbeefabaddad2").unwrap();
+        let cipher = AesGcm::new(&key);
+        let sealed = cipher.seal(&nonce, &pt, &aad);
+        assert_eq!(
+            hex(&sealed),
+            concat!(
+                "42831ec2217774244b7221b784d0d49c",
+                "e3aa212f2c02a4e035c17e2329aca12e",
+                "21d514b25466931c7d8f6a5aac84aa05",
+                "1ba30b396a0aac973d58e091",
+                "5bc94fbc3221a5db94fae95ae7121a47"
+            )
+        );
+        assert_eq!(cipher.open(&nonce, &sealed, &aad).unwrap(), pt);
+    }
+
+    #[test]
+    fn open_rejects_tampering() {
+        let cipher = AesGcm::new(&[3u8; 16]);
+        let nonce = [5u8; 12];
+        let sealed = cipher.seal(&nonce, b"payload", b"aad");
+        for i in 0..sealed.len() {
+            let mut bad = sealed.clone();
+            bad[i] ^= 0x01;
+            assert_eq!(
+                cipher.open(&nonce, &bad, b"aad"),
+                Err(CryptoError::AuthenticationFailed),
+                "flip at byte {i} must be detected"
+            );
+        }
+        assert!(cipher.open(&[6u8; 12], &sealed, b"aad").is_err());
+        assert!(cipher.open(&nonce, &sealed[..8], b"aad").is_err());
+    }
+
+    #[test]
+    fn nonce_from_seq_unique() {
+        let a = nonce_from_seq(1, 1);
+        let b = nonce_from_seq(1, 2);
+        let c = nonce_from_seq(2, 1);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+}

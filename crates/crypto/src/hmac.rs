@@ -1,0 +1,220 @@
+//! HMAC-SHA256 (RFC 2104) and HKDF (RFC 5869).
+
+use crate::sha256::Sha256;
+
+/// Incremental HMAC-SHA256.
+///
+/// ```
+/// use securecloud_crypto::hmac::HmacSha256;
+///
+/// let tag = HmacSha256::mac(b"key", b"message");
+/// assert!(HmacSha256::verify(b"key", b"message", &tag));
+/// ```
+#[derive(Debug, Clone)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    outer_key: [u8; 64],
+}
+
+impl HmacSha256 {
+    /// Creates an HMAC instance keyed with `key` (any length).
+    #[must_use]
+    pub fn new(key: &[u8]) -> Self {
+        let mut block_key = [0u8; 64];
+        if key.len() > 64 {
+            block_key[..32].copy_from_slice(&Sha256::digest(key));
+        } else {
+            block_key[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad = [0u8; 64];
+        let mut opad = [0u8; 64];
+        for i in 0..64 {
+            ipad[i] = block_key[i] ^ 0x36;
+            opad[i] = block_key[i] ^ 0x5c;
+        }
+        let mut inner = Sha256::new();
+        inner.update(&ipad);
+        HmacSha256 {
+            inner,
+            outer_key: opad,
+        }
+    }
+
+    /// Absorbs message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Finalizes and returns the 32-byte tag.
+    #[must_use]
+    pub fn finalize(self) -> [u8; 32] {
+        let inner_hash = self.inner.finalize();
+        let mut outer = Sha256::new();
+        outer.update(&self.outer_key);
+        outer.update(&inner_hash);
+        outer.finalize()
+    }
+
+    /// One-shot MAC of `message` under `key`.
+    #[must_use]
+    pub fn mac(key: &[u8], message: &[u8]) -> [u8; 32] {
+        let mut h = Self::new(key);
+        h.update(message);
+        h.finalize()
+    }
+
+    /// Constant-time verification of `tag` against `message` under `key`.
+    #[must_use]
+    pub fn verify(key: &[u8], message: &[u8], tag: &[u8]) -> bool {
+        crate::ct_eq(&Self::mac(key, message), tag)
+    }
+}
+
+/// HKDF-Extract: derives a pseudorandom key from input keying material.
+#[must_use]
+pub fn hkdf_extract(salt: &[u8], ikm: &[u8]) -> [u8; 32] {
+    HmacSha256::mac(salt, ikm)
+}
+
+/// HKDF-Expand: expands `prk` into `out.len()` bytes of output keying
+/// material bound to `info`.
+///
+/// # Panics
+///
+/// Panics if more than `255 * 32` output bytes are requested (RFC 5869 limit).
+pub fn hkdf_expand(prk: &[u8; 32], info: &[u8], out: &mut [u8]) {
+    assert!(out.len() <= 255 * 32, "HKDF output too long");
+    let mut t: Vec<u8> = Vec::new();
+    let mut counter = 1u8;
+    let mut written = 0;
+    while written < out.len() {
+        let mut h = HmacSha256::new(prk);
+        h.update(&t);
+        h.update(info);
+        h.update(&[counter]);
+        let block = h.finalize();
+        let take = (out.len() - written).min(32);
+        out[written..written + take].copy_from_slice(&block[..take]);
+        written += take;
+        t = block.to_vec();
+        counter = counter.wrapping_add(1);
+    }
+}
+
+/// Full HKDF (extract-then-expand), returning `N` bytes.
+///
+/// ```
+/// let okm: [u8; 32] = securecloud_crypto::hmac::hkdf(b"salt", b"secret", b"ctx");
+/// assert_ne!(okm, [0u8; 32]);
+/// ```
+#[must_use]
+pub fn hkdf<const N: usize>(salt: &[u8], ikm: &[u8], info: &[u8]) -> [u8; N] {
+    let prk = hkdf_extract(salt, ikm);
+    let mut out = [0u8; N];
+    hkdf_expand(&prk, info, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{hex, unhex};
+
+    #[test]
+    fn rfc4231_case_1() {
+        let key = [0x0b; 20];
+        let tag = HmacSha256::mac(&key, b"Hi There");
+        assert_eq!(
+            hex(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_2() {
+        let tag = HmacSha256::mac(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_3() {
+        let key = [0xaa; 20];
+        let data = [0xdd; 50];
+        let tag = HmacSha256::mac(&key, &data);
+        assert_eq!(
+            hex(&tag),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_6_long_key() {
+        let key = [0xaa; 131];
+        let tag = HmacSha256::mac(
+            &key,
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
+        assert_eq!(
+            hex(&tag),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn rfc5869_case_1() {
+        let ikm = [0x0b; 22];
+        let salt = unhex("000102030405060708090a0b0c").unwrap();
+        let info = unhex("f0f1f2f3f4f5f6f7f8f9").unwrap();
+        let prk = hkdf_extract(&salt, &ikm);
+        assert_eq!(
+            hex(&prk),
+            "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5"
+        );
+        let mut okm = [0u8; 42];
+        hkdf_expand(&prk, &info, &mut okm);
+        assert_eq!(
+            hex(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+        );
+    }
+
+    #[test]
+    fn rfc5869_case_3_empty_salt_info() {
+        let ikm = [0x0b; 22];
+        let prk = hkdf_extract(&[], &ikm);
+        let mut okm = [0u8; 42];
+        hkdf_expand(&prk, &[], &mut okm);
+        assert_eq!(
+            hex(&okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d9d201395faa4b61a96c8"
+        );
+    }
+
+    #[test]
+    fn verify_rejects_wrong_tag() {
+        let tag = HmacSha256::mac(b"k", b"m");
+        let mut bad = tag;
+        bad[0] ^= 1;
+        assert!(HmacSha256::verify(b"k", b"m", &tag));
+        assert!(!HmacSha256::verify(b"k", b"m", &bad));
+        assert!(!HmacSha256::verify(b"k", b"m", &tag[..31]));
+    }
+
+    #[test]
+    fn incremental_equals_oneshot() {
+        let mut h = HmacSha256::new(b"key");
+        h.update(b"part one ");
+        h.update(b"part two");
+        assert_eq!(h.finalize(), HmacSha256::mac(b"key", b"part one part two"));
+    }
+
+    #[test]
+    fn hkdf_distinct_infos_produce_distinct_keys() {
+        let a: [u8; 16] = hkdf(b"salt", b"ikm", b"client");
+        let b: [u8; 16] = hkdf(b"salt", b"ikm", b"server");
+        assert_ne!(a, b);
+    }
+}

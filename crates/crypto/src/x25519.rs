@@ -1,0 +1,327 @@
+//! X25519 Diffie-Hellman (RFC 7748) over Curve25519.
+//!
+//! Field arithmetic uses five 51-bit limbs with `u128` intermediate
+//! products; the scalar multiplication is a constant-time Montgomery ladder.
+
+/// A public key: the little-endian encoding of a curve u-coordinate.
+pub type PublicKey = [u8; 32];
+/// A secret key: 32 random bytes (clamped internally).
+pub type SecretKey = [u8; 32];
+
+const MASK51: u64 = (1 << 51) - 1;
+
+/// Element of GF(2^255 - 19), five 51-bit limbs, little-endian.
+#[derive(Clone, Copy, Debug)]
+struct Fe([u64; 5]);
+
+impl Fe {
+    const ZERO: Fe = Fe([0; 5]);
+    const ONE: Fe = Fe([1, 0, 0, 0, 0]);
+
+    fn from_bytes(bytes: &[u8; 32]) -> Fe {
+        let load = |i: usize| -> u64 {
+            let mut v = [0u8; 8];
+            v.copy_from_slice(&bytes[i..i + 8]);
+            u64::from_le_bytes(v)
+        };
+        Fe([
+            load(0) & MASK51,
+            (load(6) >> 3) & MASK51,
+            (load(12) >> 6) & MASK51,
+            (load(19) >> 1) & MASK51,
+            (load(24) >> 12) & MASK51,
+        ])
+    }
+
+    fn to_bytes(mut self) -> [u8; 32] {
+        self = self.carry().carry();
+        // q = 1 iff self >= p, computed by propagating (limb + 19) carries.
+        let mut q = (self.0[0].wrapping_add(19)) >> 51;
+        for i in 1..5 {
+            q = (self.0[i].wrapping_add(q)) >> 51;
+        }
+        self.0[0] = self.0[0].wrapping_add(19 * q);
+        let mut carry = 0u64;
+        for limb in &mut self.0 {
+            let v = limb.wrapping_add(carry);
+            *limb = v & MASK51;
+            carry = v >> 51;
+        }
+        // Any final carry is the 2^255 bit, dropped by the mask above.
+        let mut out = [0u8; 32];
+        let l = self.0;
+        let packed: [u64; 4] = [
+            l[0] | (l[1] << 51),
+            (l[1] >> 13) | (l[2] << 38),
+            (l[2] >> 26) | (l[3] << 25),
+            (l[3] >> 39) | (l[4] << 12),
+        ];
+        for (i, word) in packed.iter().enumerate() {
+            out[i * 8..i * 8 + 8].copy_from_slice(&word.to_le_bytes());
+        }
+        out
+    }
+
+    #[allow(clippy::needless_range_loop)]
+    fn carry(self) -> Fe {
+        let mut l = self.0;
+        let mut c: u64;
+        for i in 0..4 {
+            c = l[i] >> 51;
+            l[i] &= MASK51;
+            l[i + 1] = l[i + 1].wrapping_add(c);
+        }
+        c = l[4] >> 51;
+        l[4] &= MASK51;
+        l[0] = l[0].wrapping_add(19 * c);
+        Fe(l)
+    }
+
+    fn add(self, other: Fe) -> Fe {
+        let mut l = [0u64; 5];
+        for ((out, a), b) in l.iter_mut().zip(&self.0).zip(&other.0) {
+            *out = a + b;
+        }
+        Fe(l).carry()
+    }
+
+    fn sub(self, other: Fe) -> Fe {
+        // Add 2p before subtracting to stay non-negative.
+        const TWO_P: [u64; 5] = [
+            0xfffffffffffda,
+            0xffffffffffffe,
+            0xffffffffffffe,
+            0xffffffffffffe,
+            0xffffffffffffe,
+        ];
+        let mut l = TWO_P;
+        for ((limb, a), b) in l.iter_mut().zip(&self.0).zip(&other.0) {
+            *limb += a;
+            *limb -= b;
+        }
+        Fe(l).carry()
+    }
+
+    fn mul(self, other: Fe) -> Fe {
+        let f = self.0.map(u128::from);
+        let g = other.0.map(u128::from);
+        let g19: [u128; 5] = [g[0], 19 * g[1], 19 * g[2], 19 * g[3], 19 * g[4]];
+        let r0 = f[0] * g[0] + f[1] * g19[4] + f[2] * g19[3] + f[3] * g19[2] + f[4] * g19[1];
+        let r1 = f[0] * g[1] + f[1] * g[0] + f[2] * g19[4] + f[3] * g19[3] + f[4] * g19[2];
+        let r2 = f[0] * g[2] + f[1] * g[1] + f[2] * g[0] + f[3] * g19[4] + f[4] * g19[3];
+        let r3 = f[0] * g[3] + f[1] * g[2] + f[2] * g[1] + f[3] * g[0] + f[4] * g19[4];
+        let r4 = f[0] * g[4] + f[1] * g[3] + f[2] * g[2] + f[3] * g[1] + f[4] * g[0];
+        Fe::reduce_wide([r0, r1, r2, r3, r4])
+    }
+
+    fn square(self) -> Fe {
+        self.mul(self)
+    }
+
+    fn mul_small(self, scalar: u64) -> Fe {
+        let s = u128::from(scalar);
+        let mut r = [0u128; 5];
+        for (out, limb) in r.iter_mut().zip(&self.0) {
+            *out = u128::from(*limb) * s;
+        }
+        Fe::reduce_wide(r)
+    }
+
+    #[allow(clippy::needless_range_loop)]
+    fn reduce_wide(mut r: [u128; 5]) -> Fe {
+        let mut c: u128;
+        for i in 0..4 {
+            c = r[i] >> 51;
+            r[i] &= u128::from(MASK51);
+            r[i + 1] += c;
+        }
+        c = r[4] >> 51;
+        r[4] &= u128::from(MASK51);
+        r[0] += 19 * c;
+        let l = r.map(|v| v as u64);
+        Fe(l).carry()
+    }
+
+    /// Inversion by Fermat's little theorem: `self^(p-2)`.
+    fn invert(self) -> Fe {
+        // p - 2 = 2^255 - 21 = 0x7fff...ffeb; square-and-multiply MSB-first.
+        let mut exponent = [0xffu8; 32];
+        exponent[0] = 0xeb;
+        exponent[31] = 0x7f;
+        let mut acc = Fe::ONE;
+        for bit in (0..255).rev() {
+            acc = acc.square();
+            if (exponent[bit / 8] >> (bit % 8)) & 1 == 1 {
+                acc = acc.mul(self);
+            }
+        }
+        acc
+    }
+
+    /// Constant-time conditional swap; swaps when `condition` is 1.
+    fn cswap(condition: u64, a: &mut Fe, b: &mut Fe) {
+        let mask = 0u64.wrapping_sub(condition);
+        for i in 0..5 {
+            let t = mask & (a.0[i] ^ b.0[i]);
+            a.0[i] ^= t;
+            b.0[i] ^= t;
+        }
+    }
+}
+
+fn clamp(scalar: &[u8; 32]) -> [u8; 32] {
+    let mut k = *scalar;
+    k[0] &= 248;
+    k[31] &= 127;
+    k[31] |= 64;
+    k
+}
+
+/// Scalar multiplication of the point with u-coordinate `u` by `scalar`.
+#[must_use]
+pub fn x25519(scalar: &SecretKey, u: &[u8; 32]) -> [u8; 32] {
+    let k = clamp(scalar);
+    let x1 = Fe::from_bytes(u);
+    let mut x2 = Fe::ONE;
+    let mut z2 = Fe::ZERO;
+    let mut x3 = x1;
+    let mut z3 = Fe::ONE;
+    let mut swap = 0u64;
+    for t in (0..255).rev() {
+        let k_t = u64::from((k[t / 8] >> (t % 8)) & 1);
+        swap ^= k_t;
+        Fe::cswap(swap, &mut x2, &mut x3);
+        Fe::cswap(swap, &mut z2, &mut z3);
+        swap = k_t;
+
+        let a = x2.add(z2);
+        let aa = a.square();
+        let b = x2.sub(z2);
+        let bb = b.square();
+        let e = aa.sub(bb);
+        let c = x3.add(z3);
+        let d = x3.sub(z3);
+        let da = d.mul(a);
+        let cb = c.mul(b);
+        x3 = da.add(cb).square();
+        z3 = x1.mul(da.sub(cb).square());
+        x2 = aa.mul(bb);
+        z2 = e.mul(aa.add(e.mul_small(121_665)));
+    }
+    Fe::cswap(swap, &mut x2, &mut x3);
+    Fe::cswap(swap, &mut z2, &mut z3);
+    x2.mul(z2.invert()).to_bytes()
+}
+
+/// Computes the public key for `scalar` (scalar multiplication of the base
+/// point, u = 9).
+#[must_use]
+pub fn public_key(scalar: &SecretKey) -> PublicKey {
+    let mut base = [0u8; 32];
+    base[0] = 9;
+    x25519(scalar, &base)
+}
+
+/// Generates a fresh (secret, public) keypair.
+#[must_use]
+pub fn keypair() -> (SecretKey, PublicKey) {
+    let secret: SecretKey = crate::random_array();
+    let public = public_key(&secret);
+    (secret, public)
+}
+
+/// Computes the shared secret between `our_secret` and `their_public`.
+#[must_use]
+pub fn diffie_hellman(our_secret: &SecretKey, their_public: &PublicKey) -> [u8; 32] {
+    x25519(our_secret, their_public)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{hex, unhex};
+
+    fn arr(s: &str) -> [u8; 32] {
+        unhex(s).unwrap().try_into().unwrap()
+    }
+
+    #[test]
+    fn rfc7748_vector_1() {
+        let scalar = arr("a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
+        let u = arr("e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
+        assert_eq!(
+            hex(&x25519(&scalar, &u)),
+            "c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552"
+        );
+    }
+
+    #[test]
+    fn rfc7748_vector_2() {
+        let scalar = arr("4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d");
+        let u = arr("e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493");
+        assert_eq!(
+            hex(&x25519(&scalar, &u)),
+            "95cbde9476e8907d7aade45cb4b873f88b595a68799fa152e6f8f7647aac7957"
+        );
+    }
+
+    #[test]
+    fn rfc7748_iterated_once() {
+        let mut k = [0u8; 32];
+        k[0] = 9;
+        let u = k;
+        let out = x25519(&k, &u);
+        assert_eq!(
+            hex(&out),
+            "422c8e7a6227d7bca1350b3e2bb7279f7897b87bb6854b783c60e80311ae3079"
+        );
+    }
+
+    #[test]
+    fn rfc7748_dh_vectors() {
+        let alice_secret = arr("77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a");
+        let bob_secret = arr("5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb");
+        let alice_public = public_key(&alice_secret);
+        let bob_public = public_key(&bob_secret);
+        assert_eq!(
+            hex(&alice_public),
+            "8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a"
+        );
+        assert_eq!(
+            hex(&bob_public),
+            "de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f"
+        );
+        let shared_a = diffie_hellman(&alice_secret, &bob_public);
+        let shared_b = diffie_hellman(&bob_secret, &alice_public);
+        assert_eq!(shared_a, shared_b);
+        assert_eq!(
+            hex(&shared_a),
+            "4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742"
+        );
+    }
+
+    #[test]
+    fn dh_commutes_for_random_keys() {
+        for _ in 0..8 {
+            let (a_sec, a_pub) = keypair();
+            let (b_sec, b_pub) = keypair();
+            assert_eq!(
+                diffie_hellman(&a_sec, &b_pub),
+                diffie_hellman(&b_sec, &a_pub)
+            );
+        }
+    }
+
+    #[test]
+    fn field_invert_roundtrip() {
+        let x = Fe([12345, 678, 90123, 4, 5]);
+        let one = x.mul(x.invert());
+        assert_eq!(one.to_bytes(), Fe::ONE.to_bytes());
+    }
+
+    #[test]
+    fn field_bytes_roundtrip() {
+        let bytes = arr("77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a");
+        assert_eq!(Fe::from_bytes(&bytes).to_bytes(), bytes);
+    }
+}

@@ -1,0 +1,333 @@
+//! The event bus: topics, content filters, leases, and redelivery.
+//!
+//! The bus implements *at-least-once* delivery with a lease/ack protocol:
+//! a fetched message is leased to the subscriber; if it is not acknowledged
+//! before the lease expires (crash, slow consumer), the bus redelivers it.
+//! Subscribers may attach an SCBR [`Subscription`] as a content filter, so
+//! the bus doubles as the "secure hook-up" between micro-services (§V-B).
+//!
+//! Time is virtual: the application (or the simulation harness) advances it
+//! with [`EventBus::advance`].
+
+use securecloud_scbr::types::{Publication, Subscription};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+/// Bus-assigned message identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MessageId(pub u64);
+
+/// Bus-assigned subscriber identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SubscriberId(pub u64);
+
+/// A message in flight.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Message {
+    /// Unique id (stable across redeliveries).
+    pub id: MessageId,
+    /// Topic it was published to.
+    pub topic: String,
+    /// Payload bytes (opaque to the bus; typically sealed).
+    pub payload: Vec<u8>,
+    /// Routable attributes evaluated against content filters.
+    pub attributes: Publication,
+    /// Delivery attempt counter (1 on first delivery).
+    pub attempt: u32,
+}
+
+/// Bus statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BusStats {
+    /// Messages published.
+    pub published: u64,
+    /// Deliveries (including redeliveries).
+    pub delivered: u64,
+    /// Redeliveries after lease expiry or nack.
+    pub redelivered: u64,
+    /// Acknowledgements.
+    pub acked: u64,
+    /// Publications that matched no subscriber.
+    pub dropped: u64,
+}
+
+#[derive(Debug)]
+struct SubscriberState {
+    topic: String,
+    filter: Option<Subscription>,
+    queue: VecDeque<Message>,
+    leased: BTreeMap<MessageId, (Message, u64)>, // message, lease expiry
+}
+
+/// The event bus connecting micro-services (paper Figure 1).
+#[derive(Debug)]
+pub struct EventBus {
+    subscribers: BTreeMap<SubscriberId, SubscriberState>,
+    by_topic: HashMap<String, Vec<SubscriberId>>,
+    now_ms: u64,
+    lease_ms: u64,
+    next_subscriber: u64,
+    next_message: u64,
+    stats: BusStats,
+}
+
+impl EventBus {
+    /// Creates a bus with the given lease duration.
+    #[must_use]
+    pub fn new(lease_ms: u64) -> Self {
+        EventBus {
+            subscribers: BTreeMap::new(),
+            by_topic: HashMap::new(),
+            now_ms: 0,
+            lease_ms,
+            next_subscriber: 1,
+            next_message: 1,
+            stats: BusStats::default(),
+        }
+    }
+
+    /// Current virtual time in milliseconds.
+    #[must_use]
+    pub fn now_ms(&self) -> u64 {
+        self.now_ms
+    }
+
+    /// Bus statistics.
+    #[must_use]
+    pub fn stats(&self) -> BusStats {
+        self.stats
+    }
+
+    /// Subscribes to `topic`, optionally with a content filter evaluated
+    /// against message attributes.
+    pub fn subscribe(&mut self, topic: &str, filter: Option<Subscription>) -> SubscriberId {
+        let id = SubscriberId(self.next_subscriber);
+        self.next_subscriber += 1;
+        self.subscribers.insert(
+            id,
+            SubscriberState {
+                topic: topic.to_string(),
+                filter,
+                queue: VecDeque::new(),
+                leased: BTreeMap::new(),
+            },
+        );
+        self.by_topic.entry(topic.to_string()).or_default().push(id);
+        id
+    }
+
+    /// Removes a subscriber; its queued and leased messages are dropped.
+    pub fn unsubscribe(&mut self, id: SubscriberId) {
+        if let Some(state) = self.subscribers.remove(&id) {
+            if let Some(list) = self.by_topic.get_mut(&state.topic) {
+                list.retain(|&s| s != id);
+            }
+        }
+    }
+
+    /// Publishes to `topic`, fanning out to every subscriber whose filter
+    /// accepts `attributes`. Returns the message id.
+    pub fn publish(&mut self, topic: &str, payload: Vec<u8>, attributes: Publication) -> MessageId {
+        let id = MessageId(self.next_message);
+        self.next_message += 1;
+        self.stats.published += 1;
+        let mut matched = false;
+        let subscriber_ids = self.by_topic.get(topic).cloned().unwrap_or_default();
+        for sub_id in subscriber_ids {
+            let Some(state) = self.subscribers.get_mut(&sub_id) else {
+                continue;
+            };
+            let accepts = state.filter.as_ref().is_none_or(|f| f.matches(&attributes));
+            if accepts {
+                matched = true;
+                state.queue.push_back(Message {
+                    id,
+                    topic: topic.to_string(),
+                    payload: payload.clone(),
+                    attributes: attributes.clone(),
+                    attempt: 0,
+                });
+            }
+        }
+        if !matched {
+            self.stats.dropped += 1;
+        }
+        id
+    }
+
+    /// Fetches the next message for `subscriber`, leasing it until acked or
+    /// the lease expires.
+    pub fn fetch(&mut self, subscriber: SubscriberId) -> Option<Message> {
+        let lease_until = self.now_ms + self.lease_ms;
+        let state = self.subscribers.get_mut(&subscriber)?;
+        let mut message = state.queue.pop_front()?;
+        message.attempt += 1;
+        self.stats.delivered += 1;
+        state
+            .leased
+            .insert(message.id, (message.clone(), lease_until));
+        Some(message)
+    }
+
+    /// Acknowledges a leased message; returns whether it was leased.
+    pub fn ack(&mut self, subscriber: SubscriberId, message: MessageId) -> bool {
+        let Some(state) = self.subscribers.get_mut(&subscriber) else {
+            return false;
+        };
+        let acked = state.leased.remove(&message).is_some();
+        if acked {
+            self.stats.acked += 1;
+        }
+        acked
+    }
+
+    /// Negative-acknowledges a leased message: immediate requeue.
+    pub fn nack(&mut self, subscriber: SubscriberId, message: MessageId) -> bool {
+        let Some(state) = self.subscribers.get_mut(&subscriber) else {
+            return false;
+        };
+        match state.leased.remove(&message) {
+            Some((msg, _)) => {
+                self.stats.redelivered += 1;
+                // Requeue at the back: a message the consumer keeps
+                // rejecting must not starve the rest of the queue.
+                state.queue.push_back(msg);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Advances virtual time; expired leases are requeued for redelivery.
+    pub fn advance(&mut self, ms: u64) {
+        self.now_ms += ms;
+        let now = self.now_ms;
+        for state in self.subscribers.values_mut() {
+            let expired: Vec<MessageId> = state
+                .leased
+                .iter()
+                .filter(|(_, (_, expiry))| *expiry <= now)
+                .map(|(&id, _)| id)
+                .collect();
+            for id in expired {
+                let (message, _) = state.leased.remove(&id).expect("listed above");
+                self.stats.redelivered += 1;
+                // Back of the queue, for the same fairness reason as nack:
+                // redelivery may therefore reorder relative to fresh
+                // messages (at-least-once, not FIFO-exactly-once).
+                state.queue.push_back(message);
+            }
+        }
+    }
+
+    /// Messages waiting (not leased) for `subscriber`.
+    #[must_use]
+    pub fn backlog(&self, subscriber: SubscriberId) -> usize {
+        self.subscribers
+            .get(&subscriber)
+            .map_or(0, |s| s.queue.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use securecloud_scbr::types::{Op, Predicate, Value};
+
+    fn attrs(kind: &str, severity: i64) -> Publication {
+        Publication::new()
+            .with("kind", Value::Str(kind.into()))
+            .with("severity", Value::Int(severity))
+    }
+
+    #[test]
+    fn fan_out_and_ack() {
+        let mut bus = EventBus::new(1000);
+        let a = bus.subscribe("alerts", None);
+        let b = bus.subscribe("alerts", None);
+        let other = bus.subscribe("metrics", None);
+        bus.publish("alerts", b"overvoltage".to_vec(), attrs("pq", 3));
+        assert_eq!(bus.backlog(a), 1);
+        assert_eq!(bus.backlog(b), 1);
+        assert_eq!(bus.backlog(other), 0);
+        let msg = bus.fetch(a).unwrap();
+        assert_eq!(msg.payload, b"overvoltage");
+        assert_eq!(msg.attempt, 1);
+        assert!(bus.ack(a, msg.id));
+        assert!(!bus.ack(a, msg.id), "double ack rejected");
+        assert_eq!(bus.stats().acked, 1);
+    }
+
+    #[test]
+    fn content_filter_selects() {
+        let mut bus = EventBus::new(1000);
+        let critical_only = bus.subscribe(
+            "alerts",
+            Some(Subscription::new(vec![Predicate::new(
+                "severity",
+                Op::Ge,
+                Value::Int(4),
+            )])),
+        );
+        bus.publish("alerts", b"minor".to_vec(), attrs("pq", 1));
+        bus.publish("alerts", b"major".to_vec(), attrs("pq", 5));
+        assert_eq!(bus.backlog(critical_only), 1);
+        assert_eq!(bus.fetch(critical_only).unwrap().payload, b"major");
+        assert_eq!(bus.stats().dropped, 1, "unmatched publication dropped");
+    }
+
+    #[test]
+    fn lease_expiry_redelivers() {
+        let mut bus = EventBus::new(500);
+        let s = bus.subscribe("t", None);
+        bus.publish("t", b"x".to_vec(), Publication::new());
+        let m1 = bus.fetch(s).unwrap();
+        assert_eq!(m1.attempt, 1);
+        // Subscriber "crashes" — no ack. Lease expires.
+        bus.advance(499);
+        assert_eq!(bus.backlog(s), 0);
+        bus.advance(1);
+        assert_eq!(bus.backlog(s), 1);
+        let m2 = bus.fetch(s).unwrap();
+        assert_eq!(m2.id, m1.id);
+        assert_eq!(m2.attempt, 2);
+        assert!(bus.ack(s, m2.id));
+        bus.advance(10_000);
+        assert_eq!(bus.backlog(s), 0, "acked message never redelivered");
+        assert_eq!(bus.stats().redelivered, 1);
+    }
+
+    #[test]
+    fn nack_requeues_immediately() {
+        let mut bus = EventBus::new(1000);
+        let s = bus.subscribe("t", None);
+        bus.publish("t", b"x".to_vec(), Publication::new());
+        let m = bus.fetch(s).unwrap();
+        assert!(bus.nack(s, m.id));
+        assert_eq!(bus.backlog(s), 1);
+        assert!(!bus.nack(s, m.id));
+    }
+
+    #[test]
+    fn unsubscribe_stops_delivery() {
+        let mut bus = EventBus::new(1000);
+        let s = bus.subscribe("t", None);
+        bus.unsubscribe(s);
+        bus.publish("t", b"x".to_vec(), Publication::new());
+        assert_eq!(bus.fetch(s), None);
+        assert_eq!(bus.stats().dropped, 1);
+    }
+
+    #[test]
+    fn ordering_preserved_within_subscriber() {
+        let mut bus = EventBus::new(1000);
+        let s = bus.subscribe("t", None);
+        for i in 0..5u8 {
+            bus.publish("t", vec![i], Publication::new());
+        }
+        for i in 0..5u8 {
+            let m = bus.fetch(s).unwrap();
+            assert_eq!(m.payload, vec![i]);
+            bus.ack(s, m.id);
+        }
+    }
+}

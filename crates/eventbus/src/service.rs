@@ -1,0 +1,211 @@
+//! The micro-service framework: services wired together by the event bus
+//! (paper Figure 1: "applications consist of a set of micro-services
+//! connected by an event bus").
+
+use crate::bus::{EventBus, Message, SubscriberId};
+use securecloud_scbr::types::{Publication, Subscription};
+
+/// Context handed to a service while handling a message.
+#[derive(Debug, Default)]
+pub struct ServiceCtx {
+    outbox: Vec<(String, Vec<u8>, Publication)>,
+}
+
+impl ServiceCtx {
+    /// Emits a new event to `topic`.
+    pub fn emit(&mut self, topic: &str, payload: Vec<u8>, attributes: Publication) {
+        self.outbox.push((topic.to_string(), payload, attributes));
+    }
+}
+
+/// A micro-service: declares its subscriptions and handles messages.
+pub trait MicroService {
+    /// Service name (diagnostics).
+    fn name(&self) -> &str;
+    /// Topics (with optional content filters) this service consumes.
+    fn subscriptions(&self) -> Vec<(String, Option<Subscription>)>;
+    /// Handles one delivered message; emitted events go through `ctx`.
+    fn handle(&mut self, message: &Message, ctx: &mut ServiceCtx);
+}
+
+struct Registered {
+    service: Box<dyn MicroService>,
+    subscriber_ids: Vec<SubscriberId>,
+}
+
+/// Hosts a set of micro-services on one bus, pumping deliveries.
+pub struct ServiceHost {
+    bus: EventBus,
+    services: Vec<Registered>,
+}
+
+impl std::fmt::Debug for ServiceHost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceHost")
+            .field("services", &self.services.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl ServiceHost {
+    /// Creates a host over a fresh bus with the given lease duration.
+    #[must_use]
+    pub fn new(lease_ms: u64) -> Self {
+        ServiceHost {
+            bus: EventBus::new(lease_ms),
+            services: Vec::new(),
+        }
+    }
+
+    /// Registers a service and subscribes it to its declared topics.
+    pub fn register(&mut self, service: Box<dyn MicroService>) {
+        let subscriber_ids = service
+            .subscriptions()
+            .into_iter()
+            .map(|(topic, filter)| self.bus.subscribe(&topic, filter))
+            .collect();
+        self.services.push(Registered {
+            service,
+            subscriber_ids,
+        });
+    }
+
+    /// Direct bus access (publishing external events, reading stats).
+    pub fn bus_mut(&mut self) -> &mut EventBus {
+        &mut self.bus
+    }
+
+    /// The bus, read-only.
+    #[must_use]
+    pub fn bus(&self) -> &EventBus {
+        &self.bus
+    }
+
+    /// Delivers at most one message to every subscription of every service;
+    /// returns the number of messages processed.
+    pub fn step(&mut self) -> usize {
+        let mut processed = 0;
+        let mut outbox = Vec::new();
+        for registered in &mut self.services {
+            for &sub_id in &registered.subscriber_ids {
+                if let Some(message) = self.bus.fetch(sub_id) {
+                    let mut ctx = ServiceCtx::default();
+                    registered.service.handle(&message, &mut ctx);
+                    self.bus.ack(sub_id, message.id);
+                    outbox.append(&mut ctx.outbox);
+                    processed += 1;
+                }
+            }
+        }
+        for (topic, payload, attributes) in outbox {
+            self.bus.publish(&topic, payload, attributes);
+        }
+        processed
+    }
+
+    /// Pumps [`ServiceHost::step`] until no messages flow or `max_steps`
+    /// is reached; returns total messages processed.
+    pub fn run_until_quiet(&mut self, max_steps: usize) -> usize {
+        let mut total = 0;
+        for _ in 0..max_steps {
+            let n = self.step();
+            if n == 0 {
+                break;
+            }
+            total += n;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use securecloud_scbr::types::{Op, Predicate, Value};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    /// Doubles every reading and republishes it.
+    struct Doubler;
+    impl MicroService for Doubler {
+        fn name(&self) -> &str {
+            "doubler"
+        }
+        fn subscriptions(&self) -> Vec<(String, Option<Subscription>)> {
+            vec![("readings".into(), None)]
+        }
+        fn handle(&mut self, message: &Message, ctx: &mut ServiceCtx) {
+            let v = u64::from_le_bytes(message.payload[..8].try_into().unwrap());
+            ctx.emit(
+                "doubled",
+                (v * 2).to_le_bytes().to_vec(),
+                Publication::new().with("value", Value::Int((v * 2) as i64)),
+            );
+        }
+    }
+
+    /// Counts messages it receives.
+    struct Counter {
+        seen: Arc<AtomicU64>,
+        filter: Option<Subscription>,
+        topic: String,
+    }
+    impl MicroService for Counter {
+        fn name(&self) -> &str {
+            "counter"
+        }
+        fn subscriptions(&self) -> Vec<(String, Option<Subscription>)> {
+            vec![(self.topic.clone(), self.filter.clone())]
+        }
+        fn handle(&mut self, _message: &Message, _ctx: &mut ServiceCtx) {
+            self.seen.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    #[test]
+    fn pipeline_of_services() {
+        let mut host = ServiceHost::new(1000);
+        let seen = Arc::new(AtomicU64::new(0));
+        host.register(Box::new(Doubler));
+        host.register(Box::new(Counter {
+            seen: seen.clone(),
+            filter: None,
+            topic: "doubled".into(),
+        }));
+        host.bus_mut()
+            .publish("readings", 21u64.to_le_bytes().to_vec(), Publication::new());
+        let processed = host.run_until_quiet(10);
+        assert_eq!(processed, 2, "doubler then counter");
+        assert_eq!(seen.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn filtered_service_sees_subset() {
+        let mut host = ServiceHost::new(1000);
+        let seen = Arc::new(AtomicU64::new(0));
+        host.register(Box::new(Counter {
+            seen: seen.clone(),
+            filter: Some(Subscription::new(vec![Predicate::new(
+                "value",
+                Op::Ge,
+                Value::Int(100),
+            )])),
+            topic: "doubled".into(),
+        }));
+        host.register(Box::new(Doubler));
+        // 21*2=42 filtered out; 60*2=120 accepted.
+        host.bus_mut()
+            .publish("readings", 21u64.to_le_bytes().to_vec(), Publication::new());
+        host.bus_mut()
+            .publish("readings", 60u64.to_le_bytes().to_vec(), Publication::new());
+        host.run_until_quiet(10);
+        assert_eq!(seen.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn quiet_host_stops() {
+        let mut host = ServiceHost::new(1000);
+        host.register(Box::new(Doubler));
+        assert_eq!(host.run_until_quiet(100), 0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Property tests for the event bus's at-least-once delivery contract.
+
+use proptest::prelude::*;
+use securecloud_eventbus::bus::EventBus;
+use securecloud_scbr::types::Publication;
+
+proptest! {
+    /// Every published message is eventually delivered at least once to a
+    /// single unfiltered subscriber, in publish order, regardless of an
+    /// arbitrary ack/nack/crash pattern — and acked messages stop.
+    #[test]
+    fn at_least_once_under_arbitrary_consumer(
+        payloads in prop::collection::vec(prop::collection::vec(any::<u8>(), 0..16), 1..25),
+        // 0 = ack, 1 = nack, 2 = drop (crash, lease expires)
+        behaviours in prop::collection::vec(0u8..3, 1..25),
+    ) {
+        let lease = 100;
+        let mut bus = EventBus::new(lease);
+        let subscriber = bus.subscribe("t", None);
+        for (i, payload) in payloads.iter().enumerate() {
+            // Prefix the index so deliveries can be tracked even when the
+            // generated payloads collide.
+            let mut framed = (i as u64).to_le_bytes().to_vec();
+            framed.extend_from_slice(payload);
+            bus.publish("t", framed, Publication::new());
+        }
+        let mut delivered_at_least_once = vec![0u32; payloads.len()];
+        let mut next_expected = 0usize;
+        // Drive until everything is acked (bounded by a generous budget).
+        let mut budget = payloads.len() * 20 + 50;
+        let mut acked = 0usize;
+        while acked < payloads.len() && budget > 0 {
+            budget -= 1;
+            match bus.fetch(subscriber) {
+                Some(message) => {
+                    let index =
+                        u64::from_le_bytes(message.payload[..8].try_into().unwrap()) as usize;
+                    prop_assert_eq!(&message.payload[8..], &payloads[index][..]);
+                    delivered_at_least_once[index] += 1;
+                    // First deliveries arrive in publish order.
+                    if message.attempt == 1 {
+                        prop_assert!(index >= next_expected);
+                        next_expected = next_expected.max(index);
+                    }
+                    let behaviour = behaviours[index % behaviours.len()];
+                    match behaviour {
+                        0 => {
+                            prop_assert!(bus.ack(subscriber, message.id));
+                            acked += 1;
+                        }
+                        1 => {
+                            prop_assert!(bus.nack(subscriber, message.id));
+                        }
+                        _ => { /* crash: no ack; lease will expire */ }
+                    }
+                }
+                None => bus.advance(lease + 1),
+            }
+        }
+        // Whatever the consumer did, every message was delivered at least
+        // once (at-least-once), and permanently-unacked ones simply keep
+        // their redelivery eligibility.
+        for (index, &count) in delivered_at_least_once.iter().enumerate() {
+            prop_assert!(
+                count >= 1,
+                "message {index} was never delivered (budget exhausted)"
+            );
+        }
+        let stats = bus.stats();
+        prop_assert_eq!(stats.published, payloads.len() as u64);
+        prop_assert!(stats.delivered >= stats.acked);
+    }
+
+    /// Virtual time only moves forward and redelivery counts are sane.
+    #[test]
+    fn stats_invariants(
+        publishes in 0u8..20,
+        advances in prop::collection::vec(1u64..500, 0..10),
+    ) {
+        let mut bus = EventBus::new(50);
+        let subscriber = bus.subscribe("t", None);
+        for i in 0..publishes {
+            bus.publish("t", vec![i], Publication::new());
+        }
+        // Fetch everything, ack nothing.
+        while bus.fetch(subscriber).is_some() {}
+        let mut last = bus.now_ms();
+        for a in advances {
+            bus.advance(a);
+            prop_assert!(bus.now_ms() >= last);
+            last = bus.now_ms();
+        }
+        let stats = bus.stats();
+        prop_assert_eq!(stats.acked, 0);
+        prop_assert!(stats.delivered <= stats.published + stats.redelivered);
+    }
+}

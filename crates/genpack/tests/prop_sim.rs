@@ -1,0 +1,130 @@
+//! Property tests for the cluster simulation's invariants under arbitrary
+//! workloads and all schedulers.
+
+use proptest::prelude::*;
+use securecloud_genpack::cluster::{Cluster, Demand, JobId, ServerSpec};
+use securecloud_genpack::schedulers::{
+    FirstFitScheduler, GenPackScheduler, RandomScheduler, Scheduler, SpreadScheduler,
+};
+use securecloud_genpack::sim::{simulate, SimConfig};
+use securecloud_genpack::workload::{JobArrival, JobClass, WorkloadConfig};
+
+fn arb_job() -> impl Strategy<Value = JobArrival> {
+    (
+        0u64..7200,
+        1u64..3600,
+        0.25f64..8.0,
+        0.1f64..1.0,
+        128u64..8192,
+    )
+        .prop_map(|(arrival, duration, cpu, usage_ratio, mem)| JobArrival {
+            arrival,
+            duration,
+            demand: Demand {
+                cpu_requested: cpu,
+                cpu_actual: cpu * usage_ratio,
+                mem,
+            },
+            class: JobClass::Batch,
+        })
+}
+
+fn schedulers() -> Vec<Box<dyn Scheduler>> {
+    vec![
+        Box::new(RandomScheduler::new(3)),
+        Box::new(SpreadScheduler),
+        Box::new(FirstFitScheduler),
+        Box::new(GenPackScheduler::new()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For every scheduler: jobs are conserved, power is within physical
+    /// bounds, and no server is ever overcommitted on *declared* requests.
+    #[test]
+    fn simulation_invariants(mut jobs in prop::collection::vec(arb_job(), 0..80)) {
+        jobs.sort_by_key(|j| j.arrival);
+        let config = SimConfig {
+            servers: 10,
+            sample_every: 1,
+            ..SimConfig::default()
+        };
+        let max_watts = 10.0 * ServerSpec::typical().peak_watts;
+        for mut scheduler in schedulers() {
+            let result = simulate(scheduler.as_mut(), &jobs, config);
+            prop_assert_eq!(
+                result.completed + result.rejections,
+                jobs.len() as u64,
+                "{} lost jobs", result.scheduler
+            );
+            prop_assert!(result.peak_servers_on <= 10);
+            prop_assert!(result.avg_servers_on <= 10.0 + 1e-9);
+            for sample in &result.series {
+                prop_assert!(sample.watts >= 0.0);
+                prop_assert!(sample.watts <= max_watts + 1e-6);
+                prop_assert!(sample.servers_on <= 10);
+            }
+            prop_assert!(result.energy_joules >= 0.0);
+        }
+    }
+
+    /// Placement primitives never violate capacity under arbitrary valid
+    /// operations: the cluster rejects what does not fit.
+    #[test]
+    fn cluster_capacity_is_respected(
+        demands in prop::collection::vec((0.25f64..20.0, 0u64..100_000), 0..40),
+    ) {
+        let mut cluster = Cluster::new(2, ServerSpec::typical());
+        let spec = ServerSpec::typical();
+        for (i, (cpu, mem)) in demands.iter().enumerate() {
+            let demand = Demand {
+                cpu_requested: *cpu,
+                cpu_actual: *cpu * 0.7,
+                mem: *mem,
+            };
+            for server in cluster.server_ids().collect::<Vec<_>>() {
+                if cluster.fits(server, demand) {
+                    cluster.place(JobId(i as u64), server, demand);
+                    break;
+                }
+            }
+        }
+        for server in cluster.server_ids().collect::<Vec<_>>() {
+            prop_assert!(cluster.cpu_free_requested(server) >= 0.0);
+            prop_assert!(cluster.mem_free(server) <= spec.mem_capacity);
+            // Requested load never exceeds capacity.
+            let placed: f64 = cluster
+                .jobs_on(server)
+                .iter()
+                .filter_map(|&j| cluster.demand(j))
+                .map(|d| d.cpu_requested)
+                .sum();
+            prop_assert!(placed <= spec.cpu_capacity + 1e-9);
+        }
+    }
+
+    /// GenPack never uses more energy than leaving every server on.
+    #[test]
+    fn genpack_bounded_by_all_on(seed in 0u64..50) {
+        let trace = WorkloadConfig {
+            duration: 2 * 3600,
+            churn_per_hour: 60.0,
+            system_services: 3,
+            long_running: 6,
+            seed,
+            ..WorkloadConfig::default()
+        }
+        .generate();
+        let config = SimConfig {
+            servers: 12,
+            sample_every: 0,
+            ..SimConfig::default()
+        };
+        let genpack = simulate(&mut GenPackScheduler::new(), &trace, config);
+        let spread = simulate(&mut SpreadScheduler, &trace, config);
+        prop_assert!(genpack.energy_joules <= spread.energy_joules + 1e-6);
+        prop_assert_eq!(genpack.completed + genpack.rejections, trace.len() as u64);
+    }
+}

@@ -1,0 +1,27 @@
+//! A secure structured data store (paper §III-B: "secure structured data
+//! stores" as a big-data building block).
+//!
+//! [`SecureKv`] is an ordered key-value store whose working set lives in
+//! *enclave* memory: every operation reports its accesses to the
+//! [`MemorySim`](securecloud_sgx::mem::MemorySim), so a store larger than the EPC exhibits the same paging
+//! behaviour as the paper's Figure 3 workload. Durability is provided by
+//! sealed snapshots written to untrusted storage, with **rollback
+//! protection** via a trusted monotonic counter (the SGX counter service):
+//! restoring an old-but-validly-sealed snapshot is detected.
+//!
+//! # Example
+//!
+//! ```
+//! use securecloud_kvstore::{CounterService, SecureKv};
+//! use securecloud_sgx::costs::{CostModel, MemoryGeometry};
+//! use securecloud_sgx::mem::MemorySim;
+//!
+//! let mut mem = MemorySim::enclave(MemoryGeometry::sgx_v1(), CostModel::sgx_v1());
+//! let mut kv = SecureKv::new();
+//! kv.put(&mut mem, b"meter/42", b"1337 W");
+//! assert_eq!(kv.get(&mut mem, b"meter/42"), Some(b"1337 W".to_vec()));
+//! ```
+
+pub mod store;
+
+pub use store::{CounterService, KvError, KvStats, SecureKv, Snapshot};

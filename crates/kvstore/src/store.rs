@@ -1,0 +1,470 @@
+//! The enclave-resident ordered KV store.
+
+use parking_lot::Mutex;
+use securecloud_crypto::gcm::{AesGcm, NONCE_LEN};
+use securecloud_crypto::wire::Wire;
+use securecloud_crypto::CryptoError;
+use securecloud_sgx::mem::MemorySim;
+use std::collections::{BTreeMap, HashMap};
+use std::error::Error as StdError;
+use std::fmt;
+use std::sync::Arc;
+
+/// Errors from the secure KV store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum KvError {
+    /// A snapshot failed to decrypt or decode.
+    Crypto(CryptoError),
+    /// The snapshot is older than the trusted counter: a rollback attack.
+    RollbackDetected {
+        /// Version found in the snapshot.
+        snapshot_version: u64,
+        /// Version recorded by the trusted counter.
+        counter_version: u64,
+    },
+    /// The named trusted counter does not exist.
+    UnknownCounter(String),
+}
+
+impl fmt::Display for KvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KvError::Crypto(e) => write!(f, "snapshot cryptographic failure: {e}"),
+            KvError::RollbackDetected {
+                snapshot_version,
+                counter_version,
+            } => write!(
+                f,
+                "rollback detected: snapshot v{snapshot_version} older than counter v{counter_version}"
+            ),
+            KvError::UnknownCounter(name) => write!(f, "unknown trusted counter: {name}"),
+        }
+    }
+}
+
+impl StdError for KvError {}
+
+impl From<CryptoError> for KvError {
+    fn from(e: CryptoError) -> Self {
+        KvError::Crypto(e)
+    }
+}
+
+/// A trusted monotonic counter service (stands in for SGX monotonic
+/// counters / a replicated counter service). Shared between store
+/// instances via `Clone`.
+#[derive(Debug, Clone, Default)]
+pub struct CounterService {
+    counters: Arc<Mutex<HashMap<String, u64>>>,
+}
+
+impl CounterService {
+    /// Creates an empty counter service.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads a counter (0 if never bumped).
+    #[must_use]
+    pub fn read(&self, name: &str) -> u64 {
+        *self.counters.lock().get(name).unwrap_or(&0)
+    }
+
+    /// Increments and returns the new value.
+    pub fn increment(&self, name: &str) -> u64 {
+        let mut counters = self.counters.lock();
+        let v = counters.entry(name.to_string()).or_insert(0);
+        *v += 1;
+        *v
+    }
+}
+
+/// A key-value pair as stored in snapshots.
+type Pair = (Vec<u8>, Vec<u8>);
+
+/// Operation counters for a [`SecureKv`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KvStats {
+    /// Keys inserted or updated.
+    pub puts: u64,
+    /// Point lookups served.
+    pub gets: u64,
+    /// Keys removed.
+    pub deletes: u64,
+    /// Entries returned by range scans.
+    pub scanned: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    value: Vec<u8>,
+    offset: u64,
+    footprint: u32,
+}
+
+/// A sealed, versioned snapshot of the store.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Store version at snapshot time.
+    pub version: u64,
+    /// Sealed bytes for untrusted storage.
+    pub sealed: Vec<u8>,
+}
+
+/// The enclave-resident ordered KV store. Callers pass the enclave's
+/// [`MemorySim`] so accesses are charged to the right domain.
+#[derive(Debug, Default)]
+pub struct SecureKv {
+    map: BTreeMap<Vec<u8>, Entry>,
+    version: u64,
+    bytes: u64,
+    stats: KvStats,
+    arena_next: Option<(u64, u64)>, // (chunk base, used)
+}
+
+const ARENA_CHUNK: u64 = 1 << 20;
+
+impl SecureKv {
+    /// Creates an empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of keys.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the store is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Total bytes of keys and values.
+    #[must_use]
+    pub fn data_bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Monotone store version (bumped on every mutation).
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Operation counters.
+    #[must_use]
+    pub fn stats(&self) -> KvStats {
+        self.stats
+    }
+
+    fn alloc(&mut self, mem: &mut MemorySim, bytes: u64) -> u64 {
+        match self.arena_next {
+            Some((base, used)) if used + bytes <= ARENA_CHUNK => {
+                self.arena_next = Some((base, used + bytes));
+                base + used
+            }
+            _ => {
+                let region = mem.alloc(ARENA_CHUNK);
+                self.arena_next = Some((region.base(), bytes.min(ARENA_CHUNK)));
+                region.base()
+            }
+        }
+    }
+
+    fn footprint(key: &[u8], value: &[u8]) -> u32 {
+        (48 + key.len() + value.len()) as u32
+    }
+
+    /// Inserts or updates `key`, returning the previous value.
+    pub fn put(&mut self, mem: &mut MemorySim, key: &[u8], value: &[u8]) -> Option<Vec<u8>> {
+        let footprint = Self::footprint(key, value);
+        let offset = self.alloc(mem, u64::from(footprint));
+        mem.touch(offset, footprint as usize);
+        mem.charge_ops(2 + (key.len() as u64) / 8);
+        self.version += 1;
+        self.stats.puts += 1;
+        self.bytes += (key.len() + value.len()) as u64;
+        let previous = self.map.insert(
+            key.to_vec(),
+            Entry {
+                value: value.to_vec(),
+                offset,
+                footprint,
+            },
+        );
+        if let Some(prev) = &previous {
+            self.bytes -= (key.len() + prev.value.len()) as u64;
+        }
+        previous.map(|e| e.value)
+    }
+
+    /// Point lookup.
+    pub fn get(&mut self, mem: &mut MemorySim, key: &[u8]) -> Option<Vec<u8>> {
+        self.stats.gets += 1;
+        // B-tree descent: log(n) comparisons.
+        mem.charge_ops(2 + (self.map.len().max(2) as f64).log2() as u64);
+        let entry = self.map.get(key)?;
+        mem.touch(entry.offset, entry.footprint as usize);
+        Some(entry.value.clone())
+    }
+
+    /// Removes `key`, returning its value.
+    pub fn delete(&mut self, mem: &mut MemorySim, key: &[u8]) -> Option<Vec<u8>> {
+        mem.charge_ops(2 + (self.map.len().max(2) as f64).log2() as u64);
+        let entry = self.map.remove(key)?;
+        self.version += 1;
+        self.stats.deletes += 1;
+        self.bytes -= (key.len() + entry.value.len()) as u64;
+        Some(entry.value)
+    }
+
+    /// Ordered scan of `[from, to)`, returning key-value pairs.
+    pub fn scan(&mut self, mem: &mut MemorySim, from: &[u8], to: &[u8]) -> Vec<Pair> {
+        let mut out = Vec::new();
+        if from >= to {
+            return out; // empty or inverted range
+        }
+        // Collect touches first to avoid borrowing issues.
+        let hits: Vec<(Vec<u8>, Vec<u8>, u64, u32)> = self
+            .map
+            .range(from.to_vec()..to.to_vec())
+            .map(|(k, e)| (k.clone(), e.value.clone(), e.offset, e.footprint))
+            .collect();
+        for (k, v, offset, footprint) in hits {
+            mem.touch(offset, footprint as usize);
+            mem.charge_ops(1);
+            out.push((k, v));
+            self.stats.scanned += 1;
+        }
+        out
+    }
+
+    /// Serialises and seals the store under `key`, bumping the trusted
+    /// counter `counter_name` to the new version.
+    pub fn snapshot(
+        &mut self,
+        key: &[u8; 16],
+        counters: &CounterService,
+        counter_name: &str,
+    ) -> Snapshot {
+        self.version += 1;
+        let pairs: Vec<Pair> = self
+            .map
+            .iter()
+            .map(|(k, e)| (k.clone(), e.value.clone()))
+            .collect();
+        let body = (self.version, pairs).to_wire();
+        let nonce: [u8; NONCE_LEN] = securecloud_crypto::random_array();
+        let mut sealed = nonce.to_vec();
+        sealed.extend_from_slice(&AesGcm::new(key).seal(&nonce, &body, b"securecloud kv snapshot"));
+        // Record the snapshot version in the trusted counter.
+        counters
+            .counters
+            .lock()
+            .insert(counter_name.to_string(), self.version);
+        Snapshot {
+            version: self.version,
+            sealed,
+        }
+    }
+
+    /// Restores a store from a sealed snapshot, verifying freshness against
+    /// the trusted counter.
+    ///
+    /// # Errors
+    ///
+    /// * [`KvError::Crypto`] — tampered or wrong-key snapshot,
+    /// * [`KvError::RollbackDetected`] — the snapshot predates the counter.
+    pub fn restore(
+        mem: &mut MemorySim,
+        key: &[u8; 16],
+        sealed: &[u8],
+        counters: &CounterService,
+        counter_name: &str,
+    ) -> Result<Self, KvError> {
+        if sealed.len() < NONCE_LEN {
+            return Err(KvError::Crypto(CryptoError::AuthenticationFailed));
+        }
+        let (nonce, body) = sealed.split_at(NONCE_LEN);
+        let nonce: [u8; NONCE_LEN] = nonce.try_into().expect("split size");
+        let plain = AesGcm::new(key).open(&nonce, body, b"securecloud kv snapshot")?;
+        let (version, pairs): (u64, Vec<Pair>) = Wire::from_wire(&plain)?;
+        let expected = counters.read(counter_name);
+        if version < expected {
+            return Err(KvError::RollbackDetected {
+                snapshot_version: version,
+                counter_version: expected,
+            });
+        }
+        let mut kv = SecureKv::new();
+        for (k, v) in pairs {
+            kv.put(mem, &k, &v);
+        }
+        kv.version = version;
+        Ok(kv)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use securecloud_sgx::costs::{CostModel, MemoryGeometry};
+
+    fn mem() -> MemorySim {
+        MemorySim::enclave(MemoryGeometry::sgx_v1(), CostModel::sgx_v1())
+    }
+
+    #[test]
+    fn put_get_delete() {
+        let mut mem = mem();
+        let mut kv = SecureKv::new();
+        assert!(kv.is_empty());
+        assert_eq!(kv.put(&mut mem, b"a", b"1"), None);
+        assert_eq!(kv.put(&mut mem, b"a", b"2"), Some(b"1".to_vec()));
+        assert_eq!(kv.get(&mut mem, b"a"), Some(b"2".to_vec()));
+        assert_eq!(kv.get(&mut mem, b"missing"), None);
+        assert_eq!(kv.delete(&mut mem, b"a"), Some(b"2".to_vec()));
+        assert_eq!(kv.delete(&mut mem, b"a"), None);
+        assert_eq!(kv.len(), 0);
+        assert_eq!(kv.data_bytes(), 0);
+        let s = kv.stats();
+        assert_eq!((s.puts, s.gets, s.deletes), (2, 2, 1));
+    }
+
+    #[test]
+    fn range_scan_ordered_half_open() {
+        let mut mem = mem();
+        let mut kv = SecureKv::new();
+        for k in ["b", "a", "d", "c", "e"] {
+            kv.put(&mut mem, k.as_bytes(), k.as_bytes());
+        }
+        let hits = kv.scan(&mut mem, b"b", b"e");
+        let keys: Vec<&[u8]> = hits.iter().map(|(k, _)| k.as_slice()).collect();
+        assert_eq!(keys, [b"b", b"c", b"d"]);
+        assert_eq!(kv.stats().scanned, 3);
+    }
+
+    #[test]
+    fn memory_charged_per_access() {
+        let mut mem = mem();
+        let mut kv = SecureKv::new();
+        let c0 = mem.cycles();
+        kv.put(&mut mem, b"key", &vec![0u8; 1000]);
+        let after_put = mem.cycles();
+        assert!(after_put > c0);
+        kv.get(&mut mem, b"key");
+        assert!(mem.cycles() > after_put);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut m = mem();
+        let counters = CounterService::new();
+        let key = [7u8; 16];
+        let mut kv = SecureKv::new();
+        kv.put(&mut m, b"x", b"1");
+        kv.put(&mut m, b"y", b"2");
+        let snapshot = kv.snapshot(&key, &counters, "store-A");
+        let mut restored =
+            SecureKv::restore(&mut m, &key, &snapshot.sealed, &counters, "store-A").unwrap();
+        assert_eq!(restored.get(&mut m, b"x"), Some(b"1".to_vec()));
+        assert_eq!(restored.get(&mut m, b"y"), Some(b"2".to_vec()));
+        assert_eq!(restored.len(), 2);
+        assert_eq!(restored.version(), snapshot.version);
+    }
+
+    #[test]
+    fn snapshot_tampering_detected() {
+        let mut m = mem();
+        let counters = CounterService::new();
+        let key = [7u8; 16];
+        let mut kv = SecureKv::new();
+        kv.put(&mut m, b"x", b"1");
+        let snapshot = kv.snapshot(&key, &counters, "c");
+        let mut bad = snapshot.sealed.clone();
+        bad[NONCE_LEN + 2] ^= 1;
+        assert!(matches!(
+            SecureKv::restore(&mut m, &key, &bad, &counters, "c"),
+            Err(KvError::Crypto(_))
+        ));
+        // Wrong key fails too.
+        assert!(SecureKv::restore(&mut m, &[8u8; 16], &snapshot.sealed, &counters, "c").is_err());
+    }
+
+    #[test]
+    fn rollback_attack_detected() {
+        let mut m = mem();
+        let counters = CounterService::new();
+        let key = [7u8; 16];
+        let mut kv = SecureKv::new();
+        kv.put(&mut m, b"balance", b"100");
+        let old_snapshot = kv.snapshot(&key, &counters, "bank");
+        kv.put(&mut m, b"balance", b"50");
+        let _new_snapshot = kv.snapshot(&key, &counters, "bank");
+        // The untrusted host serves the old (validly sealed!) snapshot.
+        let err = SecureKv::restore(&mut m, &key, &old_snapshot.sealed, &counters, "bank");
+        assert!(matches!(err, Err(KvError::RollbackDetected { .. })));
+    }
+
+    #[test]
+    fn counter_service_behaviour() {
+        let counters = CounterService::new();
+        assert_eq!(counters.read("x"), 0);
+        assert_eq!(counters.increment("x"), 1);
+        assert_eq!(counters.increment("x"), 2);
+        assert_eq!(counters.read("x"), 2);
+        assert_eq!(counters.read("y"), 0);
+        // Clones share state.
+        let clone = counters.clone();
+        clone.increment("x");
+        assert_eq!(counters.read("x"), 3);
+    }
+
+    #[test]
+    fn large_store_exceeding_epc_pays_paging() {
+        // A store bigger than the (tiny) EPC faults on scans; the same
+        // store in native memory does not.
+        let geometry = MemoryGeometry {
+            line_bytes: 64,
+            llc_bytes: 64 * 64,
+            page_bytes: 4096,
+            epc_total_bytes: 4096 * 16,
+            epc_reserved_bytes: 4096 * 4,
+        };
+        let costs = CostModel::sgx_v1();
+        let mut enclave_mem = MemorySim::enclave(geometry, costs.clone());
+        let mut native_mem = MemorySim::native(geometry, costs);
+        let mut kv_e = SecureKv::new();
+        let mut kv_n = SecureKv::new();
+        for i in 0..200u32 {
+            let key = i.to_be_bytes();
+            let value = vec![0u8; 1024];
+            kv_e.put(&mut enclave_mem, &key, &value);
+            kv_n.put(&mut native_mem, &key, &value);
+        }
+        enclave_mem.reset_metrics();
+        native_mem.reset_metrics();
+        kv_e.scan(&mut enclave_mem, &0u32.to_be_bytes(), &200u32.to_be_bytes());
+        kv_n.scan(&mut native_mem, &0u32.to_be_bytes(), &200u32.to_be_bytes());
+        assert!(enclave_mem.stats().epc_faults > 0);
+        assert!(enclave_mem.cycles() > native_mem.cycles());
+    }
+
+    #[test]
+    fn version_monotone() {
+        let mut m = mem();
+        let mut kv = SecureKv::new();
+        let v0 = kv.version();
+        kv.put(&mut m, b"a", b"1");
+        let v1 = kv.version();
+        kv.delete(&mut m, b"a");
+        let v2 = kv.version();
+        assert!(v0 < v1 && v1 < v2);
+    }
+}

@@ -1,0 +1,102 @@
+//! Model-based property tests: `SecureKv` behaves exactly like a
+//! `BTreeMap`, and snapshots are faithful and fresh.
+
+use proptest::prelude::*;
+use securecloud_kvstore::{CounterService, SecureKv};
+use securecloud_sgx::costs::{CostModel, MemoryGeometry};
+use securecloud_sgx::mem::MemorySim;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum KvOp {
+    Put(Vec<u8>, Vec<u8>),
+    Get(Vec<u8>),
+    Delete(Vec<u8>),
+    Scan(Vec<u8>, Vec<u8>),
+}
+
+fn arb_key() -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(0u8..8, 1..3)
+}
+
+fn arb_kv_op() -> impl Strategy<Value = KvOp> {
+    prop_oneof![
+        (arb_key(), prop::collection::vec(any::<u8>(), 0..64)).prop_map(|(k, v)| KvOp::Put(k, v)),
+        arb_key().prop_map(KvOp::Get),
+        arb_key().prop_map(KvOp::Delete),
+        (arb_key(), arb_key()).prop_map(|(a, b)| KvOp::Scan(a, b)),
+    ]
+}
+
+fn mem() -> MemorySim {
+    MemorySim::enclave(MemoryGeometry::sgx_v1(), CostModel::zero())
+}
+
+proptest! {
+    #[test]
+    fn kv_matches_btreemap(ops in prop::collection::vec(arb_kv_op(), 0..120)) {
+        let mut mem = mem();
+        let mut kv = SecureKv::new();
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        for op in &ops {
+            match op {
+                KvOp::Put(k, v) => {
+                    prop_assert_eq!(kv.put(&mut mem, k, v), model.insert(k.clone(), v.clone()));
+                }
+                KvOp::Get(k) => {
+                    prop_assert_eq!(kv.get(&mut mem, k), model.get(k).cloned());
+                }
+                KvOp::Delete(k) => {
+                    prop_assert_eq!(kv.delete(&mut mem, k), model.remove(k));
+                }
+                KvOp::Scan(a, b) => {
+                    let got = kv.scan(&mut mem, a, b);
+                    let want: Vec<(Vec<u8>, Vec<u8>)> = if a <= b {
+                        model
+                            .range(a.clone()..b.clone())
+                            .map(|(k, v)| (k.clone(), v.clone()))
+                            .collect()
+                    } else {
+                        Vec::new()
+                    };
+                    prop_assert_eq!(got, want);
+                }
+            }
+            prop_assert_eq!(kv.len(), model.len());
+        }
+        let expected_bytes: u64 = model
+            .iter()
+            .map(|(k, v)| (k.len() + v.len()) as u64)
+            .sum();
+        prop_assert_eq!(kv.data_bytes(), expected_bytes);
+    }
+
+    /// Snapshot → restore is the identity on contents, and any *older*
+    /// snapshot is rejected by the freshness counter.
+    #[test]
+    fn snapshot_faithful_and_fresh(
+        first in prop::collection::btree_map(arb_key(), prop::collection::vec(any::<u8>(), 0..32), 1..10),
+        second_key in arb_key(),
+    ) {
+        let mut mem = mem();
+        let counters = CounterService::new();
+        let key = [9u8; 16];
+        let mut kv = SecureKv::new();
+        for (k, v) in &first {
+            kv.put(&mut mem, k, v);
+        }
+        let old = kv.snapshot(&key, &counters, "s");
+        kv.put(&mut mem, &second_key, b"newer");
+        let new = kv.snapshot(&key, &counters, "s");
+
+        let mut restored = SecureKv::restore(&mut mem, &key, &new.sealed, &counters, "s").unwrap();
+        for (k, v) in &first {
+            if k != &second_key {
+                prop_assert_eq!(restored.get(&mut mem, k), Some(v.clone()));
+            }
+        }
+        prop_assert_eq!(restored.get(&mut mem, &second_key), Some(b"newer".to_vec()));
+        // Rollback to the old snapshot is detected.
+        prop_assert!(SecureKv::restore(&mut mem, &key, &old.sealed, &counters, "s").is_err());
+    }
+}

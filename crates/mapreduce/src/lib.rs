@@ -1,0 +1,560 @@
+//! Secure map/reduce computations (paper §III-B: "map/reduce based
+//! computations" as a big-data building block).
+//!
+//! Mappers and reducers execute inside simulated enclaves; the shuffle —
+//! the only stage whose data rests on untrusted storage — is encrypted and
+//! authenticated per partition chunk. Worker failures are injected for
+//! testing and handled by deterministic re-execution, MapReduce's classic
+//! fault-tolerance story.
+//!
+//! # Example
+//!
+//! ```
+//! use securecloud_mapreduce::{FnMapper, FnReducer, JobConfig, MapReduceRunner};
+//! use securecloud_sgx::enclave::Platform;
+//!
+//! let runner = MapReduceRunner::new(Platform::new());
+//! let input = vec![
+//!     (b"line1".to_vec(), b"a b a".to_vec()),
+//!     (b"line2".to_vec(), b"b".to_vec()),
+//! ];
+//! let result = runner
+//!     .run(
+//!         &JobConfig::default(),
+//!         &input,
+//!         &FnMapper(|_k: &[u8], v: &[u8], emit: &mut dyn FnMut(Vec<u8>, Vec<u8>)| {
+//!             for word in v.split(|&b| b == b' ') {
+//!                 emit(word.to_vec(), vec![1]);
+//!             }
+//!         }),
+//!         &FnReducer(|_k: &[u8], values: &[Vec<u8>]| vec![values.len() as u8]),
+//!     )
+//!     .unwrap();
+//! assert_eq!(result.output[&b"a"[..].to_vec()], vec![2]);
+//! ```
+
+use securecloud_crypto::gcm::{nonce_from_seq, AesGcm};
+use securecloud_crypto::sha256::Sha256;
+use securecloud_crypto::wire::Wire;
+use securecloud_crypto::CryptoError;
+use securecloud_sgx::enclave::{EnclaveConfig, Platform};
+use securecloud_sgx::SgxError;
+use std::collections::BTreeMap;
+use std::error::Error as StdError;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A key-value input/output record.
+pub type Record = (Vec<u8>, Vec<u8>);
+
+/// User map function.
+pub trait Mapper: Sync {
+    /// Maps one record, emitting intermediate pairs.
+    fn map(&self, key: &[u8], value: &[u8], emit: &mut dyn FnMut(Vec<u8>, Vec<u8>));
+}
+
+/// User reduce function.
+pub trait Reducer: Sync {
+    /// Reduces all values of one intermediate key to an output value.
+    fn reduce(&self, key: &[u8], values: &[Vec<u8>]) -> Vec<u8>;
+}
+
+/// Closure adapter for [`Mapper`].
+pub struct FnMapper<F>(pub F);
+impl<F> Mapper for FnMapper<F>
+where
+    F: Fn(&[u8], &[u8], &mut dyn FnMut(Vec<u8>, Vec<u8>)) + Sync,
+{
+    fn map(&self, key: &[u8], value: &[u8], emit: &mut dyn FnMut(Vec<u8>, Vec<u8>)) {
+        (self.0)(key, value, emit);
+    }
+}
+
+/// Closure adapter for [`Reducer`].
+pub struct FnReducer<F>(pub F);
+impl<F> Reducer for FnReducer<F>
+where
+    F: Fn(&[u8], &[Vec<u8>]) -> Vec<u8> + Sync,
+{
+    fn reduce(&self, key: &[u8], values: &[Vec<u8>]) -> Vec<u8> {
+        (self.0)(key, values)
+    }
+}
+
+/// Job parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobConfig {
+    /// Number of map tasks.
+    pub mappers: usize,
+    /// Number of reduce partitions.
+    pub reducers: usize,
+    /// Maximum re-executions per failed task.
+    pub max_retries: u32,
+}
+
+impl Default for JobConfig {
+    fn default() -> Self {
+        JobConfig {
+            mappers: 4,
+            reducers: 2,
+            max_retries: 2,
+        }
+    }
+}
+
+/// Counters for one job run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JobStats {
+    /// Input records consumed.
+    pub records_in: u64,
+    /// Intermediate pairs emitted by mappers.
+    pub pairs_emitted: u64,
+    /// Ciphertext bytes that crossed the shuffle.
+    pub shuffle_bytes: u64,
+    /// Distinct reduce keys.
+    pub reduce_groups: u64,
+    /// Task re-executions after injected failures.
+    pub retries: u64,
+    /// Simulated enclave cycles across all workers.
+    pub worker_cycles: u64,
+}
+
+/// Result of a job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobResult {
+    /// Reduced output, ordered by key.
+    pub output: BTreeMap<Vec<u8>, Vec<u8>>,
+    /// Counters.
+    pub stats: JobStats,
+}
+
+/// Errors from the map/reduce runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MrError {
+    /// A task kept failing past `max_retries`.
+    TaskFailed {
+        /// Which map task.
+        task: usize,
+        /// Attempts made.
+        attempts: u32,
+    },
+    /// Shuffle data failed authentication (untrusted storage tampered).
+    ShuffleTampered(CryptoError),
+    /// Enclave machinery failed.
+    Sgx(SgxError),
+}
+
+impl fmt::Display for MrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MrError::TaskFailed { task, attempts } => {
+                write!(f, "map task {task} failed after {attempts} attempts")
+            }
+            MrError::ShuffleTampered(e) => write!(f, "shuffle data tampered: {e}"),
+            MrError::Sgx(e) => write!(f, "enclave failure: {e}"),
+        }
+    }
+}
+
+impl StdError for MrError {}
+
+/// Deterministic partitioner: SHA-256 of the key, mod `reducers`.
+#[must_use]
+pub fn partition_for(key: &[u8], reducers: usize) -> usize {
+    let digest = Sha256::digest(key);
+    let x = u64::from_be_bytes(digest[..8].try_into().expect("sized"));
+    (x % reducers.max(1) as u64) as usize
+}
+
+/// Fault injection: makes chosen map tasks fail on their first attempt(s).
+#[derive(Debug, Default)]
+pub struct FailureInjector {
+    /// For each map task index, how many initial attempts should fail.
+    failures: Mutex<BTreeMap<usize, u32>>,
+    tripped: AtomicU64,
+}
+
+impl FailureInjector {
+    /// Creates a no-op injector.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Makes map task `task` fail its first `times` attempts.
+    pub fn fail_map_task(&self, task: usize, times: u32) {
+        self.failures
+            .lock()
+            .expect("poison-free")
+            .insert(task, times);
+    }
+
+    fn should_fail(&self, task: usize) -> bool {
+        let mut failures = self.failures.lock().expect("poison-free");
+        match failures.get_mut(&task) {
+            Some(remaining) if *remaining > 0 => {
+                *remaining -= 1;
+                self.tripped.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// How many failures actually triggered.
+    #[must_use]
+    pub fn tripped(&self) -> u64 {
+        self.tripped.load(Ordering::Relaxed)
+    }
+}
+
+/// The job runner: owns the platform on which worker enclaves launch.
+#[derive(Debug)]
+pub struct MapReduceRunner {
+    platform: Platform,
+    injector: FailureInjector,
+}
+
+impl MapReduceRunner {
+    /// Creates a runner on `platform`.
+    #[must_use]
+    pub fn new(platform: Platform) -> Self {
+        MapReduceRunner {
+            platform,
+            injector: FailureInjector::new(),
+        }
+    }
+
+    /// Access to the failure injector (tests, chaos benchmarks).
+    #[must_use]
+    pub fn injector(&self) -> &FailureInjector {
+        &self.injector
+    }
+
+    /// Runs a job to completion.
+    ///
+    /// # Errors
+    ///
+    /// [`MrError::TaskFailed`] if a task exceeds its retry budget,
+    /// [`MrError::ShuffleTampered`] if sealed shuffle data fails to open,
+    /// [`MrError::Sgx`] on enclave launch failure.
+    pub fn run(
+        &self,
+        config: &JobConfig,
+        input: &[Record],
+        mapper: &dyn Mapper,
+        reducer: &dyn Reducer,
+    ) -> Result<JobResult, MrError> {
+        let job_key: [u8; 16] = securecloud_crypto::random_array();
+        let mut stats = JobStats {
+            records_in: input.len() as u64,
+            ..JobStats::default()
+        };
+
+        // ---- Map phase: one enclave per task, encrypted shuffle output.
+        // shuffle[reducer][..] = (map task, sealed chunk) on untrusted storage.
+        let mut shuffle: Vec<Vec<(usize, Vec<u8>)>> = vec![Vec::new(); config.reducers.max(1)];
+        let chunk_len = input.len().div_ceil(config.mappers.max(1)).max(1);
+        for (task, chunk) in input.chunks(chunk_len).enumerate() {
+            let mut attempts = 0;
+            let partitions = loop {
+                attempts += 1;
+                if attempts > config.max_retries + 1 {
+                    return Err(MrError::TaskFailed {
+                        task,
+                        attempts: attempts - 1,
+                    });
+                }
+                match self.run_map_task(config, task, chunk, mapper, &job_key, &mut stats) {
+                    Ok(partitions) => break partitions,
+                    Err(TaskFault) => {
+                        stats.retries += 1;
+                        continue;
+                    }
+                }
+            };
+            for (reducer_idx, sealed) in partitions.into_iter().enumerate() {
+                if let Some(sealed) = sealed {
+                    stats.shuffle_bytes += sealed.len() as u64;
+                    shuffle[reducer_idx].push((task, sealed));
+                }
+            }
+        }
+
+        // ---- Reduce phase: one enclave per partition.
+        let mut output = BTreeMap::new();
+        for (reducer_idx, chunks) in shuffle.iter().enumerate() {
+            let mut enclave = self
+                .platform
+                .launch(EnclaveConfig::new(
+                    &format!("reduce-{reducer_idx}"),
+                    b"securecloud mapreduce reducer v1",
+                ))
+                .map_err(MrError::Sgx)?;
+            let mut groups: BTreeMap<Vec<u8>, Vec<Vec<u8>>> = BTreeMap::new();
+            for (task, sealed) in chunks {
+                let nonce = nonce_from_seq(reducer_idx as u32, *task as u64);
+                let plain = AesGcm::new(&job_key)
+                    .open(&nonce, sealed, b"securecloud shuffle")
+                    .map_err(MrError::ShuffleTampered)?;
+                enclave.memory().charge_cycles(sealed.len() as u64 * 2);
+                let pairs: Vec<Record> =
+                    Wire::from_wire(&plain).map_err(MrError::ShuffleTampered)?;
+                for (k, v) in pairs {
+                    groups.entry(k).or_default().push(v);
+                }
+            }
+            stats.reduce_groups += groups.len() as u64;
+            let result = enclave
+                .ecall(|mem| {
+                    let mut out = Vec::with_capacity(groups.len());
+                    for (key, values) in &groups {
+                        mem.charge_ops(1 + values.len() as u64);
+                        out.push((key.clone(), reducer.reduce(key, values)));
+                    }
+                    out
+                })
+                .map_err(MrError::Sgx)?;
+            stats.worker_cycles += enclave.memory().cycles();
+            for (k, v) in result {
+                output.insert(k, v);
+            }
+        }
+        Ok(JobResult { output, stats })
+    }
+
+    fn run_map_task(
+        &self,
+        config: &JobConfig,
+        task: usize,
+        chunk: &[Record],
+        mapper: &dyn Mapper,
+        job_key: &[u8; 16],
+        stats: &mut JobStats,
+    ) -> Result<Vec<Option<Vec<u8>>>, TaskFault> {
+        if self.injector.should_fail(task) {
+            return Err(TaskFault);
+        }
+        let mut enclave = self
+            .platform
+            .launch(EnclaveConfig::new(
+                &format!("map-{task}"),
+                b"securecloud mapreduce mapper v1",
+            ))
+            .map_err(|_| TaskFault)?;
+        let mut partitions: Vec<Vec<Record>> = vec![Vec::new(); config.reducers.max(1)];
+        let mut emitted = 0u64;
+        enclave
+            .ecall(|mem| {
+                for (key, value) in chunk {
+                    mem.charge_ops(2 + (value.len() as u64) / 16);
+                    mapper.map(key, value, &mut |k, v| {
+                        let p = partition_for(&k, config.reducers);
+                        emitted += 1;
+                        partitions[p].push((k, v));
+                    });
+                }
+            })
+            .map_err(|_| TaskFault)?;
+        stats.pairs_emitted += emitted;
+
+        // Seal each non-empty partition; nonce binds (reducer, mapper task).
+        let sealed: Vec<Option<Vec<u8>>> = partitions
+            .into_iter()
+            .enumerate()
+            .map(|(reducer_idx, pairs)| {
+                if pairs.is_empty() {
+                    return None;
+                }
+                let nonce = nonce_from_seq(reducer_idx as u32, task as u64);
+                let body = pairs.to_wire();
+                enclave.memory().charge_cycles(body.len() as u64 * 2);
+                Some(AesGcm::new(job_key).seal(&nonce, &body, b"securecloud shuffle"))
+            })
+            .collect();
+        stats.worker_cycles += enclave.memory().cycles();
+        Ok(sealed)
+    }
+}
+
+struct TaskFault;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn word_count_input() -> Vec<Record> {
+        vec![
+            (b"l1".to_vec(), b"the quick brown fox".to_vec()),
+            (b"l2".to_vec(), b"the lazy dog".to_vec()),
+            (b"l3".to_vec(), b"the quick dog".to_vec()),
+        ]
+    }
+
+    fn word_mapper() -> impl Mapper {
+        FnMapper(
+            |_k: &[u8], v: &[u8], emit: &mut dyn FnMut(Vec<u8>, Vec<u8>)| {
+                for word in v.split(|&b| b == b' ').filter(|w| !w.is_empty()) {
+                    emit(word.to_vec(), vec![1u8]);
+                }
+            },
+        )
+    }
+
+    fn count_reducer() -> impl Reducer {
+        FnReducer(|_k: &[u8], values: &[Vec<u8>]| {
+            (values.iter().map(|v| u64::from(v[0])).sum::<u64>())
+                .to_le_bytes()
+                .to_vec()
+        })
+    }
+
+    fn counts(result: &JobResult) -> BTreeMap<String, u64> {
+        result
+            .output
+            .iter()
+            .map(|(k, v)| {
+                (
+                    String::from_utf8_lossy(k).to_string(),
+                    u64::from_le_bytes(v.as_slice().try_into().unwrap()),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn word_count_correct() {
+        let runner = MapReduceRunner::new(Platform::new());
+        let result = runner
+            .run(
+                &JobConfig::default(),
+                &word_count_input(),
+                &word_mapper(),
+                &count_reducer(),
+            )
+            .unwrap();
+        let counts = counts(&result);
+        assert_eq!(counts["the"], 3);
+        assert_eq!(counts["quick"], 2);
+        assert_eq!(counts["dog"], 2);
+        assert_eq!(counts["fox"], 1);
+        assert_eq!(result.stats.records_in, 3);
+        assert_eq!(result.stats.pairs_emitted, 10);
+        assert!(result.stats.shuffle_bytes > 0);
+        assert!(result.stats.worker_cycles > 0);
+        assert_eq!(result.stats.reduce_groups, 6);
+    }
+
+    #[test]
+    fn results_stable_across_partition_counts() {
+        let runner = MapReduceRunner::new(Platform::new());
+        let mut baseline = None;
+        for (mappers, reducers) in [(1, 1), (2, 3), (8, 5)] {
+            let result = runner
+                .run(
+                    &JobConfig {
+                        mappers,
+                        reducers,
+                        max_retries: 0,
+                    },
+                    &word_count_input(),
+                    &word_mapper(),
+                    &count_reducer(),
+                )
+                .unwrap();
+            let c = counts(&result);
+            match &baseline {
+                None => baseline = Some(c),
+                Some(b) => assert_eq!(&c, b, "{mappers}x{reducers}"),
+            }
+        }
+    }
+
+    #[test]
+    fn failure_injection_retries_and_recovers() {
+        let runner = MapReduceRunner::new(Platform::new());
+        runner.injector().fail_map_task(0, 1);
+        let result = runner
+            .run(
+                &JobConfig::default(),
+                &word_count_input(),
+                &word_mapper(),
+                &count_reducer(),
+            )
+            .unwrap();
+        assert_eq!(result.stats.retries, 1);
+        assert_eq!(runner.injector().tripped(), 1);
+        assert_eq!(counts(&result)["the"], 3, "result unchanged by retry");
+    }
+
+    #[test]
+    fn exhausted_retries_fail_job() {
+        let runner = MapReduceRunner::new(Platform::new());
+        runner.injector().fail_map_task(0, 10);
+        let err = runner.run(
+            &JobConfig {
+                max_retries: 2,
+                ..JobConfig::default()
+            },
+            &word_count_input(),
+            &word_mapper(),
+            &count_reducer(),
+        );
+        assert!(matches!(
+            err,
+            Err(MrError::TaskFailed {
+                task: 0,
+                attempts: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn partitioner_deterministic_and_bounded() {
+        for key in [b"a".as_slice(), b"meter/7", b"", b"\xff\xff"] {
+            let p = partition_for(key, 7);
+            assert!(p < 7);
+            assert_eq!(p, partition_for(key, 7));
+        }
+        assert_eq!(partition_for(b"x", 1), 0);
+    }
+
+    #[test]
+    fn empty_input_produces_empty_output() {
+        let runner = MapReduceRunner::new(Platform::new());
+        let result = runner
+            .run(&JobConfig::default(), &[], &word_mapper(), &count_reducer())
+            .unwrap();
+        assert!(result.output.is_empty());
+        assert_eq!(result.stats.pairs_emitted, 0);
+    }
+
+    #[test]
+    fn shuffle_never_exposes_plaintext() {
+        // Run a tiny job and check the sealed chunks do not contain the
+        // intermediate words. We reach into run_map_task via the public
+        // API by using a mapper that emits a distinctive secret token.
+        let runner = MapReduceRunner::new(Platform::new());
+        let input = vec![(b"k".to_vec(), b"SECRETTOKEN".to_vec())];
+        // Capture shuffle bytes through stats + a custom reducer that
+        // asserts it received the token (so encryption round-trips).
+        let result = runner
+            .run(
+                &JobConfig::default(),
+                &input,
+                &FnMapper(
+                    |_k: &[u8], v: &[u8], emit: &mut dyn FnMut(Vec<u8>, Vec<u8>)| {
+                        emit(v.to_vec(), vec![1]);
+                    },
+                ),
+                &FnReducer(|k: &[u8], _v: &[Vec<u8>]| {
+                    assert_eq!(k, b"SECRETTOKEN");
+                    vec![1]
+                }),
+            )
+            .unwrap();
+        assert_eq!(result.output.len(), 1);
+    }
+}

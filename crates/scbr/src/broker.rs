@@ -1,0 +1,329 @@
+//! A multi-broker routing overlay.
+//!
+//! SCBR routers are deployed as an overlay of brokers; subscriptions
+//! propagate toward the root and publications are routed along the reverse
+//! paths. The covering relation earns its keep here: a broker forwards a
+//! subscription upstream **only if no already-forwarded subscription
+//! covers it** — covered subscriptions ride on existing routing state, so
+//! control traffic shrinks (the classic Siena/SCBR optimisation).
+//!
+//! The overlay is a tree (each broker has at most one parent). A
+//! publication may enter at any broker: it is delivered to local matching
+//! subscribers, routed down into every child subtree whose forwarded
+//! interests match, and routed up to the parent (which repeats the
+//! process, excluding the subtree it came from).
+
+use crate::types::{covers_normalised, Normalised, Publication, SubId, Subscription};
+use std::collections::HashMap;
+
+/// Identifier of a broker in the overlay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BrokerId(pub usize);
+
+/// Overlay-wide statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OverlayStats {
+    /// Subscription-forward messages sent between brokers.
+    pub subscription_forwards: u64,
+    /// Subscription forwards suppressed because a covering subscription
+    /// had already been forwarded.
+    pub forwards_suppressed: u64,
+    /// Publication messages sent between brokers.
+    pub publication_hops: u64,
+}
+
+#[derive(Debug)]
+struct Interest {
+    sub: Subscription,
+    norm: Normalised,
+}
+
+#[derive(Debug)]
+struct BrokerNode {
+    parent: Option<usize>,
+    children: Vec<usize>,
+    /// Subscriptions registered by local clients.
+    local: Vec<(SubId, Interest)>,
+    /// Interests forwarded to us by each child (aggregate of its subtree).
+    child_interest: HashMap<usize, Vec<Interest>>,
+    /// Interests we forwarded to our parent.
+    forwarded_up: Vec<Interest>,
+}
+
+/// A tree overlay of content-based routers.
+#[derive(Debug)]
+pub struct Overlay {
+    brokers: Vec<BrokerNode>,
+    next_sub: u64,
+    stats: OverlayStats,
+}
+
+impl Overlay {
+    /// Builds an overlay from a parent vector. `parent_of[i]` is the parent
+    /// of broker `i` (`None` for the root).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a parent index is out of range or a broker is its own
+    /// parent.
+    #[must_use]
+    pub fn new(parent_of: &[Option<usize>]) -> Self {
+        let mut brokers: Vec<BrokerNode> = parent_of
+            .iter()
+            .enumerate()
+            .map(|(i, &parent)| {
+                if let Some(p) = parent {
+                    assert!(p < parent_of.len(), "parent {p} out of range");
+                    assert_ne!(p, i, "broker {i} cannot be its own parent");
+                }
+                BrokerNode {
+                    parent,
+                    children: Vec::new(),
+                    local: Vec::new(),
+                    child_interest: HashMap::new(),
+                    forwarded_up: Vec::new(),
+                }
+            })
+            .collect();
+        for (i, parent) in parent_of.iter().enumerate() {
+            if let Some(p) = parent {
+                brokers[*p].children.push(i);
+            }
+        }
+        Overlay {
+            brokers,
+            next_sub: 0,
+            stats: OverlayStats::default(),
+        }
+    }
+
+    /// A chain of `n` brokers: 0 is the root, each `i` hangs under `i-1`.
+    #[must_use]
+    pub fn chain(n: usize) -> Self {
+        let parents: Vec<Option<usize>> = (0..n).map(|i| i.checked_sub(1)).collect();
+        Self::new(&parents)
+    }
+
+    /// Number of brokers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.brokers.len()
+    }
+
+    /// Whether the overlay is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.brokers.is_empty()
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> OverlayStats {
+        self.stats
+    }
+
+    /// Registers a client subscription at `broker` and propagates it
+    /// toward the root (with covering-based suppression).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `broker` is out of range.
+    pub fn subscribe(&mut self, broker: BrokerId, sub: Subscription) -> SubId {
+        let id = SubId(self.next_sub);
+        self.next_sub += 1;
+        let norm = sub.normalised();
+        self.brokers[broker.0].local.push((
+            id,
+            Interest {
+                sub: sub.clone(),
+                norm: norm.clone(),
+            },
+        ));
+        // Propagate up the chain until covered or at the root.
+        let mut current = broker.0;
+        let mut carried = Interest { sub, norm };
+        while let Some(parent) = self.brokers[current].parent {
+            let covered = self.brokers[current]
+                .forwarded_up
+                .iter()
+                .any(|f| covers_normalised(&f.norm, &carried.norm));
+            if covered {
+                self.stats.forwards_suppressed += 1;
+                return id;
+            }
+            self.stats.subscription_forwards += 1;
+            self.brokers[current].forwarded_up.push(Interest {
+                sub: carried.sub.clone(),
+                norm: carried.norm.clone(),
+            });
+            self.brokers[parent]
+                .child_interest
+                .entry(current)
+                .or_default()
+                .push(Interest {
+                    sub: carried.sub.clone(),
+                    norm: carried.norm.clone(),
+                });
+            current = parent;
+            carried = Interest {
+                sub: carried.sub,
+                norm: carried.norm,
+            };
+        }
+        id
+    }
+
+    /// Publishes at `broker`; returns every matching subscription id in the
+    /// overlay (in delivery order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `broker` is out of range.
+    pub fn publish(&mut self, broker: BrokerId, publication: &Publication) -> Vec<SubId> {
+        let mut delivered = Vec::new();
+        self.route(broker.0, None, publication, &mut delivered);
+        delivered
+    }
+
+    fn route(
+        &mut self,
+        at: usize,
+        came_from: Option<usize>,
+        publication: &Publication,
+        delivered: &mut Vec<SubId>,
+    ) {
+        // Local deliveries.
+        for (id, interest) in &self.brokers[at].local {
+            if interest.sub.matches(publication) {
+                delivered.push(*id);
+            }
+        }
+        // Downward: only into children whose forwarded interests match.
+        let children: Vec<usize> = self.brokers[at].children.clone();
+        for child in children {
+            if Some(child) == came_from {
+                continue;
+            }
+            let interested = self.brokers[at]
+                .child_interest
+                .get(&child)
+                .is_some_and(|interests| interests.iter().any(|i| i.sub.matches(publication)));
+            if interested {
+                self.stats.publication_hops += 1;
+                self.route(child, Some(at), publication, delivered);
+            }
+        }
+        // Upward: the parent may have interested subtrees elsewhere.
+        if let Some(parent) = self.brokers[at].parent {
+            if Some(parent) != came_from {
+                self.stats.publication_hops += 1;
+                self.route(parent, Some(at), publication, delivered);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Op, Predicate, Value};
+
+    fn sub(attr: &str, lo: i64) -> Subscription {
+        Subscription::new(vec![Predicate::new(attr, Op::Ge, Value::Int(lo))])
+    }
+
+    fn publication(attr: &str, v: i64) -> Publication {
+        Publication::new().with(attr, Value::Int(v))
+    }
+
+    /// root(0) - mid(1) - leaf(2); plus a second leaf(3) under root.
+    fn overlay() -> Overlay {
+        Overlay::new(&[None, Some(0), Some(1), Some(0)])
+    }
+
+    #[test]
+    fn delivery_is_location_transparent() {
+        let mut o = overlay();
+        let s_leaf = o.subscribe(BrokerId(2), sub("x", 10));
+        let s_other = o.subscribe(BrokerId(3), sub("x", 50));
+        // Publish from every broker: the same subscribers match.
+        for b in 0..4 {
+            let mut got = o.publish(BrokerId(b), &publication("x", 60));
+            got.sort();
+            assert_eq!(got, vec![s_leaf, s_other], "published at broker {b}");
+            let got = o.publish(BrokerId(b), &publication("x", 20));
+            assert_eq!(got, vec![s_leaf]);
+            assert!(o.publish(BrokerId(b), &publication("x", 5)).is_empty());
+        }
+    }
+
+    #[test]
+    fn covering_suppresses_upstream_forwards() {
+        let mut o = Overlay::chain(3);
+        // Broad subscription at the leaf propagates 2 hops.
+        o.subscribe(BrokerId(2), sub("x", 0));
+        assert_eq!(o.stats().subscription_forwards, 2);
+        // A narrower subscription at the same leaf is covered: no forwards.
+        o.subscribe(BrokerId(2), sub("x", 100));
+        assert_eq!(o.stats().subscription_forwards, 2);
+        assert_eq!(o.stats().forwards_suppressed, 1);
+        // It still receives matching publications from the root.
+        let got = o.publish(BrokerId(0), &publication("x", 500));
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn publications_do_not_flood_uninterested_subtrees() {
+        let mut o = overlay();
+        o.subscribe(BrokerId(2), sub("x", 0));
+        // Nothing under broker 3: publishing at root routes only to the
+        // interested subtree.
+        let before = o.stats().publication_hops;
+        o.publish(BrokerId(0), &publication("x", 1));
+        let hops = o.stats().publication_hops - before;
+        assert_eq!(hops, 2, "root->mid->leaf only, not root->leaf3");
+    }
+
+    #[test]
+    fn agrees_with_flat_matching_on_random_workload() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(21);
+        // A 7-broker binary tree.
+        let mut o = Overlay::new(&[None, Some(0), Some(0), Some(1), Some(1), Some(2), Some(2)]);
+        let mut flat: Vec<(SubId, Subscription)> = Vec::new();
+        for _ in 0..200 {
+            let s = sub("x", rng.gen_range(0..100));
+            let broker = BrokerId(rng.gen_range(0..7));
+            let id = o.subscribe(broker, s.clone());
+            flat.push((id, s));
+        }
+        for _ in 0..100 {
+            let p = publication("x", rng.gen_range(0..120));
+            let entry = BrokerId(rng.gen_range(0..7));
+            let mut got = o.publish(entry, &p);
+            got.sort();
+            let mut want: Vec<SubId> = flat
+                .iter()
+                .filter(|(_, s)| s.matches(&p))
+                .map(|(id, _)| *id)
+                .collect();
+            want.sort();
+            assert_eq!(got, want);
+        }
+        assert!(o.stats().forwards_suppressed > 0, "some covering expected");
+    }
+
+    #[test]
+    fn chain_construction() {
+        let o = Overlay::chain(5);
+        assert_eq!(o.len(), 5);
+        assert!(!o.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be its own parent")]
+    fn self_parent_rejected() {
+        let _ = Overlay::new(&[Some(0)]);
+    }
+}

@@ -1,0 +1,398 @@
+//! The matching engine with a simulated memory layout.
+//!
+//! The engine stores subscriptions in a bump-allocated arena of simulated
+//! memory and reports every node visit to the [`MemorySim`], which charges
+//! cache, MEE, and EPC-paging costs. Running the *same* engine code against
+//! a native-domain and an enclave-domain simulator is how benchmark E1
+//! regenerates the paper's Figure 3.
+//!
+//! Two [`Layout`] policies are available. [`Layout::ArrivalOrder`] packs
+//! subscriptions in arrival order — a topic's subscribers end up scattered
+//! across the whole arena, so a matching pass touches many pages.
+//! [`Layout::Clustered`] implements the paper's stated future work ("we
+//! intend to optimise our data structures to avoid paging and cache
+//! misses"): subscriptions sharing an equality value on the cluster
+//! attribute are packed into dedicated chunks, so a matching pass touches
+//! a compact page range. Benchmark E8 quantifies the effect.
+
+use crate::index::SubscriptionIndex;
+use crate::types::{Op, Publication, SubId, Subscription, Value};
+use securecloud_sgx::mem::{MemorySim, Region};
+use std::collections::HashMap;
+
+/// Arena chunk size: subscriptions are packed into these.
+const ARENA_CHUNK_BYTES: u64 = 1 << 20;
+
+/// Per-cluster arena chunk size (smaller, to bound waste across many
+/// clusters).
+const CLUSTER_CHUNK_BYTES: u64 = 128 << 10;
+
+/// Memory layout policy for the subscription arena.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Layout {
+    /// Pack subscriptions in arrival order (the baseline the paper
+    /// measured).
+    ArrivalOrder,
+    /// Pack subscriptions clustered by their equality predicate on the
+    /// given attribute (the paper's proposed paging optimisation).
+    Clustered(String),
+}
+
+/// Bytes of a node actually read while evaluating its predicates (header +
+/// predicate block; the payload is not touched during matching).
+const MATCH_READ_BYTES: u32 = 128;
+
+/// Counters accumulated by a [`MatchEngine`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Publications processed.
+    pub publications: u64,
+    /// Total subscription matches produced.
+    pub matches: u64,
+    /// Index nodes visited.
+    pub nodes_visited: u64,
+    /// Predicates evaluated.
+    pub predicates_evaluated: u64,
+}
+
+/// A content-based matching engine over an index `I`.
+///
+/// The engine does not own a memory simulator; callers pass the domain they
+/// run in (`MemorySim::native` baseline or an enclave's memory).
+#[derive(Debug)]
+pub struct MatchEngine<I> {
+    index: I,
+    layout: Layout,
+    chunks: Vec<Region>,
+    chunk_used: u64,
+    cluster_arenas: HashMap<ClusterKey, (u64, u64)>, // (next offset, end)
+    db_bytes: u64,
+    next_id: u64,
+    stats: EngineStats,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum ClusterKey {
+    Int(i64),
+    Str(String),
+    General,
+}
+
+impl<I: SubscriptionIndex> MatchEngine<I> {
+    /// Creates an engine over `index` with arrival-order layout.
+    #[must_use]
+    pub fn new(index: I) -> Self {
+        Self::with_layout(index, Layout::ArrivalOrder)
+    }
+
+    /// Creates an engine with an explicit arena [`Layout`].
+    #[must_use]
+    pub fn with_layout(index: I, layout: Layout) -> Self {
+        MatchEngine {
+            index,
+            layout,
+            chunks: Vec::new(),
+            chunk_used: 0,
+            cluster_arenas: HashMap::new(),
+            db_bytes: 0,
+            next_id: 0,
+            stats: EngineStats::default(),
+        }
+    }
+
+    fn cluster_key(&self, sub: &Subscription) -> ClusterKey {
+        let Layout::Clustered(attr) = &self.layout else {
+            return ClusterKey::General;
+        };
+        for p in &sub.predicates {
+            if &p.attr == attr && p.op == Op::Eq {
+                match &p.value {
+                    Value::Int(v) => return ClusterKey::Int(*v),
+                    Value::Str(s) => return ClusterKey::Str(s.clone()),
+                    Value::Float(_) => {}
+                }
+            }
+        }
+        ClusterKey::General
+    }
+
+    fn alloc_clustered(&mut self, mem: &mut MemorySim, key: ClusterKey, bytes: u64) -> u64 {
+        let need = bytes.min(CLUSTER_CHUNK_BYTES);
+        match self.cluster_arenas.get_mut(&key) {
+            Some((next, end)) if *next + need <= *end => {
+                let offset = *next;
+                *next += bytes.min(*end - *next);
+                offset
+            }
+            _ => {
+                let region = mem.alloc(CLUSTER_CHUNK_BYTES);
+                let offset = region.base();
+                self.cluster_arenas.insert(
+                    key,
+                    (
+                        offset + bytes.min(CLUSTER_CHUNK_BYTES),
+                        offset + region.len(),
+                    ),
+                );
+                offset
+            }
+        }
+    }
+
+    /// The subscription database footprint in bytes.
+    #[must_use]
+    pub fn db_bytes(&self) -> u64 {
+        self.db_bytes
+    }
+
+    /// Number of stored subscriptions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the engine holds no subscriptions.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Accumulated counters.
+    #[must_use]
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// The underlying index (diagnostics).
+    #[must_use]
+    pub fn index(&self) -> &I {
+        &self.index
+    }
+
+    fn alloc(&mut self, mem: &mut MemorySim, bytes: u64) -> u64 {
+        let need = bytes.min(ARENA_CHUNK_BYTES);
+        if self
+            .chunks
+            .last()
+            .is_none_or(|c| self.chunk_used + need > c.len())
+        {
+            self.chunks.push(mem.alloc(ARENA_CHUNK_BYTES));
+            self.chunk_used = 0;
+        }
+        let chunk = self.chunks.last().expect("chunk pushed above");
+        let offset = chunk.base() + self.chunk_used;
+        self.chunk_used += bytes.min(ARENA_CHUNK_BYTES - (self.chunk_used % ARENA_CHUNK_BYTES));
+        offset
+    }
+
+    /// Stores a subscription, charging the write into the arena.
+    pub fn subscribe(&mut self, mem: &mut MemorySim, sub: Subscription) -> SubId {
+        let bytes = sub.footprint() as u64;
+        let offset = match self.layout {
+            Layout::ArrivalOrder => self.alloc(mem, bytes),
+            Layout::Clustered(_) => {
+                let key = self.cluster_key(&sub);
+                self.alloc_clustered(mem, key, bytes)
+            }
+        };
+        mem.touch(offset, bytes as usize);
+        mem.charge_ops(sub.predicates.len() as u64 + 4);
+        self.db_bytes += bytes;
+        let id = SubId(self.next_id);
+        self.next_id += 1;
+        self.index.insert(id, sub, offset);
+        id
+    }
+
+    /// Matches a publication against the database, charging every node
+    /// visit (memory reads and predicate evaluations).
+    pub fn publish(&mut self, mem: &mut MemorySim, publication: &Publication) -> Vec<SubId> {
+        let mut nodes_visited = 0u64;
+        let mut predicates = 0u64;
+        let matches = self.index.match_publication(publication, &mut |v| {
+            nodes_visited += 1;
+            predicates += u64::from(v.predicates_evaluated);
+            mem.touch(v.offset, v.size.min(MATCH_READ_BYTES) as usize);
+        });
+        mem.charge_ops(predicates);
+        self.stats.publications += 1;
+        self.stats.matches += matches.len() as u64;
+        self.stats.nodes_visited += nodes_visited;
+        self.stats.predicates_evaluated += predicates;
+        matches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::{NaiveIndex, PosetIndex};
+    use crate::types::{Op, Predicate, Value};
+    use securecloud_sgx::costs::{CostModel, MemoryGeometry};
+
+    fn native_mem() -> MemorySim {
+        MemorySim::native(MemoryGeometry::sgx_v1(), CostModel::sgx_v1())
+    }
+
+    fn enclave_mem() -> MemorySim {
+        MemorySim::enclave(MemoryGeometry::sgx_v1(), CostModel::sgx_v1())
+    }
+
+    fn sub(topic: i64, lo: i64) -> Subscription {
+        Subscription::new(vec![
+            Predicate::new("topic", Op::Eq, Value::Int(topic)),
+            Predicate::new("v", Op::Ge, Value::Int(lo)),
+        ])
+        .with_payload(vec![0u8; 128])
+    }
+
+    #[test]
+    fn subscribe_and_publish() {
+        let mut mem = native_mem();
+        let mut engine = MatchEngine::new(PosetIndex::with_partition_attr("topic"));
+        let id1 = engine.subscribe(&mut mem, sub(1, 10));
+        let id2 = engine.subscribe(&mut mem, sub(1, 50));
+        let _id3 = engine.subscribe(&mut mem, sub(2, 0));
+        let p = Publication::new()
+            .with("topic", Value::Int(1))
+            .with("v", Value::Int(30));
+        let mut matches = engine.publish(&mut mem, &p);
+        matches.sort();
+        assert_eq!(matches, vec![id1]);
+        let p2 = Publication::new()
+            .with("topic", Value::Int(1))
+            .with("v", Value::Int(60));
+        let mut matches = engine.publish(&mut mem, &p2);
+        matches.sort();
+        assert_eq!(matches, vec![id1, id2]);
+        let s = engine.stats();
+        assert_eq!(s.publications, 2);
+        assert_eq!(s.matches, 3);
+        assert!(s.nodes_visited >= 3);
+        assert!(s.predicates_evaluated > 0);
+        assert_eq!(engine.len(), 3);
+    }
+
+    #[test]
+    fn db_bytes_tracks_footprints() {
+        let mut mem = native_mem();
+        let mut engine = MatchEngine::new(NaiveIndex::new());
+        assert!(engine.is_empty());
+        let s = sub(0, 0);
+        let expected = s.footprint() as u64;
+        engine.subscribe(&mut mem, s);
+        assert_eq!(engine.db_bytes(), expected);
+    }
+
+    #[test]
+    fn arena_spans_chunks() {
+        let mut mem = native_mem();
+        let mut engine = MatchEngine::new(NaiveIndex::new());
+        // ~2.5 MiB of subscriptions across 1 MiB chunks.
+        for i in 0..1000 {
+            engine.subscribe(
+                &mut mem,
+                Subscription::new(vec![Predicate::new("v", Op::Ge, Value::Int(i))])
+                    .with_payload(vec![0u8; 2500]),
+            );
+        }
+        assert!(engine.db_bytes() > 2 << 20);
+        // All offsets distinct and non-overlapping: match everything and
+        // check visit count equals subscription count.
+        let p = Publication::new().with("v", Value::Int(1_000_000));
+        let matches = engine.publish(&mut mem, &p);
+        assert_eq!(matches.len(), 1000);
+    }
+
+    #[test]
+    fn clustered_layout_matches_same_results() {
+        let mut mem_a = native_mem();
+        let mut mem_b = native_mem();
+        let mut arrival = MatchEngine::new(PosetIndex::with_partition_attr("topic"));
+        let mut clustered = MatchEngine::with_layout(
+            PosetIndex::with_partition_attr("topic"),
+            Layout::Clustered("topic".into()),
+        );
+        for i in 0..300 {
+            arrival.subscribe(&mut mem_a, sub(i % 7, i));
+            clustered.subscribe(&mut mem_b, sub(i % 7, i));
+        }
+        for v in [5i64, 100, 250] {
+            let p = Publication::new()
+                .with("topic", Value::Int(2))
+                .with("v", Value::Int(v));
+            let mut a = arrival.publish(&mut mem_a, &p);
+            let mut b = clustered.publish(&mut mem_b, &p);
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "layout must not change matching semantics");
+        }
+    }
+
+    #[test]
+    fn clustered_layout_reduces_epc_faults() {
+        // A DB larger than a tiny EPC: matching one topic touches scattered
+        // pages under arrival order but a compact range under clustering.
+        let geometry = securecloud_sgx::costs::MemoryGeometry {
+            line_bytes: 64,
+            llc_bytes: 64 << 10,
+            page_bytes: 4096,
+            epc_total_bytes: 1 << 20,
+            epc_reserved_bytes: 256 << 10,
+        };
+        let run = |layout: Layout| -> u64 {
+            let mut mem = MemorySim::enclave(geometry, CostModel::sgx_v1());
+            let mut engine =
+                MatchEngine::with_layout(PosetIndex::with_partition_attr("topic"), layout);
+            for i in 0..8_000i64 {
+                engine.subscribe(&mut mem, sub(i % 16, i));
+            }
+            // High values match (and therefore traverse) the entire
+            // containment chain of the topic.
+            let pubs: Vec<Publication> = (0..24)
+                .map(|i| {
+                    Publication::new()
+                        .with("topic", Value::Int(i % 16))
+                        .with("v", Value::Int(1_000_000))
+                })
+                .collect();
+            for p in &pubs {
+                engine.publish(&mut mem, p);
+            }
+            mem.reset_metrics();
+            for p in &pubs {
+                engine.publish(&mut mem, p);
+            }
+            mem.stats().epc_faults
+        };
+        let arrival_faults = run(Layout::ArrivalOrder);
+        let clustered_faults = run(Layout::Clustered("topic".into()));
+        assert!(
+            clustered_faults * 3 < arrival_faults,
+            "clustering should cut faults: arrival {arrival_faults}, clustered {clustered_faults}"
+        );
+    }
+
+    #[test]
+    fn enclave_costs_exceed_native_for_identical_workload() {
+        let mut native = native_mem();
+        let mut enclave = enclave_mem();
+        let mut engine_native = MatchEngine::new(PosetIndex::with_partition_attr("topic"));
+        let mut engine_enclave = MatchEngine::new(PosetIndex::with_partition_attr("topic"));
+        for i in 0..500 {
+            engine_native.subscribe(&mut native, sub(i % 10, i));
+            engine_enclave.subscribe(&mut enclave, sub(i % 10, i));
+        }
+        let p = Publication::new()
+            .with("topic", Value::Int(3))
+            .with("v", Value::Int(1_000));
+        let native_before = native.cycles();
+        let enclave_before = enclave.cycles();
+        let m1 = engine_native.publish(&mut native, &p);
+        let m2 = engine_enclave.publish(&mut enclave, &p);
+        assert_eq!(m1, m2, "domains must agree on matching results");
+        let native_cost = native.cycles() - native_before;
+        let enclave_cost = enclave.cycles() - enclave_before;
+        assert!(enclave_cost >= native_cost);
+    }
+}

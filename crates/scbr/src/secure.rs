@@ -1,0 +1,431 @@
+//! The secure router: SCBR's matching engine inside an enclave.
+//!
+//! "Outside of secure enclaves, both publications and subscriptions are
+//! encrypted and signed ... SCBR combines a key exchange protocol and a
+//! state-of-the-art routing engine" (§V-B). Clients run an X25519 exchange
+//! with the router enclave and then submit sealed subscriptions and
+//! publications; the router decrypts them only inside the enclave, matches,
+//! and re-encrypts notifications per subscriber.
+
+use crate::engine::MatchEngine;
+use crate::index::PosetIndex;
+use crate::types::{Publication, SubId, Subscription};
+use crate::ScbrError;
+use securecloud_crypto::gcm::{nonce_from_seq, AesGcm, NONCE_LEN};
+use securecloud_crypto::hmac::hkdf;
+use securecloud_crypto::wire::Wire;
+use securecloud_crypto::x25519::{self, PublicKey, SecretKey};
+use securecloud_sgx::enclave::Enclave;
+use std::collections::HashMap;
+
+/// Router-assigned client identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClientId(pub u64);
+
+const DOMAIN_TO_ROUTER: u32 = 0x6332_7200; // "c2r"
+const DOMAIN_TO_CLIENT: u32 = 0x7232_6300; // "r2c"
+
+/// Cycles charged per byte of in-enclave AEAD work.
+const AEAD_CYCLES_PER_BYTE: u64 = 2;
+
+fn derive_client_key(shared: &[u8; 32], client_pub: &PublicKey) -> [u8; 16] {
+    hkdf(b"scbr client key v1", shared, client_pub)
+}
+
+struct ClientState {
+    key: AesGcm,
+    recv_seq: u64,
+    send_seq: u64,
+}
+
+/// The enclave-hosted secure content-based router.
+pub struct SecureRouter {
+    enclave: Enclave,
+    engine: MatchEngine<PosetIndex>,
+    secret: SecretKey,
+    public: PublicKey,
+    clients: HashMap<ClientId, ClientState>,
+    owners: HashMap<SubId, ClientId>,
+    next_client: u64,
+}
+
+impl std::fmt::Debug for SecureRouter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SecureRouter")
+            .field("clients", &self.clients.len())
+            .field("subscriptions", &self.engine.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SecureRouter {
+    /// Creates a router inside `enclave`, partitioning its index on
+    /// `partition_attr` if given.
+    #[must_use]
+    pub fn new(enclave: Enclave, partition_attr: Option<&str>) -> Self {
+        let (secret, public) = x25519::keypair();
+        let index = match partition_attr {
+            Some(attr) => PosetIndex::with_partition_attr(attr),
+            None => PosetIndex::new(),
+        };
+        SecureRouter {
+            enclave,
+            engine: MatchEngine::new(index),
+            secret,
+            public,
+            clients: HashMap::new(),
+            owners: HashMap::new(),
+            next_client: 1,
+        }
+    }
+
+    /// The router's key-exchange public key (distributed via attestation).
+    #[must_use]
+    pub fn public_key(&self) -> PublicKey {
+        self.public
+    }
+
+    /// The enclave hosting the router.
+    #[must_use]
+    pub fn enclave(&self) -> &Enclave {
+        &self.enclave
+    }
+
+    /// Mutable enclave access (benchmarks read the simulated clock).
+    pub fn enclave_mut(&mut self) -> &mut Enclave {
+        &mut self.enclave
+    }
+
+    /// Match-engine statistics.
+    #[must_use]
+    pub fn stats(&self) -> crate::engine::EngineStats {
+        self.engine.stats()
+    }
+
+    /// Completes the key exchange for a client and registers it.
+    pub fn register(&mut self, client_public: &PublicKey) -> ClientId {
+        let shared = x25519::diffie_hellman(&self.secret, client_public);
+        let key = derive_client_key(&shared, client_public);
+        let id = ClientId(self.next_client);
+        self.next_client += 1;
+        // X25519 inside the enclave.
+        self.enclave.memory().charge_cycles(150_000);
+        self.clients.insert(
+            id,
+            ClientState {
+                key: AesGcm::new(&key),
+                recv_seq: 0,
+                send_seq: 0,
+            },
+        );
+        id
+    }
+
+    /// Processes a sealed subscription from `client`.
+    ///
+    /// # Errors
+    ///
+    /// [`ScbrError::UnknownClient`], [`ScbrError::Crypto`] (tampering or
+    /// replay — the expected sequence number is part of the nonce).
+    pub fn subscribe_sealed(
+        &mut self,
+        client: ClientId,
+        sealed: &[u8],
+    ) -> Result<SubId, ScbrError> {
+        let state = self
+            .clients
+            .get_mut(&client)
+            .ok_or(ScbrError::UnknownClient(client))?;
+        let nonce = nonce_from_seq(DOMAIN_TO_ROUTER, state.recv_seq);
+        let plain = state
+            .key
+            .open(&nonce, sealed, b"scbr-sub")
+            .map_err(ScbrError::Crypto)?;
+        state.recv_seq += 1;
+        let sub = Subscription::from_wire(&plain).map_err(ScbrError::Crypto)?;
+        let mem = self.enclave.memory();
+        mem.charge_cycles(sealed.len() as u64 * AEAD_CYCLES_PER_BYTE);
+        let id = self.engine.subscribe(mem, sub);
+        self.owners.insert(id, client);
+        Ok(id)
+    }
+
+    /// Processes a sealed publication from `client`: decrypts, matches, and
+    /// returns one sealed notification per matching subscription, encrypted
+    /// for the owning subscriber.
+    ///
+    /// # Errors
+    ///
+    /// [`ScbrError::UnknownClient`], [`ScbrError::Crypto`].
+    pub fn publish_sealed(
+        &mut self,
+        client: ClientId,
+        sealed: &[u8],
+    ) -> Result<Vec<(SubId, Vec<u8>)>, ScbrError> {
+        let state = self
+            .clients
+            .get_mut(&client)
+            .ok_or(ScbrError::UnknownClient(client))?;
+        let nonce = nonce_from_seq(DOMAIN_TO_ROUTER, state.recv_seq);
+        let plain = state
+            .key
+            .open(&nonce, sealed, b"scbr-pub")
+            .map_err(ScbrError::Crypto)?;
+        state.recv_seq += 1;
+        let publication = Publication::from_wire(&plain).map_err(ScbrError::Crypto)?;
+
+        let mem = self.enclave.memory();
+        mem.charge_cycles(sealed.len() as u64 * AEAD_CYCLES_PER_BYTE);
+        let matches = self.engine.publish(mem, &publication);
+
+        let mut notifications = Vec::with_capacity(matches.len());
+        for sub_id in matches {
+            let owner = self.owners[&sub_id];
+            let owner_state = self
+                .clients
+                .get_mut(&owner)
+                .expect("owner registered at subscribe time");
+            let nonce = nonce_from_seq(DOMAIN_TO_CLIENT, owner_state.send_seq);
+            owner_state.send_seq += 1;
+            let mut framed = nonce.to_vec();
+            framed.extend_from_slice(&owner_state.key.seal(&nonce, &plain, b"scbr-notify"));
+            self.enclave
+                .memory()
+                .charge_cycles(plain.len() as u64 * AEAD_CYCLES_PER_BYTE);
+            notifications.push((sub_id, framed));
+        }
+        Ok(notifications)
+    }
+}
+
+/// Client-side companion: key exchange and sealing helpers.
+#[derive(Clone)]
+pub struct RouterClient {
+    secret: SecretKey,
+    public: PublicKey,
+    key: Option<AesGcm>,
+    send_seq: u64,
+    recv_seq: u64,
+}
+
+impl std::fmt::Debug for RouterClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RouterClient")
+            .field("public", &securecloud_crypto::hex(&self.public))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for RouterClient {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RouterClient {
+    /// Generates a fresh client keypair.
+    #[must_use]
+    pub fn new() -> Self {
+        let (secret, public) = x25519::keypair();
+        RouterClient {
+            secret,
+            public,
+            key: None,
+            send_seq: 0,
+            recv_seq: 0,
+        }
+    }
+
+    /// The client's public key, to be sent to the router.
+    #[must_use]
+    pub fn public_key(&self) -> PublicKey {
+        self.public
+    }
+
+    /// Completes the exchange with the router's public key.
+    pub fn complete_exchange(&mut self, router_public: &PublicKey) {
+        let shared = x25519::diffie_hellman(&self.secret, router_public);
+        self.key = Some(AesGcm::new(&derive_client_key(&shared, &self.public)));
+    }
+
+    fn cipher(&self) -> Result<&AesGcm, ScbrError> {
+        self.key.as_ref().ok_or(ScbrError::ExchangeIncomplete)
+    }
+
+    /// Seals a subscription for the router.
+    ///
+    /// # Errors
+    ///
+    /// [`ScbrError::ExchangeIncomplete`] before [`Self::complete_exchange`].
+    pub fn seal_subscription(&mut self, sub: &Subscription) -> Result<Vec<u8>, ScbrError> {
+        let nonce = nonce_from_seq(DOMAIN_TO_ROUTER, self.send_seq);
+        let sealed = self.cipher()?.seal(&nonce, &sub.to_wire(), b"scbr-sub");
+        self.send_seq += 1;
+        Ok(sealed)
+    }
+
+    /// Seals a publication for the router.
+    ///
+    /// # Errors
+    ///
+    /// [`ScbrError::ExchangeIncomplete`] before [`Self::complete_exchange`].
+    pub fn seal_publication(&mut self, publication: &Publication) -> Result<Vec<u8>, ScbrError> {
+        let nonce = nonce_from_seq(DOMAIN_TO_ROUTER, self.send_seq);
+        let sealed = self
+            .cipher()?
+            .seal(&nonce, &publication.to_wire(), b"scbr-pub");
+        self.send_seq += 1;
+        Ok(sealed)
+    }
+
+    /// Opens a notification from the router.
+    ///
+    /// # Errors
+    ///
+    /// [`ScbrError::Crypto`] on tampering or replay.
+    pub fn open_notification(&mut self, framed: &[u8]) -> Result<Publication, ScbrError> {
+        if framed.len() < NONCE_LEN {
+            return Err(ScbrError::Crypto(
+                securecloud_crypto::CryptoError::AuthenticationFailed,
+            ));
+        }
+        let (nonce, body) = framed.split_at(NONCE_LEN);
+        let expected = nonce_from_seq(DOMAIN_TO_CLIENT, self.recv_seq);
+        if !securecloud_crypto::ct_eq(nonce, &expected) {
+            return Err(ScbrError::Crypto(
+                securecloud_crypto::CryptoError::AuthenticationFailed,
+            ));
+        }
+        let plain = self
+            .cipher()?
+            .open(&expected, body, b"scbr-notify")
+            .map_err(ScbrError::Crypto)?;
+        self.recv_seq += 1;
+        Publication::from_wire(&plain).map_err(ScbrError::Crypto)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Op, Predicate, Value};
+    use securecloud_sgx::enclave::{EnclaveConfig, Platform};
+
+    fn router() -> SecureRouter {
+        let platform = Platform::new();
+        let enclave = platform
+            .launch(EnclaveConfig::new("scbr", b"router code"))
+            .unwrap();
+        SecureRouter::new(enclave, Some("topic"))
+    }
+
+    fn sub(topic: i64, lo: i64) -> Subscription {
+        Subscription::new(vec![
+            Predicate::new("topic", Op::Eq, Value::Int(topic)),
+            Predicate::new("v", Op::Ge, Value::Int(lo)),
+        ])
+    }
+
+    fn publication(topic: i64, v: i64) -> Publication {
+        Publication::new()
+            .with("topic", Value::Int(topic))
+            .with("v", Value::Int(v))
+    }
+
+    #[test]
+    fn end_to_end_encrypted_pubsub() {
+        let mut router = router();
+        let mut subscriber = RouterClient::new();
+        let mut publisher = RouterClient::new();
+        let sub_id = router.register(&subscriber.public_key());
+        let pub_id = router.register(&publisher.public_key());
+        subscriber.complete_exchange(&router.public_key());
+        publisher.complete_exchange(&router.public_key());
+
+        let sealed_sub = subscriber.seal_subscription(&sub(1, 10)).unwrap();
+        let sid = router.subscribe_sealed(sub_id, &sealed_sub).unwrap();
+
+        let p = publication(1, 42);
+        let sealed_pub = publisher.seal_publication(&p).unwrap();
+        let notifications = router.publish_sealed(pub_id, &sealed_pub).unwrap();
+        assert_eq!(notifications.len(), 1);
+        assert_eq!(notifications[0].0, sid);
+        let received = subscriber.open_notification(&notifications[0].1).unwrap();
+        assert_eq!(received, p);
+        assert!(router.enclave_mut().memory().cycles() > 0);
+    }
+
+    #[test]
+    fn non_matching_publication_produces_no_notifications() {
+        let mut router = router();
+        let mut subscriber = RouterClient::new();
+        let sub_client = router.register(&subscriber.public_key());
+        subscriber.complete_exchange(&router.public_key());
+        let sealed = subscriber.seal_subscription(&sub(1, 100)).unwrap();
+        router.subscribe_sealed(sub_client, &sealed).unwrap();
+        let sealed_pub = subscriber.seal_publication(&publication(1, 5)).unwrap();
+        let notifications = router.publish_sealed(sub_client, &sealed_pub).unwrap();
+        assert!(notifications.is_empty());
+    }
+
+    #[test]
+    fn tampered_submission_rejected() {
+        let mut router = router();
+        let mut client = RouterClient::new();
+        let id = router.register(&client.public_key());
+        client.complete_exchange(&router.public_key());
+        let mut sealed = client.seal_subscription(&sub(1, 0)).unwrap();
+        sealed[0] ^= 1;
+        assert!(matches!(
+            router.subscribe_sealed(id, &sealed),
+            Err(ScbrError::Crypto(_))
+        ));
+    }
+
+    #[test]
+    fn replayed_submission_rejected() {
+        let mut router = router();
+        let mut client = RouterClient::new();
+        let id = router.register(&client.public_key());
+        client.complete_exchange(&router.public_key());
+        let sealed = client.seal_subscription(&sub(1, 0)).unwrap();
+        router.subscribe_sealed(id, &sealed).unwrap();
+        // The router's expected sequence has advanced; replay fails.
+        assert!(matches!(
+            router.subscribe_sealed(id, &sealed),
+            Err(ScbrError::Crypto(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_client_and_incomplete_exchange() {
+        let mut router = router();
+        assert!(matches!(
+            router.subscribe_sealed(ClientId(99), b"x"),
+            Err(ScbrError::UnknownClient(_))
+        ));
+        let mut client = RouterClient::new();
+        assert!(matches!(
+            client.seal_subscription(&sub(1, 0)),
+            Err(ScbrError::ExchangeIncomplete)
+        ));
+    }
+
+    #[test]
+    fn cross_client_confidentiality() {
+        // A notification for subscriber A cannot be opened by subscriber B.
+        let mut router = router();
+        let mut alice = RouterClient::new();
+        let mut bob = RouterClient::new();
+        let alice_id = router.register(&alice.public_key());
+        let _bob_id = router.register(&bob.public_key());
+        alice.complete_exchange(&router.public_key());
+        bob.complete_exchange(&router.public_key());
+        let sealed = alice.seal_subscription(&sub(1, 0)).unwrap();
+        router.subscribe_sealed(alice_id, &sealed).unwrap();
+        let sealed_pub = alice.seal_publication(&publication(1, 7)).unwrap();
+        let notifications = router.publish_sealed(alice_id, &sealed_pub).unwrap();
+        assert!(bob.open_notification(&notifications[0].1).is_err());
+        assert!(alice.open_notification(&notifications[0].1).is_ok());
+    }
+}

@@ -1,0 +1,138 @@
+//! Property-based tests for SCBR's core invariants: covering soundness,
+//! index equivalence, and overlay location-transparency.
+
+use proptest::prelude::*;
+use securecloud_scbr::broker::{BrokerId, Overlay};
+use securecloud_scbr::index::{NaiveIndex, PosetIndex, SubscriptionIndex};
+use securecloud_scbr::types::{Op, Predicate, Publication, SubId, Subscription, Value};
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        Just(Op::Eq),
+        Just(Op::Lt),
+        Just(Op::Le),
+        Just(Op::Gt),
+        Just(Op::Ge),
+    ]
+}
+
+fn arb_predicate() -> impl Strategy<Value = Predicate> {
+    (prop_oneof!["a", "b", "c"], arb_op(), -20i64..20)
+        .prop_map(|(attr, op, v)| Predicate::new(&attr, op, Value::Int(v)))
+}
+
+fn arb_subscription() -> impl Strategy<Value = Subscription> {
+    prop::collection::vec(arb_predicate(), 0..4).prop_map(Subscription::new)
+}
+
+fn arb_publication() -> impl Strategy<Value = Publication> {
+    (-25i64..25, -25i64..25, -25i64..25).prop_map(|(a, b, c)| {
+        Publication::new()
+            .with("a", Value::Int(a))
+            .with("b", Value::Int(b))
+            .with("c", Value::Int(c))
+    })
+}
+
+proptest! {
+    /// Covering soundness: if `x` covers `y`, every publication matching
+    /// `y` must match `x`. (The converse need not hold — covers() is
+    /// conservative.)
+    #[test]
+    fn covers_implies_match_implication(
+        x in arb_subscription(),
+        y in arb_subscription(),
+        publications in prop::collection::vec(arb_publication(), 0..30),
+    ) {
+        if x.covers(&y) {
+            for publication in &publications {
+                if y.matches(publication) {
+                    prop_assert!(
+                        x.matches(publication),
+                        "covering violated: {x:?} claims to cover {y:?} but misses {publication:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Covering is reflexive and transitive on satisfiable subscriptions.
+    #[test]
+    fn covers_is_a_preorder(
+        x in arb_subscription(),
+        y in arb_subscription(),
+        z in arb_subscription(),
+    ) {
+        prop_assert!(x.covers(&x), "reflexivity");
+        if x.covers(&y) && y.covers(&z) {
+            prop_assert!(x.covers(&z), "transitivity");
+        }
+    }
+
+    /// The containment-forest index returns exactly the naive index's
+    /// matches, for any database and any publication stream.
+    #[test]
+    fn poset_equals_naive(
+        subs in prop::collection::vec(arb_subscription(), 0..60),
+        publications in prop::collection::vec(arb_publication(), 0..20),
+    ) {
+        let mut naive = NaiveIndex::new();
+        let mut poset = PosetIndex::new();
+        for (i, sub) in subs.iter().enumerate() {
+            naive.insert(SubId(i as u64), sub.clone(), i as u64 * 256);
+            poset.insert(SubId(i as u64), sub.clone(), i as u64 * 256);
+        }
+        for publication in &publications {
+            let mut naive_visits = 0u32;
+            let mut poset_visits = 0u32;
+            let mut a = naive.match_publication(publication, &mut |_| naive_visits += 1);
+            let mut b = poset.match_publication(publication, &mut |_| poset_visits += 1);
+            a.sort();
+            b.sort();
+            prop_assert_eq!(a, b);
+            prop_assert!(poset_visits <= naive_visits, "pruning must never add visits");
+        }
+    }
+
+    /// The broker overlay is location-transparent: wherever subscriptions
+    /// live and wherever a publication enters, delivery equals flat
+    /// matching.
+    #[test]
+    fn overlay_equals_flat(
+        placements in prop::collection::vec((arb_subscription(), 0usize..5), 0..40),
+        publications in prop::collection::vec((arb_publication(), 0usize..5), 0..10),
+    ) {
+        // 5-broker tree: 0 root; 1,2 under 0; 3,4 under 1.
+        let mut overlay = Overlay::new(&[None, Some(0), Some(0), Some(1), Some(1)]);
+        let mut flat = Vec::new();
+        for (sub, broker) in &placements {
+            let id = overlay.subscribe(BrokerId(*broker), sub.clone());
+            flat.push((id, sub.clone()));
+        }
+        for (publication, entry) in &publications {
+            let mut got = overlay.publish(BrokerId(*entry), publication);
+            got.sort();
+            let mut want: Vec<SubId> = flat
+                .iter()
+                .filter(|(_, s)| s.matches(publication))
+                .map(|(id, _)| *id)
+                .collect();
+            want.sort();
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    /// Wire roundtrips for the SCBR message types never lose information.
+    #[test]
+    fn scbr_wire_roundtrips(
+        sub in arb_subscription(),
+        publication in arb_publication(),
+    ) {
+        use securecloud_crypto::wire::Wire;
+        prop_assert_eq!(Subscription::from_wire(&sub.to_wire()).unwrap(), sub);
+        prop_assert_eq!(
+            Publication::from_wire(&publication.to_wire()).unwrap(),
+            publication
+        );
+    }
+}

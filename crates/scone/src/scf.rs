@@ -1,0 +1,389 @@
+//! Startup configuration files (SCF) and the configuration service.
+//!
+//! Per §V-A: *"Each secure container requires a startup configuration file
+//! (SCF). The SCF contains keys to encrypt standard I/O streams, the hash
+//! and encryption key of the FS protection file, application arguments, as
+//! well as environment variables. Only an enclave whose identity has been
+//! verified can access the SCF, which is received through a TLS-protected
+//! connection that is established during enclave startup."*
+//!
+//! The [`ConfigService`] holds SCFs keyed by enclave measurement and
+//! releases one only after verifying the requesting enclave's quote — with
+//! the quote's report data bound to the channel key, preventing relays.
+
+use crate::SconeError;
+use securecloud_crypto::channel::{ChannelConfig, Identity, SecureChannel, Transport};
+use securecloud_crypto::sha256::Sha256;
+use securecloud_crypto::wire::Wire;
+use securecloud_crypto::x25519::PublicKey;
+use securecloud_crypto::{impl_wire_struct, CryptoError};
+use securecloud_sgx::attest::{AttestationService, Quote};
+use securecloud_sgx::enclave::{Enclave, Measurement};
+use std::collections::{BTreeMap, HashMap};
+
+/// Symmetric keys protecting the standard I/O streams.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdioKeys {
+    /// Key for the stdin stream.
+    pub stdin: [u8; 16],
+    /// Key for the stdout stream.
+    pub stdout: [u8; 16],
+    /// Key for the stderr stream.
+    pub stderr: [u8; 16],
+}
+
+impl_wire_struct!(StdioKeys {
+    stdin,
+    stdout,
+    stderr
+});
+
+impl StdioKeys {
+    /// Generates three fresh random keys.
+    #[must_use]
+    pub fn generate() -> Self {
+        StdioKeys {
+            stdin: securecloud_crypto::random_array(),
+            stdout: securecloud_crypto::random_array(),
+            stderr: securecloud_crypto::random_array(),
+        }
+    }
+}
+
+/// A startup configuration file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Scf {
+    /// Application arguments.
+    pub args: Vec<String>,
+    /// Environment variables.
+    pub env: BTreeMap<String, String>,
+    /// Key decrypting the FS protection file.
+    pub fs_protection_key: [u8; 16],
+    /// Expected hash of the sealed FS protection file (integrity pin).
+    pub fs_protection_digest: [u8; 32],
+    /// Standard I/O stream keys.
+    pub stdio: StdioKeys,
+}
+
+impl_wire_struct!(Scf {
+    args,
+    env,
+    fs_protection_key,
+    fs_protection_digest,
+    stdio
+});
+
+/// The binding an enclave must put in its quote's report data: the hash of
+/// the channel public key it will use to receive the SCF.
+#[must_use]
+pub fn channel_binding(channel_key: &PublicKey) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(b"securecloud scf channel binding v1");
+    h.update(channel_key);
+    h.finalize()
+}
+
+/// The trusted configuration service releasing SCFs to attested enclaves.
+#[derive(Debug)]
+pub struct ConfigService {
+    identity: Identity,
+    attestation: AttestationService,
+    scfs: HashMap<Measurement, Scf>,
+}
+
+impl ConfigService {
+    /// Creates a service with a fresh channel identity and the given
+    /// attestation verifier.
+    #[must_use]
+    pub fn new(attestation: AttestationService) -> Self {
+        ConfigService {
+            identity: Identity::generate("scone-config-service"),
+            attestation,
+            scfs: HashMap::new(),
+        }
+    }
+
+    /// The service's channel public key, pinned by clients.
+    #[must_use]
+    pub fn public_key(&self) -> PublicKey {
+        self.identity.public_key()
+    }
+
+    /// Registers the SCF to release to enclaves measuring `measurement`.
+    pub fn register(&mut self, measurement: Measurement, scf: Scf) {
+        self.scfs.insert(measurement, scf);
+    }
+
+    /// Mutable access to the attestation policy.
+    pub fn attestation_mut(&mut self) -> &mut AttestationService {
+        &mut self.attestation
+    }
+
+    /// Serves one SCF request over `transport`.
+    ///
+    /// The handshake authenticates the enclave's quote; the SCF is released
+    /// only if the quote verifies, its report data binds the channel key the
+    /// enclave is using, and an SCF is registered for the measurement.
+    ///
+    /// # Errors
+    ///
+    /// [`SconeError`] describing the failed verification step. On failure an
+    /// error marker is sent to the client instead of the SCF.
+    pub fn serve_one<T: Transport>(&self, transport: T) -> Result<Measurement, SconeError> {
+        let mut channel =
+            SecureChannel::respond(transport, &self.identity, ChannelConfig::default())
+                .map_err(SconeError::Crypto)?;
+        let outcome = self.authorize(&channel);
+        match outcome {
+            Ok((measurement, scf)) => {
+                let mut frame = vec![1u8];
+                frame.extend_from_slice(&scf.to_wire());
+                channel.send(&frame).map_err(SconeError::Crypto)?;
+                Ok(measurement)
+            }
+            Err(e) => {
+                let mut frame = vec![0u8];
+                frame.extend_from_slice(e.to_string().as_bytes());
+                let _ = channel.send(&frame);
+                Err(e)
+            }
+        }
+    }
+
+    fn authorize<T: Transport>(
+        &self,
+        channel: &SecureChannel<T>,
+    ) -> Result<(Measurement, &Scf), SconeError> {
+        let quote = Quote::from_bytes(channel.peer_attestation())
+            .map_err(|e| SconeError::Config(format!("malformed quote: {e}")))?;
+        let report = self.attestation.verify(&quote).map_err(SconeError::Sgx)?;
+        let expected_binding = channel_binding(&channel.peer_static_key());
+        if !securecloud_crypto::ct_eq(&report.report_data[..32], &expected_binding) {
+            return Err(SconeError::Config(
+                "quote is not bound to the requesting channel key (possible relay)".into(),
+            ));
+        }
+        let scf = self.scfs.get(&report.measurement).ok_or_else(|| {
+            SconeError::Config(format!(
+                "no SCF registered for measurement {}",
+                report.measurement.to_hex()
+            ))
+        })?;
+        Ok((report.measurement, scf))
+    }
+}
+
+/// Enclave-side SCF fetch: attests over `transport` to the pinned config
+/// service and returns the provisioned SCF.
+///
+/// Charges the enclave for the handshake's public-key cryptography.
+///
+/// # Errors
+///
+/// [`SconeError::Crypto`] on handshake failure, [`SconeError::Config`] if
+/// the service refuses or answers malformed data.
+pub fn fetch_scf<T: Transport>(
+    enclave: &mut Enclave,
+    channel_identity: &Identity,
+    transport: T,
+    service_key: PublicKey,
+) -> Result<Scf, SconeError> {
+    let binding = channel_binding(&channel_identity.public_key());
+    let quote = enclave.quote(&binding);
+    // Four X25519 operations plus AEAD: ~600k cycles inside the enclave.
+    enclave.memory().charge_cycles(600_000);
+    let config = ChannelConfig {
+        expected_peer: Some(service_key),
+        attestation_payload: quote.to_bytes(),
+        verify_peer: None,
+    };
+    let mut channel =
+        SecureChannel::initiate(transport, channel_identity, config).map_err(SconeError::Crypto)?;
+    let frame = channel.recv().map_err(SconeError::Crypto)?;
+    match frame.split_first() {
+        Some((1, body)) => Scf::from_wire(body).map_err(SconeError::Crypto),
+        Some((0, body)) => Err(SconeError::Config(format!(
+            "config service refused: {}",
+            String::from_utf8_lossy(body)
+        ))),
+        _ => Err(SconeError::Crypto(CryptoError::Malformed(
+            "empty SCF frame".into(),
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use securecloud_crypto::channel::memory_pair;
+    use securecloud_sgx::enclave::{EnclaveConfig, Platform};
+    use std::thread;
+
+    fn scf_fixture() -> Scf {
+        Scf {
+            args: vec!["meter-analytics".into(), "--window=60".into()],
+            env: BTreeMap::from([("REGION".to_string(), "eu-central".to_string())]),
+            fs_protection_key: securecloud_crypto::random_array(),
+            fs_protection_digest: [7u8; 32],
+            stdio: StdioKeys::generate(),
+        }
+    }
+
+    struct Setup {
+        platform: Platform,
+        enclave: Enclave,
+        service: ConfigService,
+    }
+
+    fn setup() -> Setup {
+        let platform = Platform::new();
+        let enclave = platform
+            .launch(EnclaveConfig::new("app", b"application code"))
+            .unwrap();
+        let mut attestation = AttestationService::new();
+        attestation.register_platform(&platform);
+        attestation.allow_measurement(enclave.measurement());
+        let mut service = ConfigService::new(attestation);
+        service.register(enclave.measurement(), scf_fixture());
+        Setup {
+            platform,
+            enclave,
+            service,
+        }
+    }
+
+    #[test]
+    fn scf_wire_roundtrip() {
+        let scf = scf_fixture();
+        assert_eq!(Scf::from_wire(&scf.to_wire()).unwrap(), scf);
+    }
+
+    #[test]
+    fn provisioning_happy_path() {
+        let Setup {
+            mut enclave,
+            service,
+            ..
+        } = setup();
+        let (client_t, server_t) = memory_pair();
+        let service_key = service.public_key();
+        let server = thread::spawn(move || service.serve_one(server_t));
+        let identity = Identity::generate("enclave-channel");
+        let scf = fetch_scf(&mut enclave, &identity, client_t, service_key).unwrap();
+        assert_eq!(scf, scf_fixture_normalized(&scf));
+        assert_eq!(server.join().unwrap().unwrap(), enclave.measurement());
+        assert!(enclave.memory().cycles() > 0, "handshake must be charged");
+    }
+
+    // The fixture has random keys; compare the stable fields.
+    fn scf_fixture_normalized(scf: &Scf) -> Scf {
+        Scf {
+            args: vec!["meter-analytics".into(), "--window=60".into()],
+            env: BTreeMap::from([("REGION".to_string(), "eu-central".to_string())]),
+            fs_protection_key: scf.fs_protection_key,
+            fs_protection_digest: [7u8; 32],
+            stdio: scf.stdio.clone(),
+        }
+    }
+
+    #[test]
+    fn unregistered_measurement_is_refused() {
+        let Setup {
+            platform, service, ..
+        } = setup();
+        let mut other = platform
+            .launch(EnclaveConfig::new("other", b"different code"))
+            .unwrap();
+        // Allow the measurement at the attestation layer but register no SCF.
+        let mut service = service;
+        service
+            .attestation_mut()
+            .allow_measurement(other.measurement());
+        let (client_t, server_t) = memory_pair();
+        let key = service.public_key();
+        let server = thread::spawn(move || service.serve_one(server_t));
+        let identity = Identity::generate("other-channel");
+        let err = fetch_scf(&mut other, &identity, client_t, key);
+        assert!(matches!(err, Err(SconeError::Config(_))));
+        assert!(server.join().unwrap().is_err());
+    }
+
+    #[test]
+    fn unattested_measurement_is_refused() {
+        let Setup {
+            platform,
+            mut service,
+            ..
+        } = setup();
+        let mut rogue = platform
+            .launch(EnclaveConfig::new("rogue", b"malicious code"))
+            .unwrap();
+        service.register(rogue.measurement(), scf_fixture());
+        // Attestation allowlist does NOT include the rogue measurement.
+        let (client_t, server_t) = memory_pair();
+        let key = service.public_key();
+        let server = thread::spawn(move || service.serve_one(server_t));
+        let identity = Identity::generate("rogue-channel");
+        let err = fetch_scf(&mut rogue, &identity, client_t, key);
+        assert!(err.is_err());
+        assert!(server.join().unwrap().is_err());
+    }
+
+    #[test]
+    fn relayed_quote_is_refused() {
+        // The attacker owns the channel but presents an honest enclave's
+        // quote that is bound to a *different* channel key.
+        let Setup {
+            enclave, service, ..
+        } = setup();
+        let honest_identity = Identity::generate("honest-channel");
+        let quote = enclave.quote(&channel_binding(&honest_identity.public_key()));
+        let attacker_identity = Identity::generate("attacker-channel");
+        let (client_t, server_t) = memory_pair();
+        let key = service.public_key();
+        let server = thread::spawn(move || service.serve_one(server_t));
+        let config = ChannelConfig {
+            expected_peer: Some(key),
+            attestation_payload: quote.to_bytes(),
+            verify_peer: None,
+        };
+        let mut channel = SecureChannel::initiate(client_t, &attacker_identity, config).unwrap();
+        let frame = channel.recv().unwrap();
+        assert_eq!(frame[0], 0, "service must refuse the relayed quote");
+        assert!(server.join().unwrap().is_err());
+    }
+
+    #[test]
+    fn garbage_attestation_payload_is_refused() {
+        let Setup { service, .. } = setup();
+        let (client_t, server_t) = memory_pair();
+        let key = service.public_key();
+        let server = thread::spawn(move || service.serve_one(server_t));
+        let identity = Identity::generate("garbage");
+        let config = ChannelConfig {
+            expected_peer: Some(key),
+            attestation_payload: b"not a quote".to_vec(),
+            verify_peer: None,
+        };
+        let mut channel = SecureChannel::initiate(client_t, &identity, config).unwrap();
+        let frame = channel.recv().unwrap();
+        assert_eq!(frame[0], 0);
+        assert!(server.join().unwrap().is_err());
+    }
+
+    #[test]
+    fn wrong_service_key_aborts_client() {
+        let Setup {
+            mut enclave,
+            service,
+            ..
+        } = setup();
+        let (client_t, server_t) = memory_pair();
+        let server = thread::spawn(move || service.serve_one(server_t));
+        let identity = Identity::generate("enclave-channel");
+        let wrong_key = Identity::generate("imposter").public_key();
+        let err = fetch_scf(&mut enclave, &identity, client_t, wrong_key);
+        assert!(matches!(err, Err(SconeError::Crypto(_))));
+        drop(server); // server thread errors out when the client hangs up
+    }
+}

@@ -1,0 +1,476 @@
+//! The shielded system-call interface.
+//!
+//! SCONE exposes an *external* system-call interface to the micro-service:
+//! arguments are copied out of the enclave, results are sanity-checked and
+//! copied back in before the application sees them (§IV of the paper).
+//! Two execution modes are provided:
+//!
+//! * [`SyncShield`] — the naive mode: every call exits and re-enters the
+//!   enclave, paying two transitions (~8k cycles) per call.
+//! * [`AsyncShield`] — SCONE's asynchronous interface: requests are placed
+//!   on a lock-free queue serviced by a host-side thread, so the enclave
+//!   thread pays only cache-coherent queue operations and never transitions.
+//!
+//! Benchmark E4 (`syscall_async`) compares the two, reproducing the paper's
+//! claim that the asynchronous interface is what makes SCONE's performance
+//! "acceptable".
+
+use crate::hostos::{HostOs, Syscall, SyscallRet};
+use crate::SconeError;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use securecloud_sgx::mem::MemorySim;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Cycle charges specific to the shield machinery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShieldCosts {
+    /// Cost of one lock-free queue operation (cache-line transfer + fence).
+    pub queue_op_cycles: u64,
+    /// Copy throughput: cycles charged per 8 bytes moved across the
+    /// boundary (memcpy plus pointer/length sanitisation).
+    pub copy_cycles_per_8_bytes: u64,
+}
+
+impl Default for ShieldCosts {
+    fn default() -> Self {
+        ShieldCosts {
+            queue_op_cycles: 300,
+            copy_cycles_per_8_bytes: 1,
+        }
+    }
+}
+
+impl ShieldCosts {
+    fn copy_cost(&self, bytes: usize) -> u64 {
+        (bytes as u64).div_ceil(8) * self.copy_cycles_per_8_bytes
+    }
+}
+
+fn call_payload_bytes(call: &Syscall) -> usize {
+    match call {
+        Syscall::Open { path, .. } | Syscall::Unlink { path } => path.len(),
+        Syscall::Pwrite { data, .. } => data.len(),
+        Syscall::Pread { .. }
+        | Syscall::Ftruncate { .. }
+        | Syscall::Close { .. }
+        | Syscall::Fstat { .. } => 0,
+    }
+}
+
+fn ret_payload_bytes(ret: &SyscallRet) -> usize {
+    match ret {
+        SyscallRet::Data(d) => d.len(),
+        SyscallRet::Error(e) => e.len(),
+        SyscallRet::Fd(_) | SyscallRet::Done(_) | SyscallRet::Len(_) => 0,
+    }
+}
+
+/// Sanity checks applied to host return values before they enter the
+/// enclave: the host is untrusted and may answer with the wrong shape or
+/// oversized data (an Iago-style attack).
+fn validate(call: &Syscall, ret: &SyscallRet) -> Result<(), SconeError> {
+    match (call, ret) {
+        (_, SyscallRet::Error(_)) => Ok(()),
+        (Syscall::Open { .. }, SyscallRet::Fd(_)) => Ok(()),
+        (Syscall::Pread { len, .. }, SyscallRet::Data(data)) => {
+            if data.len() > *len {
+                Err(SconeError::HostViolation(format!(
+                    "pread returned {} bytes for a {len}-byte request",
+                    data.len()
+                )))
+            } else {
+                Ok(())
+            }
+        }
+        (Syscall::Pwrite { data, .. }, SyscallRet::Done(n)) => {
+            if *n > data.len() as u64 {
+                Err(SconeError::HostViolation(format!(
+                    "pwrite acknowledged {n} bytes for a {}-byte buffer",
+                    data.len()
+                )))
+            } else {
+                Ok(())
+            }
+        }
+        (Syscall::Ftruncate { .. }, SyscallRet::Done(_))
+        | (Syscall::Close { .. }, SyscallRet::Done(_))
+        | (Syscall::Unlink { .. }, SyscallRet::Done(_))
+        | (Syscall::Fstat { .. }, SyscallRet::Len(_)) => Ok(()),
+        (call, ret) => Err(SconeError::HostViolation(format!(
+            "host returned {ret:?} for {call:?}"
+        ))),
+    }
+}
+
+/// Synchronous shielded syscalls: one enclave exit/entry round trip each.
+#[derive(Debug, Clone)]
+pub struct SyncShield {
+    host: Arc<dyn HostOs>,
+    costs: ShieldCosts,
+}
+
+impl SyncShield {
+    /// Creates a synchronous shield over `host`.
+    pub fn new(host: Arc<dyn HostOs>) -> Self {
+        SyncShield {
+            host,
+            costs: ShieldCosts::default(),
+        }
+    }
+
+    /// Issues one shielded syscall from the enclave whose memory system is
+    /// `mem`, charging transitions, copies, and validation.
+    ///
+    /// # Errors
+    ///
+    /// [`SconeError::HostViolation`] if the host's answer fails the sanity
+    /// checks; the malformed answer never reaches the application.
+    pub fn call(&self, mem: &mut MemorySim, call: &Syscall) -> Result<SyscallRet, SconeError> {
+        // Copy arguments out of the enclave.
+        mem.charge_cycles(self.costs.copy_cost(call_payload_bytes(call)));
+        // OCALL out, syscall, ECALL back in.
+        let transition = mem.costs().ocall_cycles + mem.costs().ecall_cycles;
+        mem.charge_cycles(transition);
+        let ret = self.host.execute(call);
+        validate(call, &ret)?;
+        // Copy the (validated) result into the enclave.
+        mem.charge_cycles(self.costs.copy_cost(ret_payload_bytes(&ret)));
+        Ok(ret)
+    }
+}
+
+impl std::fmt::Debug for dyn HostOs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "dyn HostOs")
+    }
+}
+
+struct Request {
+    id: u64,
+    call: Syscall,
+}
+
+/// A completed asynchronous syscall.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Completion {
+    /// The id returned by [`AsyncShield::submit`].
+    pub id: u64,
+    /// The validated host result.
+    pub ret: SyscallRet,
+}
+
+/// Asynchronous shielded syscalls: a host-side worker thread services a
+/// lock-free request queue, so the enclave thread never transitions.
+#[derive(Debug)]
+pub struct AsyncShield {
+    req_tx: Option<Sender<Request>>,
+    resp_rx: Receiver<(u64, Syscall, SyscallRet)>,
+    worker: Option<JoinHandle<()>>,
+    next_id: u64,
+    in_flight: usize,
+    costs: ShieldCosts,
+}
+
+impl AsyncShield {
+    /// Spawns the host-side syscall thread over `host`.
+    pub fn new(host: Arc<dyn HostOs>) -> Self {
+        let (req_tx, req_rx) = unbounded::<Request>();
+        let (resp_tx, resp_rx) = unbounded();
+        let worker = std::thread::spawn(move || {
+            while let Ok(req) = req_rx.recv() {
+                let ret = host.execute(&req.call);
+                if resp_tx.send((req.id, req.call, ret)).is_err() {
+                    break;
+                }
+            }
+        });
+        AsyncShield {
+            req_tx: Some(req_tx),
+            resp_rx,
+            worker: Some(worker),
+            next_id: 0,
+            in_flight: 0,
+            costs: ShieldCosts::default(),
+        }
+    }
+
+    /// Submits a syscall without leaving the enclave; returns its id.
+    ///
+    /// # Errors
+    ///
+    /// [`SconeError::ShieldStopped`] if the host worker has exited.
+    pub fn submit(&mut self, mem: &mut MemorySim, call: Syscall) -> Result<u64, SconeError> {
+        mem.charge_cycles(self.costs.copy_cost(call_payload_bytes(&call)));
+        mem.charge_cycles(self.costs.queue_op_cycles);
+        let id = self.next_id;
+        self.next_id += 1;
+        self.req_tx
+            .as_ref()
+            .expect("sender live until drop")
+            .send(Request { id, call })
+            .map_err(|_| SconeError::ShieldStopped)?;
+        self.in_flight += 1;
+        Ok(id)
+    }
+
+    /// Number of submitted but uncompleted calls.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// Waits for the next completion, charging queue and copy costs.
+    ///
+    /// # Errors
+    ///
+    /// [`SconeError::ShieldStopped`] if nothing is in flight or the worker
+    /// exited; [`SconeError::HostViolation`] if the result fails validation.
+    pub fn complete(&mut self, mem: &mut MemorySim) -> Result<Completion, SconeError> {
+        if self.in_flight == 0 {
+            return Err(SconeError::ShieldStopped);
+        }
+        let (id, call, ret) = self.resp_rx.recv().map_err(|_| SconeError::ShieldStopped)?;
+        self.in_flight -= 1;
+        mem.charge_cycles(self.costs.queue_op_cycles);
+        validate(&call, &ret)?;
+        mem.charge_cycles(self.costs.copy_cost(ret_payload_bytes(&ret)));
+        Ok(Completion { id, ret })
+    }
+
+    /// Submits `call` and waits for its completion (single-call convenience;
+    /// still cheaper than [`SyncShield`] because no transition occurs).
+    ///
+    /// # Errors
+    ///
+    /// See [`AsyncShield::submit`] and [`AsyncShield::complete`].
+    pub fn call(&mut self, mem: &mut MemorySim, call: Syscall) -> Result<SyscallRet, SconeError> {
+        let id = self.submit(mem, call)?;
+        loop {
+            let completion = self.complete(mem)?;
+            if completion.id == id {
+                return Ok(completion.ret);
+            }
+        }
+    }
+}
+
+impl Drop for AsyncShield {
+    fn drop(&mut self) {
+        self.req_tx.take();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hostos::MemHost;
+    use securecloud_sgx::costs::{CostModel, MemoryGeometry};
+
+    fn mem() -> MemorySim {
+        MemorySim::enclave(MemoryGeometry::sgx_v1(), CostModel::sgx_v1())
+    }
+
+    #[test]
+    fn sync_shield_roundtrip_and_cost() {
+        let host = Arc::new(MemHost::new());
+        let shield = SyncShield::new(host.clone());
+        let mut mem = mem();
+        let ret = shield
+            .call(
+                &mut mem,
+                &Syscall::Open {
+                    path: "/f".into(),
+                    create: true,
+                },
+            )
+            .unwrap();
+        let SyscallRet::Fd(fd) = ret else {
+            panic!("expected fd")
+        };
+        let before = mem.cycles();
+        shield
+            .call(
+                &mut mem,
+                &Syscall::Pwrite {
+                    fd,
+                    offset: 0,
+                    data: vec![0u8; 4096],
+                },
+            )
+            .unwrap();
+        let cost = mem.cycles() - before;
+        // Must include the two transitions plus the 4 KiB copy.
+        assert!(cost >= 8_000 + 512, "cost {cost}");
+    }
+
+    #[test]
+    fn async_shield_is_cheaper_per_call() {
+        let host = Arc::new(MemHost::new());
+        let sync_shield = SyncShield::new(host.clone());
+        let mut async_shield = AsyncShield::new(host.clone());
+        let mut mem_sync = mem();
+        let mut mem_async = mem();
+        let open = Syscall::Open {
+            path: "/f".into(),
+            create: true,
+        };
+        let SyscallRet::Fd(fd) = sync_shield.call(&mut mem_sync, &open).unwrap() else {
+            panic!()
+        };
+        let write = |fd| Syscall::Pwrite {
+            fd,
+            offset: 0,
+            data: vec![1u8; 64],
+        };
+        let s0 = mem_sync.cycles();
+        for _ in 0..100 {
+            sync_shield.call(&mut mem_sync, &write(fd)).unwrap();
+        }
+        let sync_cost = mem_sync.cycles() - s0;
+
+        let SyscallRet::Fd(fd2) = async_shield.call(&mut mem_async, open).unwrap() else {
+            panic!()
+        };
+        let a0 = mem_async.cycles();
+        for _ in 0..100 {
+            async_shield.call(&mut mem_async, write(fd2)).unwrap();
+        }
+        let async_cost = mem_async.cycles() - a0;
+        assert!(
+            async_cost * 5 < sync_cost,
+            "async {async_cost} should be >5x cheaper than sync {sync_cost}"
+        );
+    }
+
+    #[test]
+    fn async_pipelining_overlaps() {
+        let host = Arc::new(MemHost::new());
+        let mut shield = AsyncShield::new(host);
+        let mut mem = mem();
+        let SyscallRet::Fd(fd) = shield
+            .call(
+                &mut mem,
+                Syscall::Open {
+                    path: "/f".into(),
+                    create: true,
+                },
+            )
+            .unwrap()
+        else {
+            panic!()
+        };
+        let mut ids = Vec::new();
+        for i in 0..32u64 {
+            ids.push(
+                shield
+                    .submit(
+                        &mut mem,
+                        Syscall::Pwrite {
+                            fd,
+                            offset: i * 8,
+                            data: vec![i as u8; 8],
+                        },
+                    )
+                    .unwrap(),
+            );
+        }
+        assert_eq!(shield.in_flight(), 32);
+        let mut seen = Vec::new();
+        while shield.in_flight() > 0 {
+            seen.push(shield.complete(&mut mem).unwrap().id);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, ids);
+    }
+
+    #[test]
+    fn complete_without_submit_errors() {
+        let host = Arc::new(MemHost::new());
+        let mut shield = AsyncShield::new(host);
+        let mut mem = mem();
+        assert!(matches!(
+            shield.complete(&mut mem),
+            Err(SconeError::ShieldStopped)
+        ));
+    }
+
+    #[test]
+    fn validation_rejects_oversized_read() {
+        // A malicious host answering more data than requested.
+        struct EvilHost;
+        impl HostOs for EvilHost {
+            fn execute(&self, _call: &Syscall) -> SyscallRet {
+                SyscallRet::Data(vec![0u8; 1 << 20])
+            }
+        }
+        let shield = SyncShield::new(Arc::new(EvilHost));
+        let mut mem = mem();
+        let err = shield.call(
+            &mut mem,
+            &Syscall::Pread {
+                fd: 1,
+                offset: 0,
+                len: 16,
+            },
+        );
+        assert!(matches!(err, Err(SconeError::HostViolation(_))));
+    }
+
+    #[test]
+    fn validation_rejects_wrong_shape() {
+        struct ShapeShifter;
+        impl HostOs for ShapeShifter {
+            fn execute(&self, _call: &Syscall) -> SyscallRet {
+                SyscallRet::Len(42)
+            }
+        }
+        let shield = SyncShield::new(Arc::new(ShapeShifter));
+        let mut mem = mem();
+        let err = shield.call(
+            &mut mem,
+            &Syscall::Open {
+                path: "/f".into(),
+                create: true,
+            },
+        );
+        assert!(matches!(err, Err(SconeError::HostViolation(_))));
+        // Over-acknowledged write is also rejected.
+        struct OverAck;
+        impl HostOs for OverAck {
+            fn execute(&self, _call: &Syscall) -> SyscallRet {
+                SyscallRet::Done(u64::MAX)
+            }
+        }
+        let shield = SyncShield::new(Arc::new(OverAck));
+        let err = shield.call(
+            &mut mem,
+            &Syscall::Pwrite {
+                fd: 1,
+                offset: 0,
+                data: vec![1],
+            },
+        );
+        assert!(matches!(err, Err(SconeError::HostViolation(_))));
+    }
+
+    #[test]
+    fn host_error_passes_through() {
+        let host = Arc::new(MemHost::new());
+        let shield = SyncShield::new(host);
+        let mut mem = mem();
+        let ret = shield
+            .call(
+                &mut mem,
+                &Syscall::Open {
+                    path: "/missing".into(),
+                    create: false,
+                },
+            )
+            .unwrap();
+        assert!(matches!(ret, SyscallRet::Error(_)));
+    }
+}

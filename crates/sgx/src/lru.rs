@@ -1,0 +1,288 @@
+//! A fixed-capacity LRU set over `u64` keys.
+//!
+//! Used by the memory simulator to track which cache lines are resident in
+//! the LLC and which pages are resident in the EPC. Implemented as a slab of
+//! doubly-linked nodes plus a hash index, so `touch` is O(1).
+
+use std::collections::HashMap;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    key: u64,
+    prev: usize,
+    next: usize,
+}
+
+/// Outcome of touching a key in an [`LruSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Touch {
+    /// Whether the key was already resident.
+    pub hit: bool,
+    /// The key evicted to make room, if any.
+    pub evicted: Option<u64>,
+}
+
+/// Fixed-capacity LRU set.
+///
+/// ```
+/// use securecloud_sgx::lru::LruSet;
+///
+/// let mut lru = LruSet::new(2);
+/// assert!(!lru.touch(1).hit);
+/// assert!(!lru.touch(2).hit);
+/// assert!(lru.touch(1).hit);          // 1 is now most recent
+/// let t = lru.touch(3);               // evicts 2 (least recent)
+/// assert_eq!(t.evicted, Some(2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LruSet {
+    index: HashMap<u64, usize>,
+    slab: Vec<Node>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    free: Vec<usize>,
+    capacity: usize,
+}
+
+impl LruSet {
+    /// Creates an LRU set holding at most `capacity` keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "LruSet capacity must be positive");
+        LruSet {
+            index: HashMap::with_capacity(capacity.min(1 << 20)),
+            slab: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            free: Vec::new(),
+            capacity,
+        }
+    }
+
+    /// Number of resident keys.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// The configured capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Whether `key` is resident (does not affect recency).
+    #[must_use]
+    pub fn contains(&self, key: u64) -> bool {
+        self.index.contains_key(&key)
+    }
+
+    /// Touches `key`: marks it most-recently-used, inserting (and possibly
+    /// evicting the LRU key) if absent.
+    pub fn touch(&mut self, key: u64) -> Touch {
+        if let Some(&slot) = self.index.get(&key) {
+            self.unlink(slot);
+            self.push_front(slot);
+            return Touch {
+                hit: true,
+                evicted: None,
+            };
+        }
+        let mut evicted = None;
+        if self.index.len() == self.capacity {
+            let victim_slot = self.tail;
+            debug_assert_ne!(victim_slot, NIL);
+            let victim_key = self.slab[victim_slot].key;
+            self.unlink(victim_slot);
+            self.index.remove(&victim_key);
+            self.free.push(victim_slot);
+            evicted = Some(victim_key);
+        }
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slab[slot] = Node {
+                    key,
+                    prev: NIL,
+                    next: NIL,
+                };
+                slot
+            }
+            None => {
+                self.slab.push(Node {
+                    key,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.slab.len() - 1
+            }
+        };
+        self.index.insert(key, slot);
+        self.push_front(slot);
+        Touch {
+            hit: false,
+            evicted,
+        }
+    }
+
+    /// Removes `key` if resident; returns whether it was present.
+    pub fn remove(&mut self, key: u64) -> bool {
+        match self.index.remove(&key) {
+            Some(slot) => {
+                self.unlink(slot);
+                self.free.push(slot);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes every key, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.index.clear();
+        self.slab.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = (self.slab[slot].prev, self.slab[slot].next);
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.slab[slot].prev = NIL;
+        self.slab[slot].next = NIL;
+    }
+
+    fn push_front(&mut self, slot: usize) {
+        self.slab[slot].prev = NIL;
+        self.slab[slot].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_hit_miss_evict() {
+        let mut lru = LruSet::new(3);
+        assert_eq!(
+            lru.touch(10),
+            Touch {
+                hit: false,
+                evicted: None
+            }
+        );
+        lru.touch(20);
+        lru.touch(30);
+        assert!(lru.touch(10).hit);
+        // LRU order is now 20 < 30 < 10; inserting evicts 20.
+        assert_eq!(lru.touch(40).evicted, Some(20));
+        assert!(!lru.contains(20));
+        assert_eq!(lru.len(), 3);
+    }
+
+    #[test]
+    fn capacity_one() {
+        let mut lru = LruSet::new(1);
+        lru.touch(1);
+        assert_eq!(lru.touch(2).evicted, Some(1));
+        assert_eq!(lru.touch(3).evicted, Some(2));
+        assert!(lru.touch(3).hit);
+        assert_eq!(lru.len(), 1);
+    }
+
+    #[test]
+    fn remove_and_reuse() {
+        let mut lru = LruSet::new(2);
+        lru.touch(1);
+        lru.touch(2);
+        assert!(lru.remove(1));
+        assert!(!lru.remove(1));
+        assert_eq!(lru.len(), 1);
+        // Removed slot is reused without eviction.
+        assert_eq!(lru.touch(3).evicted, None);
+        assert_eq!(lru.touch(4).evicted, Some(2));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut lru = LruSet::new(4);
+        for k in 0..4 {
+            lru.touch(k);
+        }
+        lru.clear();
+        assert!(lru.is_empty());
+        assert_eq!(lru.touch(9).evicted, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = LruSet::new(0);
+    }
+
+    #[test]
+    fn eviction_order_is_lru_not_fifo() {
+        let mut lru = LruSet::new(3);
+        lru.touch(1);
+        lru.touch(2);
+        lru.touch(3);
+        lru.touch(1); // refresh 1
+        assert_eq!(lru.touch(4).evicted, Some(2));
+        assert_eq!(lru.touch(5).evicted, Some(3));
+        assert_eq!(lru.touch(6).evicted, Some(1));
+    }
+
+    /// Reference model comparison over a pseudorandom workload.
+    #[test]
+    fn matches_naive_model() {
+        use std::collections::VecDeque;
+        let mut lru = LruSet::new(8);
+        let mut model: VecDeque<u64> = VecDeque::new(); // front = MRU
+        let mut state = 0x12345678u64;
+        for _ in 0..10_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let key = (state >> 33) % 24;
+            let expect_hit = model.contains(&key);
+            let mut expect_evicted = None;
+            if expect_hit {
+                let pos = model.iter().position(|&k| k == key).unwrap();
+                model.remove(pos);
+            } else if model.len() == 8 {
+                expect_evicted = model.pop_back();
+            }
+            model.push_front(key);
+            let t = lru.touch(key);
+            assert_eq!(t.hit, expect_hit);
+            assert_eq!(t.evicted, expect_evicted);
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the SGX simulator's invariants.
+
+use proptest::prelude::*;
+use securecloud_sgx::costs::{CostModel, MemoryGeometry};
+use securecloud_sgx::lru::LruSet;
+use securecloud_sgx::mem::MemorySim;
+use std::collections::VecDeque;
+
+proptest! {
+    /// The slab-based LRU behaves exactly like a naive deque model.
+    #[test]
+    fn lru_matches_reference_model(
+        capacity in 1usize..16,
+        keys in prop::collection::vec(0u64..32, 0..500),
+    ) {
+        let mut lru = LruSet::new(capacity);
+        let mut model: VecDeque<u64> = VecDeque::new();
+        for key in keys {
+            let expect_hit = model.contains(&key);
+            let mut expect_evicted = None;
+            if expect_hit {
+                let pos = model.iter().position(|&k| k == key).unwrap();
+                model.remove(pos);
+            } else if model.len() == capacity {
+                expect_evicted = model.pop_back();
+            }
+            model.push_front(key);
+            let t = lru.touch(key);
+            prop_assert_eq!(t.hit, expect_hit);
+            prop_assert_eq!(t.evicted, expect_evicted);
+            prop_assert_eq!(lru.len(), model.len());
+        }
+    }
+
+    /// LRU removal keeps the set consistent with the model.
+    #[test]
+    fn lru_with_removals(
+        capacity in 1usize..8,
+        ops in prop::collection::vec((any::<bool>(), 0u64..16), 0..300),
+    ) {
+        let mut lru = LruSet::new(capacity);
+        let mut model: VecDeque<u64> = VecDeque::new();
+        for (is_remove, key) in ops {
+            if is_remove {
+                let in_model = model.iter().position(|&k| k == key);
+                prop_assert_eq!(lru.remove(key), in_model.is_some());
+                if let Some(pos) = in_model {
+                    model.remove(pos);
+                }
+            } else {
+                if let Some(pos) = model.iter().position(|&k| k == key) {
+                    model.remove(pos);
+                } else if model.len() == capacity {
+                    model.pop_back();
+                }
+                model.push_front(key);
+                lru.touch(key);
+            }
+            prop_assert_eq!(lru.len(), model.len());
+        }
+    }
+
+    /// Simulated cycles are monotone in the amount of memory touched, and
+    /// enclave execution never costs less than native for the same trace.
+    #[test]
+    fn enclave_never_cheaper_than_native(
+        touches in prop::collection::vec((0u64..512, 1usize..256), 1..100),
+    ) {
+        let geometry = MemoryGeometry {
+            line_bytes: 64,
+            llc_bytes: 64 * 16,
+            page_bytes: 4096,
+            epc_total_bytes: 4096 * 8,
+            epc_reserved_bytes: 4096 * 2,
+        };
+        let costs = CostModel::sgx_v1();
+        let mut native = MemorySim::native(geometry, costs.clone());
+        let mut enclave = MemorySim::enclave(geometry, costs);
+        let rn = native.alloc(512 * 64 + 4096);
+        let re = enclave.alloc(512 * 64 + 4096);
+        for (line, len) in touches {
+            let offset = line * 64;
+            let len = len.min((rn.len() - offset) as usize).max(1);
+            native.touch_region(rn, offset, len);
+            enclave.touch_region(re, offset, len);
+        }
+        prop_assert!(enclave.cycles() >= native.cycles());
+        prop_assert_eq!(
+            native.stats().line_accesses,
+            enclave.stats().line_accesses
+        );
+    }
+
+    /// Stats identities: hits + misses == accesses; faults <= misses.
+    #[test]
+    fn stats_identities(
+        touches in prop::collection::vec((0u64..2048, 1usize..64), 1..200),
+    ) {
+        let mut sim = MemorySim::enclave(MemoryGeometry::sgx_v1(), CostModel::sgx_v1());
+        let region = sim.alloc(2048 * 64 + 64);
+        for (line, len) in touches {
+            let offset = line * 64;
+            let len = len.min((region.len() - offset) as usize).max(1);
+            sim.touch_region(region, offset, len);
+        }
+        let s = sim.stats();
+        prop_assert_eq!(s.cache_hits + s.llc_misses, s.line_accesses);
+        prop_assert!(s.epc_faults <= s.llc_misses);
+        prop_assert!(s.epc_evictions <= s.epc_faults);
+    }
+}

@@ -1,0 +1,23 @@
+//! Smart-grid applications of the SecureCloud platform (paper §VI).
+//!
+//! The paper validates its stack on smart-grid big-data use cases; this
+//! crate implements them end to end on the workspace's substrates:
+//!
+//! * [`meters`] — synthetic household traces from appliance models
+//!   (substitute for the private production data the paper uses),
+//! * [`theft`] — power-theft (non-technical-loss) detection as a two-phase
+//!   secure map/reduce pipeline,
+//! * [`billing`] — time-of-use billing as a secure map/reduce job,
+//! * [`quality`] — power-quality (sag/swell) monitoring with
+//!   millisecond-scale detection latency,
+//! * [`privacy`] — the appliance-inference attack that motivates
+//!   encrypting meter data (works on plaintext, fails on sealed payloads),
+//! * [`orchestration`] — the monitoring/orchestration service reacting to
+//!   latency anomalies within one bus step.
+
+pub mod billing;
+pub mod meters;
+pub mod orchestration;
+pub mod privacy;
+pub mod quality;
+pub mod theft;

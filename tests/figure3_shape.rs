@@ -1,0 +1,145 @@
+//! A scaled-down check that the Figure 3 mechanism holds: in-enclave
+//! matching time diverges from native matching time once the subscription
+//! database outgrows the usable EPC, and degradation begins *before* the
+//! nominal EPC size (SGX metadata reservation).
+//!
+//! The full-size sweep lives in the bench crate
+//! (`cargo run -p securecloud-bench --bin repro -- fig3`); this test uses a
+//! shrunken geometry so it runs in seconds.
+
+use securecloud::scbr::engine::MatchEngine;
+use securecloud::scbr::index::PosetIndex;
+use securecloud::scbr::workload::WorkloadSpec;
+use securecloud::sgx::costs::{CostModel, MemoryGeometry};
+use securecloud::sgx::mem::MemorySim;
+
+/// A 1/16-scale SGX: 8 MiB EPC (6 MiB usable), 512 KiB LLC.
+fn small_geometry() -> MemoryGeometry {
+    MemoryGeometry {
+        line_bytes: 64,
+        llc_bytes: 512 << 10,
+        page_bytes: 4096,
+        epc_total_bytes: 8 << 20,
+        epc_reserved_bytes: 2 << 20,
+    }
+}
+
+fn ns_per_publication(db_bytes: u64, enclave: bool) -> f64 {
+    let geometry = small_geometry();
+    let costs = CostModel::sgx_v1();
+    let mut mem = if enclave {
+        MemorySim::enclave(geometry, costs)
+    } else {
+        MemorySim::native(geometry, costs)
+    };
+    let spec = WorkloadSpec::fig3();
+    let mut engine = MatchEngine::new(PosetIndex::with_partition_attr("topic"));
+    for sub in spec.subscriptions_for_db_size(db_bytes) {
+        engine.subscribe(&mut mem, sub);
+    }
+    let publications = spec.publications(30);
+    for publication in &publications {
+        engine.publish(&mut mem, publication); // warm-up
+    }
+    mem.reset_metrics();
+    for publication in &publications {
+        engine.publish(&mut mem, publication);
+    }
+    mem.elapsed().as_nanos() as f64 / publications.len() as f64
+}
+
+#[test]
+fn enclave_overhead_grows_past_epc() {
+    // DB sizes relative to the 8 MiB EPC (6 MiB usable).
+    let small = 2u64 << 20; //  fits EPC comfortably
+    let mid = 5 << 20; //  below nominal EPC, above usable
+    let large = 16 << 20; //  2x the EPC
+
+    let ratio = |db: u64| ns_per_publication(db, true) / ns_per_publication(db, false);
+    let r_small = ratio(small);
+    let r_mid = ratio(mid);
+    let r_large = ratio(large);
+
+    // Shape of Figure 3:
+    // 1. Small DBs: bounded overhead (MEE on misses only).
+    assert!(
+        r_small < 4.0,
+        "small-DB ratio should be mild, got {r_small:.2}"
+    );
+    // 2. Degradation already visible before the nominal EPC size.
+    assert!(
+        r_mid > r_small,
+        "degradation must start before the EPC line: {r_mid:.2} <= {r_small:.2}"
+    );
+    // 3. Past the EPC: paging dominates, order-of-magnitude slowdown.
+    assert!(
+        r_large > 4.0,
+        "past-EPC ratio should be large, got {r_large:.2}"
+    );
+    assert!(
+        r_large > r_mid,
+        "ratio must keep growing: {r_large:.2} <= {r_mid:.2}"
+    );
+}
+
+#[test]
+fn matching_results_identical_across_domains() {
+    let geometry = small_geometry();
+    let costs = CostModel::sgx_v1();
+    let mut native = MemorySim::native(geometry, costs.clone());
+    let mut enclave = MemorySim::enclave(geometry, costs);
+    let spec = WorkloadSpec::fig3();
+    let mut engine_native = MatchEngine::new(PosetIndex::with_partition_attr("topic"));
+    let mut engine_enclave = MatchEngine::new(PosetIndex::with_partition_attr("topic"));
+    for sub in spec.subscriptions(2_000) {
+        engine_native.subscribe(&mut native, sub.clone());
+        engine_enclave.subscribe(&mut enclave, sub);
+    }
+    for publication in spec.publications(50) {
+        let mut a = engine_native.publish(&mut native, &publication);
+        let mut b = engine_enclave.publish(&mut enclave, &publication);
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "domain must not affect matching semantics");
+    }
+}
+
+#[test]
+fn epc_fault_rate_drives_the_ratio() {
+    // Direct mechanism check: past-EPC runs fault, in-EPC runs do not.
+    let geometry = small_geometry();
+    let spec = WorkloadSpec::fig3();
+    let mut mem = MemorySim::enclave(geometry, CostModel::sgx_v1());
+    let mut engine = MatchEngine::new(PosetIndex::with_partition_attr("topic"));
+    for sub in spec.subscriptions_for_db_size(2 << 20) {
+        engine.subscribe(&mut mem, sub);
+    }
+    for publication in spec.publications(30) {
+        engine.publish(&mut mem, &publication);
+    }
+    mem.reset_metrics();
+    for publication in spec.publications(30) {
+        engine.publish(&mut mem, &publication);
+    }
+    let faults_small = mem.stats().epc_faults;
+
+    let mut mem = MemorySim::enclave(geometry, CostModel::sgx_v1());
+    let mut engine = MatchEngine::new(PosetIndex::with_partition_attr("topic"));
+    for sub in spec.subscriptions_for_db_size(16 << 20) {
+        engine.subscribe(&mut mem, sub);
+    }
+    for publication in spec.publications(30) {
+        engine.publish(&mut mem, &publication);
+    }
+    mem.reset_metrics();
+    for publication in spec.publications(30) {
+        engine.publish(&mut mem, &publication);
+    }
+    let faults_large = mem.stats().epc_faults;
+
+    assert_eq!(faults_small, 0, "steady-state in-EPC run must not fault");
+    assert!(
+        faults_large > 1_000,
+        "past-EPC run must thrash: {faults_large}"
+    );
+}
