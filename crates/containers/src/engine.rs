@@ -6,13 +6,21 @@
 //! container additionally launches an enclave from the image entrypoint and
 //! runs the SCONE bootstrap (attested SCF provisioning + shielded FS
 //! mount) before entering the `Running` state.
+//!
+//! The engine also **supervises** containers: an aborted container whose
+//! [`RestartPolicy`] allows it is restarted on the engine's virtual clock
+//! with exponential backoff plus seeded jitter. Every restart launches a
+//! *fresh* enclave and re-runs the full attested bootstrap — a restarted
+//! container is re-attested from scratch, never resumed. A container that
+//! keeps failing past its restart budget is quarantined.
 
 use crate::build::{BuiltImage, PROTECTION_PATH};
-use crate::image::ImageId;
+use crate::image::{Image, ImageId};
 use crate::registry::Registry;
 use crate::ContainerError;
 use parking_lot::RwLock;
 use securecloud_crypto::channel::memory_pair;
+use securecloud_faults::{DetRng, FaultInjector};
 use securecloud_scone::hostos::{HostOs, MemHost, Syscall, SyscallRet};
 use securecloud_scone::runtime::SconeRuntime;
 use securecloud_scone::scf::ConfigService;
@@ -33,6 +41,60 @@ pub enum ContainerState {
     Running,
     /// Stopped.
     Stopped,
+}
+
+/// When the supervisor restarts a container that terminated abnormally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RestartPolicy {
+    /// Never restart (the default; matches the pre-supervision engine).
+    #[default]
+    Never,
+    /// Restart after aborts (enclave faults, crashes).
+    OnFailure,
+    /// Restart after any abnormal termination. Administrative
+    /// [`Engine::stop`] never triggers a restart under any policy.
+    Always,
+}
+
+/// Supervision health, tracked alongside the lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ContainerHealth {
+    /// Alive and serving.
+    Running,
+    /// Terminated abnormally; a restart is scheduled on the virtual clock.
+    Backoff,
+    /// Not running and no restart scheduled (stopped administratively, or
+    /// the policy forbids restarting).
+    Failed,
+    /// Exhausted its restart budget; the supervisor has given up.
+    Quarantined,
+}
+
+/// Supervision parameters for one container.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SupervisionConfig {
+    /// When to restart.
+    pub policy: RestartPolicy,
+    /// First backoff delay; doubles per restart.
+    pub backoff_base_ms: u64,
+    /// Upper bound on the exponential backoff.
+    pub backoff_cap_ms: u64,
+    /// Maximum seeded jitter added to each delay (0 disables jitter).
+    pub jitter_ms: u64,
+    /// Restart attempts before quarantine.
+    pub max_restarts: u32,
+}
+
+impl Default for SupervisionConfig {
+    fn default() -> Self {
+        SupervisionConfig {
+            policy: RestartPolicy::Never,
+            backoff_base_ms: 100,
+            backoff_cap_ms: 10_000,
+            jitter_ms: 50,
+            max_restarts: 5,
+        }
+    }
 }
 
 /// Resource usage counters, the basis for the paper's "accounting and
@@ -56,6 +118,11 @@ pub struct Container {
     host: Arc<MemHost>,
     image_bytes: u64,
     runtime: Option<SconeRuntime>,
+    supervision: SupervisionConfig,
+    health: ContainerHealth,
+    restarts: u32,
+    restart_due_ms: Option<u64>,
+    last_fault: Option<String>,
 }
 
 impl Container {
@@ -94,6 +161,30 @@ impl Container {
         self.runtime.as_mut()
     }
 
+    /// Supervision health.
+    #[must_use]
+    pub fn health(&self) -> ContainerHealth {
+        self.health
+    }
+
+    /// How many times the supervisor has restarted this container.
+    #[must_use]
+    pub fn restarts(&self) -> u32 {
+        self.restarts
+    }
+
+    /// Virtual time of the next scheduled restart, while in backoff.
+    #[must_use]
+    pub fn restart_due_ms(&self) -> Option<u64> {
+        self.restart_due_ms
+    }
+
+    /// The most recent fault that took this container down.
+    #[must_use]
+    pub fn last_fault(&self) -> Option<&str> {
+        self.last_fault.as_deref()
+    }
+
     /// Resource usage snapshot.
     #[must_use]
     pub fn usage(&mut self) -> ResourceUsage {
@@ -117,6 +208,9 @@ pub struct Engine {
     config_service: Arc<RwLock<ConfigService>>,
     containers: HashMap<ContainerId, Container>,
     next_id: u64,
+    now_ms: u64,
+    jitter_rng: DetRng,
+    injector: Option<Arc<FaultInjector>>,
 }
 
 impl Engine {
@@ -134,6 +228,32 @@ impl Engine {
             config_service,
             containers: HashMap::new(),
             next_id: 1,
+            now_ms: 0,
+            jitter_rng: DetRng::new(0x5EC0_C10D),
+            injector: None,
+        }
+    }
+
+    /// Current virtual time in milliseconds.
+    #[must_use]
+    pub fn now_ms(&self) -> u64 {
+        self.now_ms
+    }
+
+    /// Reseeds the generator used for restart-backoff jitter.
+    pub fn set_supervision_seed(&mut self, seed: u64) {
+        self.jitter_rng = DetRng::new(seed);
+    }
+
+    /// Attaches a fault injector; the engine records supervision events
+    /// (aborts, restarts, quarantines) into its trace.
+    pub fn set_fault_injector(&mut self, injector: Arc<FaultInjector>) {
+        self.injector = Some(injector);
+    }
+
+    fn record(&self, line: String) {
+        if let Some(injector) = &self.injector {
+            injector.record(line);
         }
     }
 
@@ -159,6 +279,19 @@ impl Engine {
     /// * [`ContainerError::Start`] — the secure bootstrap failed (bad
     ///   attestation, tampered protection file, missing SCF).
     pub fn run(&mut self, image_id: ImageId) -> Result<ContainerId, ContainerError> {
+        self.run_supervised(image_id, SupervisionConfig::default())
+    }
+
+    /// Creates and starts a container from `image_id` under `supervision`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Engine::run`].
+    pub fn run_supervised(
+        &mut self,
+        image_id: ImageId,
+        supervision: SupervisionConfig,
+    ) -> Result<ContainerId, ContainerError> {
         let image = self.registry.pull(image_id)?;
         let host = Arc::new(MemHost::new());
         let flat = image.flatten();
@@ -180,32 +313,12 @@ impl Engine {
         }
 
         let runtime = if image.secure {
-            let sealed_protection = flat.get(PROTECTION_PATH).ok_or_else(|| {
-                ContainerError::Start("secure image lacks FS protection file".into())
-            })?;
-            let enclave = self
-                .platform
-                .launch(EnclaveConfig::new(&image.reference(), &image.entrypoint))
-                .map_err(|e| ContainerError::Start(e.to_string()))?;
-            let (client_t, server_t) = memory_pair();
-            let service = Arc::clone(&self.config_service);
-            let service_key = service.read().public_key();
-            let server = std::thread::spawn(move || service.read().serve_one(server_t));
-            let runtime = SconeRuntime::bootstrap(
-                enclave,
-                client_t,
-                service_key,
-                host.clone() as Arc<dyn HostOs>,
-                sealed_protection,
-            );
-            let served = server.join().expect("config service thread");
-            match runtime {
-                Ok(rt) => {
-                    served.map_err(|e| ContainerError::Start(e.to_string()))?;
-                    Some(rt)
-                }
-                Err(e) => return Err(ContainerError::Start(e.to_string())),
-            }
+            Some(Self::bootstrap_runtime(
+                &self.platform,
+                &self.config_service,
+                &image,
+                &host,
+            )?)
         } else {
             None
         };
@@ -221,9 +334,52 @@ impl Engine {
                 host,
                 image_bytes,
                 runtime,
+                supervision,
+                health: ContainerHealth::Running,
+                restarts: 0,
+                restart_due_ms: None,
+                last_fault: None,
             },
         );
         Ok(id)
+    }
+
+    /// Launches a fresh enclave from `image` and runs the full attested
+    /// SCONE bootstrap against `host`. Used for the first start and for
+    /// every supervised restart — re-attestation is never skipped.
+    fn bootstrap_runtime(
+        platform: &Platform,
+        config_service: &Arc<RwLock<ConfigService>>,
+        image: &Image,
+        host: &Arc<MemHost>,
+    ) -> Result<SconeRuntime, ContainerError> {
+        let sealed_protection = image
+            .flatten()
+            .get(PROTECTION_PATH)
+            .cloned()
+            .ok_or_else(|| ContainerError::Start("secure image lacks FS protection file".into()))?;
+        let enclave = platform
+            .launch(EnclaveConfig::new(&image.reference(), &image.entrypoint))
+            .map_err(|e| ContainerError::Start(e.to_string()))?;
+        let (client_t, server_t) = memory_pair();
+        let service = Arc::clone(config_service);
+        let service_key = service.read().public_key();
+        let server = std::thread::spawn(move || service.read().serve_one(server_t));
+        let runtime = SconeRuntime::bootstrap(
+            enclave,
+            client_t,
+            service_key,
+            host.clone() as Arc<dyn HostOs>,
+            &sealed_protection,
+        );
+        let served = server.join().expect("config service thread");
+        match runtime {
+            Ok(rt) => {
+                served.map_err(|e| ContainerError::Start(e.to_string()))?;
+                Ok(rt)
+            }
+            Err(e) => Err(ContainerError::Start(e.to_string())),
+        }
     }
 
     /// Creates and starts a container by `name:tag`.
@@ -236,7 +392,8 @@ impl Engine {
         self.run(id)
     }
 
-    /// Stops a container. For secure containers the enclave is destroyed.
+    /// Stops a container administratively. For secure containers the
+    /// enclave is destroyed. No restart is scheduled, whatever the policy.
     ///
     /// # Errors
     ///
@@ -250,7 +407,141 @@ impl Engine {
             runtime.enclave_mut().destroy();
         }
         container.state = ContainerState::Stopped;
+        container.health = ContainerHealth::Failed;
+        container.restart_due_ms = None;
         Ok(())
+    }
+
+    /// Aborts a container abnormally (an enclave fault, a crash): the
+    /// enclave — and with it all enclave memory — is lost. Under
+    /// [`RestartPolicy::Never`] the container is left `Failed`; otherwise a
+    /// restart is scheduled with exponential backoff plus seeded jitter.
+    ///
+    /// # Errors
+    ///
+    /// [`ContainerError::ContainerNotFound`] for unknown ids.
+    pub fn abort(&mut self, id: ContainerId, reason: &str) -> Result<(), ContainerError> {
+        let container = self
+            .containers
+            .get_mut(&id)
+            .ok_or(ContainerError::ContainerNotFound(id))?;
+        if let Some(runtime) = &mut container.runtime {
+            runtime.enclave_mut().abort(reason);
+        }
+        container.state = ContainerState::Stopped;
+        container.last_fault = Some(reason.to_string());
+        self.record(format!("container c{} aborted: {reason}", id.0));
+        match self.containers[&id].supervision.policy {
+            RestartPolicy::Never => {
+                let container = self.containers.get_mut(&id).expect("present above");
+                container.health = ContainerHealth::Failed;
+                container.restart_due_ms = None;
+            }
+            RestartPolicy::OnFailure | RestartPolicy::Always => {
+                self.schedule_restart_or_quarantine(id);
+            }
+        }
+        Ok(())
+    }
+
+    /// Advances the engine's virtual clock, restarting containers whose
+    /// backoff delay has elapsed. Every restart launches a fresh enclave
+    /// and re-runs the attested bootstrap on the container's *existing*
+    /// host file system (persisted shielded state survives; enclave memory
+    /// does not). A restart that itself fails re-enters backoff until the
+    /// restart budget quarantines the container.
+    pub fn advance(&mut self, ms: u64) {
+        self.now_ms += ms;
+        let now = self.now_ms;
+        let mut due: Vec<ContainerId> = self
+            .containers
+            .iter()
+            .filter(|(_, c)| {
+                c.health == ContainerHealth::Backoff && c.restart_due_ms.is_some_and(|t| t <= now)
+            })
+            .map(|(&id, _)| id)
+            .collect();
+        due.sort_by_key(|id| id.0);
+        for id in due {
+            let attempt = {
+                let container = self.containers.get_mut(&id).expect("listed above");
+                container.restarts += 1;
+                container.restarts
+            };
+            match self.try_restart(id) {
+                Ok(()) => {
+                    self.record(format!("container c{} restarted attempt {attempt}", id.0));
+                }
+                Err(e) => {
+                    self.record(format!(
+                        "container c{} restart attempt {attempt} failed: {e}",
+                        id.0
+                    ));
+                    self.schedule_restart_or_quarantine(id);
+                }
+            }
+        }
+    }
+
+    fn try_restart(&mut self, id: ContainerId) -> Result<(), ContainerError> {
+        let (image_id, host, secure) = {
+            let container = self
+                .containers
+                .get(&id)
+                .ok_or(ContainerError::ContainerNotFound(id))?;
+            (
+                container.image,
+                container.host.clone(),
+                container.is_secure(),
+            )
+        };
+        let image = self.registry.pull(image_id)?;
+        let runtime = if secure {
+            Some(Self::bootstrap_runtime(
+                &self.platform,
+                &self.config_service,
+                &image,
+                &host,
+            )?)
+        } else {
+            None
+        };
+        let container = self.containers.get_mut(&id).expect("present above");
+        container.runtime = runtime;
+        container.state = ContainerState::Running;
+        container.health = ContainerHealth::Running;
+        container.restart_due_ms = None;
+        Ok(())
+    }
+
+    fn schedule_restart_or_quarantine(&mut self, id: ContainerId) {
+        let now = self.now_ms;
+        let container = self.containers.get_mut(&id).expect("caller checked");
+        let config = container.supervision;
+        if container.restarts >= config.max_restarts {
+            container.health = ContainerHealth::Quarantined;
+            container.restart_due_ms = None;
+            let restarts = container.restarts;
+            self.record(format!(
+                "container c{} quarantined after {restarts} restarts",
+                id.0
+            ));
+            return;
+        }
+        let doublings = container.restarts.min(32);
+        let exponential = config
+            .backoff_base_ms
+            .saturating_mul(1u64 << doublings)
+            .min(config.backoff_cap_ms);
+        let jitter = if config.jitter_ms > 0 {
+            self.jitter_rng.below(config.jitter_ms)
+        } else {
+            0
+        };
+        let delay = exponential + jitter;
+        container.health = ContainerHealth::Backoff;
+        container.restart_due_ms = Some(now + delay);
+        self.record(format!("container c{} backoff {delay}ms", id.0));
     }
 
     /// Access to a container.
@@ -426,5 +717,159 @@ mod tests {
         let a = engine.run(image_id).unwrap();
         let b = engine.run(image_id).unwrap();
         assert_eq!(engine.container_ids(), vec![a, b]);
+    }
+
+    fn supervised(policy: RestartPolicy) -> SupervisionConfig {
+        SupervisionConfig {
+            policy,
+            backoff_base_ms: 100,
+            backoff_cap_ms: 1_000,
+            jitter_ms: 0, // exact delays, for assertions
+            max_restarts: 3,
+        }
+    }
+
+    #[test]
+    fn abort_without_policy_fails_permanently() {
+        let mut engine = engine();
+        let image_id = engine.deploy(built_image());
+        let cid = engine.run(image_id).unwrap();
+        engine.abort(cid, "machine fault").unwrap();
+        let container = engine.container(cid).unwrap();
+        assert_eq!(container.health(), ContainerHealth::Failed);
+        assert_eq!(container.last_fault(), Some("machine fault"));
+        engine.advance(1_000_000);
+        assert_eq!(
+            engine.container(cid).unwrap().state(),
+            ContainerState::Stopped,
+            "RestartPolicy::Never never restarts"
+        );
+    }
+
+    #[test]
+    fn aborted_container_restarts_with_fresh_attested_enclave() {
+        let mut engine = engine();
+        let image_id = engine.deploy(built_image());
+        let cid = engine
+            .run_supervised(image_id, supervised(RestartPolicy::OnFailure))
+            .unwrap();
+        let old_enclave_id = {
+            let container = engine.container_mut(cid).unwrap();
+            container.runtime_mut().unwrap().enclave().id()
+        };
+        engine.abort(cid, "injected enclave abort").unwrap();
+        {
+            let container = engine.container_mut(cid).unwrap();
+            assert_eq!(container.health(), ContainerHealth::Backoff);
+            assert_eq!(container.restart_due_ms(), Some(100), "base backoff");
+            let runtime = container.runtime_mut().unwrap();
+            assert!(runtime.enclave().is_aborted());
+        }
+        // Not yet due.
+        engine.advance(99);
+        assert_eq!(
+            engine.container(cid).unwrap().health(),
+            ContainerHealth::Backoff
+        );
+        // Due: restarted, re-bootstrapped, fresh enclave.
+        engine.advance(1);
+        let container = engine.container_mut(cid).unwrap();
+        assert_eq!(container.health(), ContainerHealth::Running);
+        assert_eq!(container.state(), ContainerState::Running);
+        assert_eq!(container.restarts(), 1);
+        let runtime = container.runtime_mut().unwrap();
+        assert_ne!(runtime.enclave().id(), old_enclave_id, "fresh enclave");
+        assert!(!runtime.enclave().is_aborted());
+        // Re-attestation succeeded: the SCF was re-provisioned and the
+        // shielded FS remounted over the surviving host file system.
+        assert_eq!(
+            runtime.read_file("/data/keys", 0, 100).unwrap(),
+            b"secret key material"
+        );
+    }
+
+    #[test]
+    fn backoff_doubles_and_quarantines_at_budget() {
+        let mut engine = engine();
+        let image_id = engine.deploy(built_image());
+        let cid = engine
+            .run_supervised(image_id, supervised(RestartPolicy::Always))
+            .unwrap();
+        // Crash-loop: abort immediately after each restart.
+        let mut expected_delays = Vec::new();
+        for round in 0..3 {
+            engine.abort(cid, "crash loop").unwrap();
+            let container = engine.container(cid).unwrap();
+            assert_eq!(container.health(), ContainerHealth::Backoff);
+            let due = container.restart_due_ms().unwrap();
+            expected_delays.push(due - engine.now_ms());
+            engine.advance(due - engine.now_ms());
+            assert_eq!(
+                engine.container(cid).unwrap().health(),
+                ContainerHealth::Running,
+                "restart {round} came back"
+            );
+        }
+        assert_eq!(expected_delays, vec![100, 200, 400], "exponential backoff");
+        // Fourth abort: restart budget (3) is spent -> quarantine.
+        engine.abort(cid, "crash loop").unwrap();
+        let container = engine.container(cid).unwrap();
+        assert_eq!(container.health(), ContainerHealth::Quarantined);
+        assert_eq!(container.restart_due_ms(), None);
+        engine.advance(1_000_000);
+        assert_eq!(
+            engine.container(cid).unwrap().health(),
+            ContainerHealth::Quarantined,
+            "quarantine is terminal"
+        );
+    }
+
+    #[test]
+    fn backoff_jitter_is_seeded_and_bounded() {
+        let delays = |seed: u64| {
+            let mut engine = engine();
+            engine.set_supervision_seed(seed);
+            let image_id = engine.deploy(built_image());
+            let config = SupervisionConfig {
+                jitter_ms: 50,
+                max_restarts: 10,
+                ..supervised(RestartPolicy::OnFailure)
+            };
+            let cid = engine.run_supervised(image_id, config).unwrap();
+            let mut delays = Vec::new();
+            for _ in 0..4 {
+                engine.abort(cid, "x").unwrap();
+                let due = engine.container(cid).unwrap().restart_due_ms().unwrap();
+                delays.push(due - engine.now_ms());
+                engine.advance(due - engine.now_ms());
+            }
+            delays
+        };
+        let a = delays(7);
+        assert_eq!(a, delays(7), "same seed, same jitter");
+        for (i, &delay) in a.iter().enumerate() {
+            let exponential = 100u64 << i;
+            assert!(
+                delay >= exponential && delay < exponential + 50,
+                "delay {delay} outside [{exponential}, {exponential}+50)"
+            );
+        }
+    }
+
+    #[test]
+    fn administrative_stop_never_restarts() {
+        let mut engine = engine();
+        let image_id = engine.deploy(built_image());
+        let cid = engine
+            .run_supervised(image_id, supervised(RestartPolicy::Always))
+            .unwrap();
+        engine.stop(cid).unwrap();
+        let container = engine.container(cid).unwrap();
+        assert_eq!(container.health(), ContainerHealth::Failed);
+        engine.advance(1_000_000);
+        assert_eq!(
+            engine.container(cid).unwrap().state(),
+            ContainerState::Stopped
+        );
     }
 }

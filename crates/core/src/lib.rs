@@ -44,6 +44,7 @@
 pub use securecloud_containers as containers;
 pub use securecloud_crypto as crypto;
 pub use securecloud_eventbus as eventbus;
+pub use securecloud_faults as faults;
 pub use securecloud_genpack as genpack;
 pub use securecloud_kvstore as kvstore;
 pub use securecloud_mapreduce as mapreduce;
@@ -59,6 +60,7 @@ use containers::registry::Registry;
 use containers::ContainerError;
 use eventbus::service::{MicroService, ServiceHost};
 use eventbus::TopicKeyService;
+use faults::{FaultEvent, FaultInjector, FaultKind};
 use parking_lot::RwLock;
 use scone::runtime::SconeRuntime;
 use scone::scf::ConfigService;
@@ -78,6 +80,8 @@ pub struct SecureCloud {
     engine: Engine,
     key_service: TopicKeyService,
     host: ServiceHost,
+    sim_now_ms: u64,
+    injector: Option<Arc<FaultInjector>>,
 }
 
 impl std::fmt::Debug for SecureCloud {
@@ -115,7 +119,75 @@ impl SecureCloud {
             engine,
             key_service: TopicKeyService::new(key_attestation),
             host: ServiceHost::new(1_000),
+            sim_now_ms: 0,
+            injector: None,
         }
+    }
+
+    /// Attaches a seeded fault injector to the whole platform: the event
+    /// bus consults it for message fates, the container engine and service
+    /// host record recovery events into its trace, and [`SecureCloud::advance`]
+    /// fires its planned faults at their virtual-time points.
+    pub fn set_fault_injector(&mut self, injector: Arc<FaultInjector>) {
+        self.engine.set_fault_injector(Arc::clone(&injector));
+        self.host.set_fault_injector(Arc::clone(&injector));
+        self.injector = Some(injector);
+    }
+
+    /// The attached fault injector, if any.
+    #[must_use]
+    pub fn fault_injector(&self) -> Option<&Arc<FaultInjector>> {
+        self.injector.as_ref()
+    }
+
+    /// The platform-wide virtual time in milliseconds.
+    #[must_use]
+    pub fn now_ms(&self) -> u64 {
+        self.sim_now_ms
+    }
+
+    /// Advances the platform's virtual clock by `ms`: the container engine
+    /// restarts containers whose backoff elapsed, the event bus expires
+    /// leases (redelivering unacked messages), and any planned faults that
+    /// came due are fired — enclave aborts go to the engine, service panics
+    /// arm the service host, syscall failures arm the injector itself.
+    ///
+    /// Returns the fault events that fired so callers can apply the kinds
+    /// the facade does not own (e.g. [`FaultKind::BrokerFail`] against an
+    /// external [`scbr::broker::Overlay`]).
+    pub fn advance(&mut self, ms: u64) -> Vec<FaultEvent> {
+        self.sim_now_ms += ms;
+        // Move the injector's clock first so everything the engine and bus
+        // record below is stamped with the current virtual time.
+        let events = match &self.injector {
+            Some(injector) => injector.advance_to(self.sim_now_ms),
+            None => Vec::new(),
+        };
+        self.engine.advance(ms);
+        self.host.bus_mut().advance(ms);
+        if self.injector.is_none() {
+            return events;
+        }
+        for event in &events {
+            match &event.kind {
+                FaultKind::EnclaveAbort { container } => {
+                    // Unknown ids are a plan/deployment mismatch; the trace
+                    // already records the fired event, so just skip.
+                    let _ = self
+                        .engine
+                        .abort(ContainerId(*container), "injected enclave abort");
+                }
+                FaultKind::ServicePanic { service } => {
+                    self.host.inject_panic_next(service);
+                }
+                // Consumed by the injector (arms forced syscall failures).
+                FaultKind::SyscallFail { .. } => {}
+                // The facade owns no broker overlay; returned to the caller.
+                FaultKind::BrokerFail { .. } => {}
+                _ => {}
+            }
+        }
+        events
     }
 
     /// The underlying (simulated) SGX platform.

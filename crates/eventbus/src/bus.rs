@@ -8,9 +8,22 @@
 //!
 //! Time is virtual: the application (or the simulation harness) advances it
 //! with [`EventBus::advance`].
+//!
+//! Two robustness features bound the at-least-once loop:
+//!
+//! * a **retry budget** ([`EventBus::set_max_attempts`]): a message that has
+//!   been delivered that many times and still comes back (nack or lease
+//!   expiry) is moved to a per-bus **dead-letter queue**
+//!   ([`EventBus::dead_letters`]) instead of being requeued forever;
+//! * an optional **fault injector** ([`EventBus::set_fault_injector`]):
+//!   fetched deliveries may be lost (the lease still starts, so expiry
+//!   redelivers — losses never violate at-least-once) or duplicated
+//!   (consumers dedup by [`MessageId`]).
 
+use securecloud_faults::{FaultInjector, MessageFate};
 use securecloud_scbr::types::{Publication, Subscription};
 use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::sync::Arc;
 
 /// Bus-assigned message identifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -48,6 +61,20 @@ pub struct BusStats {
     pub acked: u64,
     /// Publications that matched no subscriber.
     pub dropped: u64,
+    /// Messages moved to the dead-letter queue after exhausting their
+    /// retry budget.
+    pub dead_lettered: u64,
+}
+
+/// A message that exhausted its retry budget, parked for inspection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeadLetter {
+    /// The subscriber that kept failing it.
+    pub subscriber: SubscriberId,
+    /// The message as of its final attempt.
+    pub message: Message,
+    /// Why it was parked (`"nack"` or `"lease-expired"`).
+    pub reason: &'static str,
 }
 
 #[derive(Debug)]
@@ -68,6 +95,9 @@ pub struct EventBus {
     next_subscriber: u64,
     next_message: u64,
     stats: BusStats,
+    max_attempts: Option<u32>,
+    dead: Vec<DeadLetter>,
+    injector: Option<Arc<FaultInjector>>,
 }
 
 impl EventBus {
@@ -82,6 +112,58 @@ impl EventBus {
             next_subscriber: 1,
             next_message: 1,
             stats: BusStats::default(),
+            max_attempts: None,
+            dead: Vec::new(),
+            injector: None,
+        }
+    }
+
+    /// Sets the per-message retry budget. A message whose `attempt` count
+    /// has reached `max_attempts` when it comes back (nack or lease expiry)
+    /// is dead-lettered instead of requeued. `None` (the default) retries
+    /// forever.
+    pub fn set_max_attempts(&mut self, max_attempts: Option<u32>) {
+        self.max_attempts = max_attempts;
+    }
+
+    /// Attaches a fault injector that decides the fate of each fetched
+    /// delivery (lose / duplicate / deliver).
+    pub fn set_fault_injector(&mut self, injector: Arc<FaultInjector>) {
+        self.injector = Some(injector);
+    }
+
+    /// The dead-letter queue, in parking order.
+    #[must_use]
+    pub fn dead_letters(&self) -> &[DeadLetter] {
+        &self.dead
+    }
+
+    /// Drains the dead-letter queue (e.g. to reprocess after a fix).
+    pub fn take_dead_letters(&mut self) -> Vec<DeadLetter> {
+        std::mem::take(&mut self.dead)
+    }
+
+    fn park_or_requeue(
+        state: &mut SubscriberState,
+        subscriber: SubscriberId,
+        message: Message,
+        max_attempts: Option<u32>,
+        stats: &mut BusStats,
+        dead: &mut Vec<DeadLetter>,
+        reason: &'static str,
+    ) {
+        if max_attempts.is_some_and(|max| message.attempt >= max) {
+            stats.dead_lettered += 1;
+            dead.push(DeadLetter {
+                subscriber,
+                message,
+                reason,
+            });
+        } else {
+            stats.redelivered += 1;
+            // Requeue at the back: a message the consumer keeps rejecting
+            // must not starve the rest of the queue.
+            state.queue.push_back(message);
         }
     }
 
@@ -156,15 +238,37 @@ impl EventBus {
 
     /// Fetches the next message for `subscriber`, leasing it until acked or
     /// the lease expires.
+    ///
+    /// With a fault injector attached the delivery may be *lost* — the
+    /// lease still starts, so the message comes back via lease expiry (an
+    /// at-least-once loss, never a silent drop) — or *duplicated*, leaving
+    /// an extra copy in the queue for a later fetch.
     pub fn fetch(&mut self, subscriber: SubscriberId) -> Option<Message> {
         let lease_until = self.now_ms + self.lease_ms;
+        let fate = |id: MessageId, injector: &Option<Arc<FaultInjector>>| {
+            injector
+                .as_ref()
+                .map_or(MessageFate::Deliver, |i| i.message_fate(id.0))
+        };
+        let injector = self.injector.clone();
         let state = self.subscribers.get_mut(&subscriber)?;
         let mut message = state.queue.pop_front()?;
         message.attempt += 1;
-        self.stats.delivered += 1;
         state
             .leased
             .insert(message.id, (message.clone(), lease_until));
+        match fate(message.id, &injector) {
+            MessageFate::Deliver => {}
+            MessageFate::Lose => {
+                // In-flight loss: the subscriber never sees this attempt;
+                // the lease we just took expires and redelivers.
+                return None;
+            }
+            MessageFate::Duplicate => {
+                state.queue.push_back(message.clone());
+            }
+        }
+        self.stats.delivered += 1;
         Some(message)
     }
 
@@ -180,28 +284,39 @@ impl EventBus {
         acked
     }
 
-    /// Negative-acknowledges a leased message: immediate requeue.
+    /// Negative-acknowledges a leased message: immediate requeue, or
+    /// dead-lettering once the retry budget is spent.
     pub fn nack(&mut self, subscriber: SubscriberId, message: MessageId) -> bool {
+        let max_attempts = self.max_attempts;
         let Some(state) = self.subscribers.get_mut(&subscriber) else {
             return false;
         };
         match state.leased.remove(&message) {
             Some((msg, _)) => {
-                self.stats.redelivered += 1;
-                // Requeue at the back: a message the consumer keeps
-                // rejecting must not starve the rest of the queue.
-                state.queue.push_back(msg);
+                Self::park_or_requeue(
+                    state,
+                    subscriber,
+                    msg,
+                    max_attempts,
+                    &mut self.stats,
+                    &mut self.dead,
+                    "nack",
+                );
                 true
             }
             None => false,
         }
     }
 
-    /// Advances virtual time; expired leases are requeued for redelivery.
+    /// Advances virtual time; expired leases are requeued for redelivery
+    /// (or dead-lettered once the retry budget is spent). Redelivery goes
+    /// to the back of the queue, so it may reorder relative to fresh
+    /// messages (at-least-once, not FIFO-exactly-once).
     pub fn advance(&mut self, ms: u64) {
         self.now_ms += ms;
         let now = self.now_ms;
-        for state in self.subscribers.values_mut() {
+        let max_attempts = self.max_attempts;
+        for (&sub_id, state) in &mut self.subscribers {
             let expired: Vec<MessageId> = state
                 .leased
                 .iter()
@@ -210,11 +325,15 @@ impl EventBus {
                 .collect();
             for id in expired {
                 let (message, _) = state.leased.remove(&id).expect("listed above");
-                self.stats.redelivered += 1;
-                // Back of the queue, for the same fairness reason as nack:
-                // redelivery may therefore reorder relative to fresh
-                // messages (at-least-once, not FIFO-exactly-once).
-                state.queue.push_back(message);
+                Self::park_or_requeue(
+                    state,
+                    sub_id,
+                    message,
+                    max_attempts,
+                    &mut self.stats,
+                    &mut self.dead,
+                    "lease-expired",
+                );
             }
         }
     }
@@ -329,5 +448,88 @@ mod tests {
             assert_eq!(m.payload, vec![i]);
             bus.ack(s, m.id);
         }
+    }
+
+    #[test]
+    fn retry_budget_dead_letters_on_nack() {
+        let mut bus = EventBus::new(1000);
+        bus.set_max_attempts(Some(3));
+        let s = bus.subscribe("t", None);
+        bus.publish("t", b"poison".to_vec(), Publication::new());
+        for expected_attempt in 1..=3 {
+            let m = bus.fetch(s).unwrap();
+            assert_eq!(m.attempt, expected_attempt);
+            assert!(bus.nack(s, m.id));
+        }
+        // Third nack exhausted the budget: parked, not requeued.
+        assert_eq!(bus.backlog(s), 0);
+        assert_eq!(bus.fetch(s), None);
+        let dead = bus.dead_letters();
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].subscriber, s);
+        assert_eq!(dead[0].message.payload, b"poison");
+        assert_eq!(dead[0].message.attempt, 3);
+        assert_eq!(dead[0].reason, "nack");
+        assert_eq!(bus.stats().dead_lettered, 1);
+        assert_eq!(bus.stats().redelivered, 2, "only the first two requeued");
+        assert_eq!(bus.take_dead_letters().len(), 1);
+        assert!(bus.dead_letters().is_empty());
+    }
+
+    #[test]
+    fn retry_budget_dead_letters_on_lease_expiry() {
+        let mut bus = EventBus::new(100);
+        bus.set_max_attempts(Some(2));
+        let s = bus.subscribe("t", None);
+        bus.publish("t", b"x".to_vec(), Publication::new());
+        bus.fetch(s).unwrap();
+        bus.advance(100); // attempt 1 expires -> requeue
+        bus.fetch(s).unwrap();
+        bus.advance(100); // attempt 2 expires -> budget spent -> DLQ
+        assert_eq!(bus.backlog(s), 0);
+        assert_eq!(bus.dead_letters().len(), 1);
+        assert_eq!(bus.dead_letters()[0].reason, "lease-expired");
+    }
+
+    #[test]
+    fn injected_loss_recovers_via_lease_expiry() {
+        use securecloud_faults::{FaultInjector, FaultRates};
+        let mut bus = EventBus::new(100);
+        let injector = std::sync::Arc::new(FaultInjector::new(11));
+        injector.set_rates(FaultRates {
+            message_loss_permille: 1000, // lose every delivery
+            ..FaultRates::default()
+        });
+        bus.set_fault_injector(injector.clone());
+        let s = bus.subscribe("t", None);
+        bus.publish("t", b"x".to_vec(), Publication::new());
+        assert_eq!(bus.fetch(s), None, "delivery lost in flight");
+        assert_eq!(bus.backlog(s), 0, "but leased, not dropped");
+        bus.advance(100);
+        assert_eq!(bus.backlog(s), 1, "lease expiry recovers the loss");
+        injector.set_rates(FaultRates::default());
+        let m = bus.fetch(s).unwrap();
+        assert_eq!(m.attempt, 2);
+        assert!(bus.ack(s, m.id));
+    }
+
+    #[test]
+    fn injected_duplicate_delivers_same_id_twice() {
+        use securecloud_faults::{FaultInjector, FaultRates};
+        let mut bus = EventBus::new(1000);
+        let injector = std::sync::Arc::new(FaultInjector::new(12));
+        injector.set_rates(FaultRates {
+            message_duplication_permille: 1000,
+            ..FaultRates::default()
+        });
+        bus.set_fault_injector(injector.clone());
+        let s = bus.subscribe("t", None);
+        bus.publish("t", b"x".to_vec(), Publication::new());
+        let first = bus.fetch(s).unwrap();
+        assert_eq!(bus.backlog(s), 1, "duplicate queued");
+        bus.ack(s, first.id);
+        injector.set_rates(FaultRates::default());
+        let dup = bus.fetch(s).unwrap();
+        assert_eq!(dup.id, first.id, "consumers dedup by MessageId");
     }
 }

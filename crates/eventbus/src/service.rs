@@ -1,9 +1,19 @@
 //! The micro-service framework: services wired together by the event bus
 //! (paper Figure 1: "applications consist of a set of micro-services
 //! connected by an event bus").
+//!
+//! Service handlers are isolated: a panicking handler is caught, its
+//! message is nacked (so the bus redelivers or dead-letters it — never
+//! acked as if handled), and its emitted events are discarded. A service
+//! that panics on several consecutive deliveries is **quarantined** — it
+//! stops receiving messages until an operator intervenes, the same
+//! containment the container engine applies to crash-looping enclaves.
 
 use crate::bus::{EventBus, Message, SubscriberId};
+use securecloud_faults::FaultInjector;
 use securecloud_scbr::types::{Publication, Subscription};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 
 /// Context handed to a service while handling a message.
 #[derive(Debug, Default)]
@@ -31,12 +41,20 @@ pub trait MicroService {
 struct Registered {
     service: Box<dyn MicroService>,
     subscriber_ids: Vec<SubscriberId>,
+    consecutive_panics: u32,
+    panic_next: bool,
+    quarantined: bool,
 }
+
+/// Default number of consecutive handler panics before quarantine.
+pub const DEFAULT_QUARANTINE_AFTER: u32 = 3;
 
 /// Hosts a set of micro-services on one bus, pumping deliveries.
 pub struct ServiceHost {
     bus: EventBus,
     services: Vec<Registered>,
+    quarantine_after: u32,
+    injector: Option<Arc<FaultInjector>>,
 }
 
 impl std::fmt::Debug for ServiceHost {
@@ -54,6 +72,8 @@ impl ServiceHost {
         ServiceHost {
             bus: EventBus::new(lease_ms),
             services: Vec::new(),
+            quarantine_after: DEFAULT_QUARANTINE_AFTER,
+            injector: None,
         }
     }
 
@@ -67,7 +87,57 @@ impl ServiceHost {
         self.services.push(Registered {
             service,
             subscriber_ids,
+            consecutive_panics: 0,
+            panic_next: false,
+            quarantined: false,
         });
+    }
+
+    /// Sets how many consecutive panics quarantine a service.
+    pub fn set_quarantine_after(&mut self, panics: u32) {
+        self.quarantine_after = panics.max(1);
+    }
+
+    /// Attaches a fault injector: the bus consults it for message fates and
+    /// the host records panic/quarantine events into its trace.
+    pub fn set_fault_injector(&mut self, injector: Arc<FaultInjector>) {
+        self.bus.set_fault_injector(injector.clone());
+        self.injector = Some(injector);
+    }
+
+    /// Arms a one-shot injected panic in the named service's next delivery.
+    /// Returns whether the service exists.
+    pub fn inject_panic_next(&mut self, service: &str) -> bool {
+        for registered in &mut self.services {
+            if registered.service.name() == service {
+                registered.panic_next = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Names of currently quarantined services, in registration order.
+    #[must_use]
+    pub fn quarantined_services(&self) -> Vec<&str> {
+        self.services
+            .iter()
+            .filter(|r| r.quarantined)
+            .map(|r| r.service.name())
+            .collect()
+    }
+
+    /// Lifts a service's quarantine (operator intervention); returns
+    /// whether the service existed and was quarantined.
+    pub fn release_quarantine(&mut self, service: &str) -> bool {
+        for registered in &mut self.services {
+            if registered.service.name() == service && registered.quarantined {
+                registered.quarantined = false;
+                registered.consecutive_panics = 0;
+                return true;
+            }
+        }
+        false
     }
 
     /// Direct bus access (publishing external events, reading stats).
@@ -81,19 +151,57 @@ impl ServiceHost {
         &self.bus
     }
 
-    /// Delivers at most one message to every subscription of every service;
-    /// returns the number of messages processed.
+    /// Delivers at most one message to every subscription of every
+    /// non-quarantined service; returns the number of messages processed
+    /// (including attempts whose handler panicked).
+    ///
+    /// A message is acked only if its handler returns normally; a panic is
+    /// caught, the message nacked (redelivery or dead-letter per the bus's
+    /// retry budget), and the handler's emitted events discarded.
     pub fn step(&mut self) -> usize {
         let mut processed = 0;
         let mut outbox = Vec::new();
         for registered in &mut self.services {
+            if registered.quarantined {
+                continue;
+            }
             for &sub_id in &registered.subscriber_ids {
-                if let Some(message) = self.bus.fetch(sub_id) {
-                    let mut ctx = ServiceCtx::default();
-                    registered.service.handle(&message, &mut ctx);
-                    self.bus.ack(sub_id, message.id);
-                    outbox.append(&mut ctx.outbox);
-                    processed += 1;
+                let Some(message) = self.bus.fetch(sub_id) else {
+                    continue;
+                };
+                processed += 1;
+                let mut ctx = ServiceCtx::default();
+                let force_panic = std::mem::take(&mut registered.panic_next);
+                let service = &mut registered.service;
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    if force_panic {
+                        panic!("injected service panic");
+                    }
+                    service.handle(&message, &mut ctx);
+                }));
+                match outcome {
+                    Ok(()) => {
+                        registered.consecutive_panics = 0;
+                        self.bus.ack(sub_id, message.id);
+                        outbox.append(&mut ctx.outbox);
+                    }
+                    Err(_) => {
+                        registered.consecutive_panics += 1;
+                        self.bus.nack(sub_id, message.id);
+                        let name = registered.service.name();
+                        if let Some(injector) = &self.injector {
+                            injector.record(format!(
+                                "service {name} panicked on m{} attempt {}",
+                                message.id.0, message.attempt
+                            ));
+                        }
+                        if registered.consecutive_panics >= self.quarantine_after {
+                            registered.quarantined = true;
+                            if let Some(injector) = &self.injector {
+                                injector.record(format!("service {name} quarantined"));
+                            }
+                        }
+                    }
                 }
             }
         }
@@ -207,5 +315,97 @@ mod tests {
         let mut host = ServiceHost::new(1000);
         host.register(Box::new(Doubler));
         assert_eq!(host.run_until_quiet(100), 0);
+    }
+
+    /// Panics on the first `failures` deliveries, then succeeds.
+    struct Flaky {
+        failures: u32,
+        seen: Arc<AtomicU64>,
+    }
+    impl MicroService for Flaky {
+        fn name(&self) -> &str {
+            "flaky"
+        }
+        fn subscriptions(&self) -> Vec<(String, Option<Subscription>)> {
+            vec![("work".into(), None)]
+        }
+        fn handle(&mut self, _message: &Message, ctx: &mut ServiceCtx) {
+            ctx.emit("done", vec![], Publication::new());
+            if self.failures > 0 {
+                self.failures -= 1;
+                panic!("flaky failure");
+            }
+            self.seen.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn silence_panics() {
+        // catch_unwind still runs the global hook; keep test output clean.
+        std::panic::set_hook(Box::new(|_| {}));
+    }
+
+    #[test]
+    fn panicking_handler_is_nacked_and_retried() {
+        silence_panics();
+        let mut host = ServiceHost::new(1000);
+        let seen = Arc::new(AtomicU64::new(0));
+        host.register(Box::new(Flaky {
+            failures: 1,
+            seen: seen.clone(),
+        }));
+        host.bus_mut().publish("work", vec![], Publication::new());
+        let processed = host.run_until_quiet(10);
+        // Attempt 1 panics (nack -> requeue), attempt 2 succeeds.
+        assert_eq!(processed, 2);
+        assert_eq!(seen.load(Ordering::Relaxed), 1);
+        assert_eq!(host.bus().stats().acked, 1);
+        assert_eq!(host.bus().stats().redelivered, 1);
+        // The panicked attempt's emissions were discarded: only the
+        // successful attempt published to "done" (which has no subscriber).
+        assert_eq!(host.bus().stats().published, 2);
+        assert!(host.quarantined_services().is_empty());
+    }
+
+    #[test]
+    fn repeated_panics_quarantine_service() {
+        silence_panics();
+        let mut host = ServiceHost::new(1000);
+        let seen = Arc::new(AtomicU64::new(0));
+        host.register(Box::new(Flaky {
+            failures: u32::MAX,
+            seen: seen.clone(),
+        }));
+        host.bus_mut().set_max_attempts(Some(10));
+        host.bus_mut().publish("work", vec![], Publication::new());
+        let processed = host.run_until_quiet(50);
+        assert_eq!(processed, 3, "quarantined after 3 consecutive panics");
+        assert_eq!(host.quarantined_services(), vec!["flaky"]);
+        // The message stays queued for when the service is released.
+        host.bus_mut().publish("work", vec![], Publication::new());
+        assert_eq!(host.run_until_quiet(10), 0, "quarantined service skipped");
+        assert!(host.release_quarantine("flaky"));
+        assert!(!host.release_quarantine("flaky"), "already released");
+        assert!(host.run_until_quiet(50) > 0);
+    }
+
+    #[test]
+    fn injected_panic_and_budget_exhaustion_dead_letter() {
+        silence_panics();
+        let mut host = ServiceHost::new(1000);
+        host.register(Box::new(Flaky {
+            failures: u32::MAX,
+            seen: Arc::new(AtomicU64::new(0)),
+        }));
+        host.set_quarantine_after(10);
+        host.bus_mut().set_max_attempts(Some(2));
+        assert!(host.inject_panic_next("flaky"));
+        assert!(!host.inject_panic_next("nonexistent"));
+        host.bus_mut()
+            .publish("work", b"bad".to_vec(), Publication::new());
+        host.run_until_quiet(50);
+        let dead = host.bus().dead_letters();
+        assert_eq!(dead.len(), 1);
+        assert_eq!(dead[0].message.payload, b"bad");
+        assert_eq!(dead[0].message.attempt, 2);
     }
 }

@@ -71,6 +71,98 @@ proptest! {
         prop_assert!(stats.delivered >= stats.acked);
     }
 
+    /// A crashed consumer (fetch, never ack) gets every message back after
+    /// the lease expires: one redelivery per message, nothing lost.
+    #[test]
+    fn lease_expiry_redelivers_everything(
+        count in 1usize..30,
+        lease in 1u64..1_000,
+        overshoot in 0u64..100,
+    ) {
+        let mut bus = EventBus::new(lease);
+        let subscriber = bus.subscribe("t", None);
+        for i in 0..count {
+            bus.publish("t", vec![i as u8], Publication::new());
+        }
+        // Consumer takes everything, then crashes before acking.
+        let mut first_ids = Vec::new();
+        while let Some(message) = bus.fetch(subscriber) {
+            prop_assert_eq!(message.attempt, 1);
+            first_ids.push(message.id);
+        }
+        prop_assert_eq!(first_ids.len(), count);
+        prop_assert_eq!(bus.backlog(subscriber), 0);
+        // Advancing to just before expiry redelivers nothing...
+        if lease > 1 {
+            bus.advance(lease - 1);
+            prop_assert_eq!(bus.backlog(subscriber), 0);
+            prop_assert_eq!(bus.stats().redelivered, 0);
+        }
+        // ...and past it, everything comes back exactly once, attempt 2.
+        bus.advance(if lease > 1 { 1 + overshoot } else { lease + overshoot });
+        prop_assert_eq!(bus.backlog(subscriber), count);
+        prop_assert_eq!(bus.stats().redelivered, count as u64);
+        let mut redelivered_ids = Vec::new();
+        while let Some(message) = bus.fetch(subscriber) {
+            prop_assert_eq!(message.attempt, 2);
+            redelivered_ids.push(message.id);
+            prop_assert!(bus.ack(subscriber, message.id));
+        }
+        redelivered_ids.sort();
+        first_ids.sort();
+        prop_assert_eq!(redelivered_ids, first_ids, "no loss, no spurious ids");
+        prop_assert_eq!(bus.stats().acked, count as u64);
+    }
+
+    /// Nacked messages requeue (to the back) and redeliver with a bumped
+    /// attempt counter until acked; within the retry budget nothing is
+    /// lost, and beyond it everything lands in the dead-letter queue.
+    #[test]
+    fn nack_requeues_until_budget(
+        count in 1usize..20,
+        nacks_before_ack in 1u32..6,
+        budget in 1u32..8,
+    ) {
+        let mut bus = EventBus::new(1_000);
+        bus.set_max_attempts(Some(budget));
+        let subscriber = bus.subscribe("t", None);
+        for i in 0..count {
+            bus.publish("t", vec![i as u8], Publication::new());
+        }
+        // Nack every message `nacks_before_ack` times, then ack.
+        let mut acked = 0u64;
+        let mut steps = count as u32 * (nacks_before_ack + 1) + 10;
+        while let Some(message) = bus.fetch(subscriber) {
+            prop_assert!(message.attempt <= budget);
+            if message.attempt > nacks_before_ack {
+                prop_assert!(bus.ack(subscriber, message.id));
+                acked += 1;
+            } else {
+                prop_assert!(bus.nack(subscriber, message.id));
+            }
+            steps -= 1;
+            prop_assert!(steps > 0, "bus kept redelivering past any budget");
+        }
+        let stats = bus.stats();
+        if nacks_before_ack < budget {
+            // Budget never bites: everything eventually acked, DLQ empty.
+            prop_assert_eq!(acked, count as u64);
+            prop_assert!(bus.dead_letters().is_empty());
+            prop_assert_eq!(stats.redelivered, (count as u32 * nacks_before_ack) as u64);
+        } else {
+            // Budget exhausted before the consumer relented: every message
+            // is parked in the DLQ at exactly `budget` attempts — none lost.
+            prop_assert_eq!(acked, 0);
+            prop_assert_eq!(bus.dead_letters().len(), count);
+            prop_assert_eq!(stats.dead_lettered, count as u64);
+            for dead in bus.dead_letters() {
+                prop_assert_eq!(dead.message.attempt, budget);
+                prop_assert_eq!(dead.reason, "nack");
+            }
+        }
+        prop_assert_eq!(stats.acked, acked);
+    }
+
     /// Virtual time only moves forward and redelivery counts are sane.
     #[test]
     fn stats_invariants(

@@ -1,0 +1,403 @@
+//! Deterministic fault injection for the SecureCloud stack.
+//!
+//! SecureCloud is pitched as a platform for *dependable* big-data
+//! micro-services, so the reproduction needs a way to exercise the
+//! recovery machinery — enclave aborts, crashing service handlers, lossy
+//! delivery, broker link failures — without giving up the deterministic
+//! virtual clock the benchmarks depend on. This crate provides:
+//!
+//! * [`FaultPlan`] — a schedule of [`FaultEvent`]s pinned to virtual-time
+//!   points (milliseconds on the same clock the event bus and container
+//!   engine advance),
+//! * [`FaultInjector`] — a shareable injector that releases due events as
+//!   the clock advances and answers probabilistic queries (message loss /
+//!   duplication, syscall failure) from a seeded generator,
+//! * [`DetRng`] — the SplitMix64 generator behind it, reused by the
+//!   container engine for restart-backoff jitter.
+//!
+//! Everything is reproducible from a single `u64` seed: no wall-clock, no
+//! OS entropy. Two runs with the same seed and the same sequence of calls
+//! produce byte-identical [`FaultInjector::trace`] output — the chaos
+//! harness asserts exactly that.
+
+use std::sync::Mutex;
+
+/// A small deterministic generator (SplitMix64). Not cryptographic; used
+/// for fault sampling and backoff jitter where reproducibility is the
+/// point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetRng {
+    state: u64,
+}
+
+impl DetRng {
+    /// Creates a generator from a seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        DetRng { state: seed }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "DetRng::below requires a positive bound");
+        self.next_u64() % bound
+    }
+
+    /// Returns `true` with probability `permille`/1000.
+    pub fn chance_permille(&mut self, permille: u16) -> bool {
+        self.below(1000) < u64::from(permille)
+    }
+}
+
+/// What the injector can break.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FaultKind {
+    /// Abort the enclave backing a container (by engine container id).
+    EnclaveAbort {
+        /// Engine container id to abort.
+        container: u64,
+    },
+    /// Make a registered micro-service panic on its next delivery.
+    ServicePanic {
+        /// Service name, as reported by `MicroService::name`.
+        service: String,
+    },
+    /// Fail a broker in the SCBR overlay.
+    BrokerFail {
+        /// Broker index in the overlay.
+        broker: usize,
+    },
+    /// Fail the next `count` host syscalls served to shielded runtimes.
+    SyscallFail {
+        /// Number of consecutive syscalls to fail.
+        count: u32,
+    },
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultKind::EnclaveAbort { container } => write!(f, "enclave-abort c{container}"),
+            FaultKind::ServicePanic { service } => write!(f, "service-panic {service}"),
+            FaultKind::BrokerFail { broker } => write!(f, "broker-fail b{broker}"),
+            FaultKind::SyscallFail { count } => write!(f, "syscall-fail x{count}"),
+        }
+    }
+}
+
+/// A fault pinned to a virtual-time point.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultEvent {
+    /// Virtual time (ms) at which the fault fires.
+    pub at_ms: u64,
+    /// What breaks.
+    pub kind: FaultKind,
+}
+
+/// A reproducible schedule of faults.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultPlan {
+    /// An empty plan.
+    #[must_use]
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds a fault at `at_ms` (builder style).
+    #[must_use]
+    pub fn at(mut self, at_ms: u64, kind: FaultKind) -> Self {
+        self.events.push(FaultEvent { at_ms, kind });
+        self
+    }
+
+    /// The scheduled events, sorted by time (stable for equal times).
+    #[must_use]
+    pub fn events(&self) -> Vec<FaultEvent> {
+        let mut events = self.events.clone();
+        events.sort_by_key(|e| e.at_ms);
+        events
+    }
+}
+
+/// The fate the injector assigns to one bus delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MessageFate {
+    /// Deliver normally.
+    Deliver,
+    /// Lose this delivery attempt (the lease still starts, so the bus's
+    /// redelivery machinery recovers the message).
+    Lose,
+    /// Deliver, and enqueue a duplicate delivery.
+    Duplicate,
+}
+
+/// Probabilistic fault rates, in permille (0–1000).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultRates {
+    /// Chance a fetched delivery is lost in transit.
+    pub message_loss_permille: u16,
+    /// Chance a fetched delivery is duplicated.
+    pub message_duplication_permille: u16,
+    /// Chance a host syscall fails.
+    pub syscall_failure_permille: u16,
+}
+
+#[derive(Debug)]
+struct InjectorState {
+    rng: DetRng,
+    pending: Vec<FaultEvent>, // sorted descending by time; popped from the back
+    rates: FaultRates,
+    forced_syscall_failures: u32,
+    trace: Vec<String>,
+    now_ms: u64,
+}
+
+/// A shareable, internally-synchronised fault injector.
+///
+/// Subsystems hold an `Arc<FaultInjector>`; the simulation harness drives
+/// the clock with [`FaultInjector::advance_to`] and applies the returned
+/// events to the owning subsystem (abort the container, fail the broker,
+/// …). All probabilistic answers come from the seeded generator, so a
+/// given seed yields one reproducible fault history.
+#[derive(Debug)]
+pub struct FaultInjector {
+    seed: u64,
+    state: Mutex<InjectorState>,
+}
+
+impl FaultInjector {
+    /// An injector with no scheduled events.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        Self::with_plan(seed, FaultPlan::new())
+    }
+
+    /// An injector executing `plan`.
+    #[must_use]
+    pub fn with_plan(seed: u64, plan: FaultPlan) -> Self {
+        let mut pending = plan.events();
+        pending.reverse();
+        FaultInjector {
+            seed,
+            state: Mutex::new(InjectorState {
+                rng: DetRng::new(seed),
+                pending,
+                rates: FaultRates::default(),
+                forced_syscall_failures: 0,
+                trace: Vec::new(),
+                now_ms: 0,
+            }),
+        }
+    }
+
+    /// The seed this injector was built from.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Sets the probabilistic fault rates.
+    pub fn set_rates(&self, rates: FaultRates) {
+        self.lock().rates = rates;
+    }
+
+    /// Advances the injector clock to `now_ms` and returns the events that
+    /// became due, in schedule order. `SyscallFail` events are consumed
+    /// internally (arming [`FaultInjector::syscall_should_fail`]) but are
+    /// still returned for visibility.
+    pub fn advance_to(&self, now_ms: u64) -> Vec<FaultEvent> {
+        let mut state = self.lock();
+        state.now_ms = state.now_ms.max(now_ms);
+        let mut due = Vec::new();
+        while state
+            .pending
+            .last()
+            .is_some_and(|event| event.at_ms <= now_ms)
+        {
+            let event = state.pending.pop().expect("checked non-empty");
+            if let FaultKind::SyscallFail { count } = event.kind {
+                state.forced_syscall_failures += count;
+            }
+            let line = format!("t={} fire {}", event.at_ms, event.kind);
+            state.trace.push(line);
+            due.push(event);
+        }
+        due
+    }
+
+    /// Decides the fate of one delivery attempt of `message_id`.
+    pub fn message_fate(&self, message_id: u64) -> MessageFate {
+        let mut state = self.lock();
+        let loss = state.rates.message_loss_permille;
+        let dup = state.rates.message_duplication_permille;
+        let fate = if state.rng.chance_permille(loss) {
+            MessageFate::Lose
+        } else if state.rng.chance_permille(dup) {
+            MessageFate::Duplicate
+        } else {
+            MessageFate::Deliver
+        };
+        match fate {
+            MessageFate::Deliver => {}
+            MessageFate::Lose => {
+                let line = format!("t={} msg m{message_id} lost", state.now_ms);
+                state.trace.push(line);
+            }
+            MessageFate::Duplicate => {
+                let line = format!("t={} msg m{message_id} duplicated", state.now_ms);
+                state.trace.push(line);
+            }
+        }
+        fate
+    }
+
+    /// Whether the next host syscall should fail, consuming one armed
+    /// failure or sampling the configured rate.
+    pub fn syscall_should_fail(&self) -> bool {
+        let mut state = self.lock();
+        if state.forced_syscall_failures > 0 {
+            state.forced_syscall_failures -= 1;
+            let line = format!("t={} syscall forced-fail", state.now_ms);
+            state.trace.push(line);
+            return true;
+        }
+        let rate = state.rates.syscall_failure_permille;
+        let fail = state.rng.chance_permille(rate);
+        if fail {
+            let line = format!("t={} syscall fail", state.now_ms);
+            state.trace.push(line);
+        }
+        fail
+    }
+
+    /// Appends a free-form line to the trace (subsystems record recovery
+    /// actions here so the harness can diff two runs byte-for-byte).
+    pub fn record(&self, line: impl Into<String>) {
+        let mut state = self.lock();
+        let stamped = format!("t={} {}", state.now_ms, line.into());
+        state.trace.push(stamped);
+    }
+
+    /// The event trace so far.
+    #[must_use]
+    pub fn trace(&self) -> Vec<String> {
+        self.lock().trace.clone()
+    }
+
+    /// Draws from the injector's deterministic generator (e.g. for jitter).
+    pub fn draw_below(&self, bound: u64) -> u64 {
+        self.lock().rng.below(bound)
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, InjectorState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn det_rng_reproducible() {
+        let mut a = DetRng::new(1);
+        let mut b = DetRng::new(1);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        assert_ne!(DetRng::new(2).next_u64(), DetRng::new(3).next_u64());
+    }
+
+    #[test]
+    fn plan_fires_in_time_order() {
+        let plan = FaultPlan::new()
+            .at(500, FaultKind::BrokerFail { broker: 1 })
+            .at(100, FaultKind::EnclaveAbort { container: 7 });
+        let injector = FaultInjector::with_plan(42, plan);
+        assert!(injector.advance_to(50).is_empty());
+        let first = injector.advance_to(100);
+        assert_eq!(
+            first,
+            vec![FaultEvent {
+                at_ms: 100,
+                kind: FaultKind::EnclaveAbort { container: 7 }
+            }]
+        );
+        let rest = injector.advance_to(1_000);
+        assert_eq!(rest.len(), 1);
+        assert!(injector.advance_to(2_000).is_empty());
+    }
+
+    #[test]
+    fn syscall_fail_events_arm_the_injector() {
+        let plan = FaultPlan::new().at(10, FaultKind::SyscallFail { count: 2 });
+        let injector = FaultInjector::with_plan(0, plan);
+        assert!(!injector.syscall_should_fail(), "not armed before t=10");
+        injector.advance_to(10);
+        assert!(injector.syscall_should_fail());
+        assert!(injector.syscall_should_fail());
+        assert!(!injector.syscall_should_fail());
+    }
+
+    #[test]
+    fn message_fates_deterministic_per_seed() {
+        let fates = |seed| {
+            let injector = FaultInjector::new(seed);
+            injector.set_rates(FaultRates {
+                message_loss_permille: 200,
+                message_duplication_permille: 200,
+                syscall_failure_permille: 0,
+            });
+            (0..200)
+                .map(|id| injector.message_fate(id))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(fates(9), fates(9));
+        assert!(fates(9).contains(&MessageFate::Lose));
+        assert!(fates(9).contains(&MessageFate::Duplicate));
+        assert_ne!(fates(9), fates(10));
+    }
+
+    #[test]
+    fn trace_is_reproducible() {
+        let run = || {
+            let plan = FaultPlan::new().at(
+                5,
+                FaultKind::ServicePanic {
+                    service: "billing".into(),
+                },
+            );
+            let injector = FaultInjector::with_plan(77, plan);
+            injector.set_rates(FaultRates {
+                message_loss_permille: 300,
+                ..FaultRates::default()
+            });
+            injector.advance_to(5);
+            for id in 0..50 {
+                injector.message_fate(id);
+            }
+            injector.record("restart c1 attempt 1");
+            injector.trace()
+        };
+        let a = run();
+        assert_eq!(a, run());
+        assert!(a[0].contains("service-panic billing"));
+        assert!(a.last().unwrap().contains("restart c1"));
+    }
+}

@@ -246,6 +246,45 @@ impl HostOs for MemHost {
     }
 }
 
+/// A [`HostOs`] decorator that fails syscalls on command of a
+/// [`FaultInjector`](securecloud_faults::FaultInjector).
+///
+/// The shielded runtime sits above this, so injected failures exercise the
+/// shields' error paths exactly as a flaky or malicious host would: the
+/// failure surfaces as [`SyscallRet::Error`] and the runtime converts it
+/// into a [`crate::SconeError::HostViolation`].
+pub struct FaultyHost<H: HostOs> {
+    inner: H,
+    injector: Arc<securecloud_faults::FaultInjector>,
+}
+
+impl<H: HostOs> FaultyHost<H> {
+    /// Wraps `inner`, consulting `injector` before every syscall.
+    pub fn new(inner: H, injector: Arc<securecloud_faults::FaultInjector>) -> Self {
+        FaultyHost { inner, injector }
+    }
+
+    /// The wrapped host.
+    pub fn inner(&self) -> &H {
+        &self.inner
+    }
+}
+
+impl<H: HostOs> fmt::Debug for FaultyHost<H> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FaultyHost").finish_non_exhaustive()
+    }
+}
+
+impl<H: HostOs> HostOs for FaultyHost<H> {
+    fn execute(&self, call: &Syscall) -> SyscallRet {
+        if self.injector.syscall_should_fail() {
+            return SyscallRet::Error("injected host fault".into());
+        }
+        self.inner.execute(call)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -369,5 +408,31 @@ mod tests {
         });
         host.execute(&Syscall::Unlink { path: "/f".into() });
         assert_eq!(host.call_count(), 2);
+    }
+
+    #[test]
+    fn faulty_host_injects_failures() {
+        use securecloud_faults::{FaultInjector, FaultKind, FaultPlan};
+        let plan = FaultPlan::new().at(0, FaultKind::SyscallFail { count: 1 });
+        let injector = Arc::new(FaultInjector::with_plan(3, plan));
+        injector.advance_to(0);
+        let host = FaultyHost::new(MemHost::new(), injector);
+        // First call eats the armed failure; the wrapped host never sees it.
+        assert!(matches!(
+            host.execute(&Syscall::Open {
+                path: "/f".into(),
+                create: true,
+            }),
+            SyscallRet::Error(_)
+        ));
+        assert_eq!(host.inner().call_count(), 0);
+        // Subsequent calls pass through.
+        assert!(matches!(
+            host.execute(&Syscall::Open {
+                path: "/f".into(),
+                create: true,
+            }),
+            SyscallRet::Fd(_)
+        ));
     }
 }

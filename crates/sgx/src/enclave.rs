@@ -134,6 +134,7 @@ impl Platform {
             mem,
             platform: self.clone(),
             destroyed: false,
+            abort_reason: None,
         })
     }
 
@@ -173,6 +174,7 @@ pub struct Enclave {
     mem: MemorySim,
     platform: Platform,
     destroyed: bool,
+    abort_reason: Option<String>,
 }
 
 impl Enclave {
@@ -310,6 +312,27 @@ impl Enclave {
     pub fn is_destroyed(&self) -> bool {
         self.destroyed
     }
+
+    /// Aborts the enclave, modelling an unrecoverable fault inside it (the
+    /// hardware analogue of an AEX the runtime cannot resume from). The
+    /// enclave is destroyed and the reason is kept for diagnostics; enclave
+    /// memory is unrecoverable, so only sealed state survives.
+    pub fn abort(&mut self, reason: impl Into<String>) {
+        self.abort_reason = Some(reason.into());
+        self.destroyed = true;
+    }
+
+    /// Whether the enclave terminated via [`Enclave::abort`].
+    #[must_use]
+    pub fn is_aborted(&self) -> bool {
+        self.abort_reason.is_some()
+    }
+
+    /// The abort reason, if the enclave aborted.
+    #[must_use]
+    pub fn abort_reason(&self) -> Option<&str> {
+        self.abort_reason.as_deref()
+    }
 }
 
 #[cfg(test)]
@@ -362,6 +385,22 @@ mod tests {
         assert!(enclave.is_destroyed());
         assert!(matches!(enclave.ecall(|_| ()), Err(SgxError::Destroyed)));
         assert!(matches!(enclave.ocall(|| ()), Err(SgxError::Destroyed)));
+    }
+
+    #[test]
+    fn abort_destroys_and_keeps_reason() {
+        let platform = Platform::new();
+        let mut enclave = platform.launch(test_config("t", b"code")).unwrap();
+        assert!(!enclave.is_aborted());
+        enclave.abort("fault injection");
+        assert!(enclave.is_aborted());
+        assert!(enclave.is_destroyed());
+        assert_eq!(enclave.abort_reason(), Some("fault injection"));
+        assert!(matches!(enclave.ecall(|_| ()), Err(SgxError::Destroyed)));
+        // A plain destroy is not an abort.
+        let mut other = platform.launch(test_config("u", b"code")).unwrap();
+        other.destroy();
+        assert!(!other.is_aborted());
     }
 
     #[test]

@@ -1,0 +1,252 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides just enough of criterion's API for the workspace's benches to
+//! compile and produce useful numbers without registry access: groups,
+//! `bench_function` / `bench_with_input`, throughput annotation, and the
+//! `criterion_group!` / `criterion_main!` macros. Measurement is a simple
+//! warm-up plus timed batch (median-free mean) — adequate for the relative
+//! comparisons the benches make, not for statistical rigour.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier combining a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id from a name plus a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id from just a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Label accepted wherever criterion takes `&str` or [`BenchmarkId`].
+pub trait IntoLabel {
+    /// Renders the label.
+    fn into_label(self) -> String;
+}
+
+impl IntoLabel for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoLabel for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+impl IntoLabel for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`]. The stand-in ignores
+/// it (every batch holds one input) but accepts the upstream variants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Per-iteration timer handle passed to bench closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    elapsed: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // Warm-up round, untimed.
+        black_box(routine());
+        let iterations = 10u64;
+        let start = Instant::now();
+        for _ in 0..iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+        self.iterations = iterations;
+    }
+
+    /// Times `routine` over inputs produced by `setup`, excluding the
+    /// setup cost from the measurement (upstream `iter_batched`).
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        // Warm-up round, untimed.
+        black_box(routine(setup()));
+        let iterations = 10u64;
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..iterations {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed = elapsed;
+        self.iterations = iterations;
+    }
+
+    fn report(&self, label: &str, throughput: Option<Throughput>) {
+        if self.iterations == 0 {
+            println!("{label:<40} (not measured)");
+            return;
+        }
+        let per_iter = self.elapsed.as_secs_f64() / self.iterations as f64;
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) => format!("  {:>12.0} elem/s", n as f64 / per_iter),
+            Some(Throughput::Bytes(n)) => format!("  {:>12.0} B/s", n as f64 / per_iter),
+            None => String::new(),
+        };
+        println!("{label:<40} {:>12.3} us/iter{rate}", per_iter * 1e6);
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput annotation for subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function(&mut self, id: impl IntoLabel, f: impl FnMut(&mut Bencher)) {
+        run_one(
+            &format!("{}/{}", self.name, id.into_label()),
+            self.throughput,
+            f,
+        );
+    }
+
+    /// Runs one benchmark with a borrowed input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl IntoLabel,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        run_one(
+            &format!("{}/{}", self.name, id.into_label()),
+            self.throughput,
+            |b| f(b, input),
+        );
+    }
+
+    /// Finishes the group (reporting is incremental; nothing to flush).
+    pub fn finish(self) {}
+}
+
+fn run_one(label: &str, throughput: Option<Throughput>, mut f: impl FnMut(&mut Bencher)) {
+    let mut bencher = Bencher::default();
+    f(&mut bencher);
+    bencher.report(label, throughput);
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function(&mut self, id: impl IntoLabel, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(&id.into_label(), None, f);
+        self
+    }
+
+    /// Opens a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+}
+
+/// Declares a group-runner function, as upstream criterion does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut group = c.benchmark_group("group");
+        group.throughput(Throughput::Elements(4));
+        group.bench_with_input(BenchmarkId::new("sum", 4), &[1u64, 2, 3, 4][..], |b, xs| {
+            b.iter(|| xs.iter().sum::<u64>())
+        });
+        group.bench_with_input(BenchmarkId::from_parameter("param"), &1u64, |b, &x| {
+            b.iter(|| x + 1)
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,233 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Implements the `crossbeam::channel` subset this workspace uses — an
+//! unbounded MPMC channel with cloneable senders *and* receivers — over a
+//! `Mutex<VecDeque>` + `Condvar`. Disconnection semantics follow crossbeam:
+//! `recv` drains remaining messages after all senders drop, then errors;
+//! `send` errors once every receiver is gone.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+    struct Shared<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] on a drained, disconnected
+    /// channel.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty, disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Channel empty but still connected.
+        Empty,
+        /// Channel empty and every sender dropped.
+        Disconnected,
+    }
+
+    /// The sending half of an unbounded channel.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half of an unbounded channel.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("Sender").finish_non_exhaustive()
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("Receiver").finish_non_exhaustive()
+        }
+    }
+
+    /// Creates an unbounded MPMC channel.
+    #[must_use]
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.senders.fetch_add(1, Ordering::SeqCst);
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.shared.senders.fetch_sub(1, Ordering::SeqCst) == 1 {
+                // Last sender: wake any blocked receivers so they observe
+                // the disconnect.
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.receivers.fetch_add(1, Ordering::SeqCst);
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared.receivers.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message.
+        ///
+        /// # Errors
+        ///
+        /// [`SendError`] if every receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            if self.shared.receivers.load(Ordering::SeqCst) == 0 {
+                return Err(SendError(value));
+            }
+            self.shared
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push_back(value);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receives a message, blocking until one arrives or every sender
+        /// disconnects.
+        ///
+        /// # Errors
+        ///
+        /// [`RecvError`] once the channel is empty and all senders are gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut queue = self
+                .shared
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(value) = queue.pop_front() {
+                    return Ok(value);
+                }
+                if self.shared.senders.load(Ordering::SeqCst) == 0 {
+                    return Err(RecvError);
+                }
+                queue = self
+                    .shared
+                    .ready
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        /// Receives without blocking.
+        ///
+        /// # Errors
+        ///
+        /// [`TryRecvError::Empty`] when connected but empty,
+        /// [`TryRecvError::Disconnected`] when drained and closed.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut queue = self
+                .shared
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            match queue.pop_front() {
+                Some(value) => Ok(value),
+                None if self.shared.senders.load(Ordering::SeqCst) == 0 => {
+                    Err(TryRecvError::Disconnected)
+                }
+                None => Err(TryRecvError::Empty),
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_recv_fifo() {
+            let (tx, rx) = unbounded();
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(rx.recv(), Ok(1));
+            assert_eq!(rx.recv(), Ok(2));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        }
+
+        #[test]
+        fn disconnect_after_drain() {
+            let (tx, rx) = unbounded();
+            tx.send(7).unwrap();
+            drop(tx);
+            assert_eq!(rx.recv(), Ok(7));
+            assert_eq!(rx.recv(), Err(RecvError));
+        }
+
+        #[test]
+        fn send_fails_without_receivers() {
+            let (tx, rx) = unbounded();
+            drop(rx);
+            assert_eq!(tx.send(1), Err(SendError(1)));
+        }
+
+        #[test]
+        fn blocking_recv_wakes() {
+            let (tx, rx) = unbounded();
+            let handle = std::thread::spawn(move || rx.recv());
+            tx.send(42).unwrap();
+            assert_eq!(handle.join().unwrap(), Ok(42));
+        }
+    }
+}

@@ -1,0 +1,731 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no registry access, so this vendored crate
+//! re-implements the subset of proptest the workspace's property tests
+//! use: the `proptest!` macro, `Strategy` with `prop_map`, `any::<T>()`,
+//! ranges, tuples, `Just`, `prop_oneof!`, string-pattern strategies for a
+//! small regex subset, and `prop::collection::{vec, btree_map}`.
+//!
+//! Differences from upstream: no shrinking (a failing case reports its
+//! deterministic case number instead — re-running reproduces it exactly),
+//! and case generation is seeded from the test's module path, so runs are
+//! reproducible without a `proptest-regressions` directory.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// Runner configuration, settable per-block with
+/// `#![proptest_config(ProptestConfig::with_cases(n))]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Marker returned by `prop_assume!` when a case's preconditions fail;
+/// the runner skips the case.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TestCaseRejected;
+
+/// The deterministic per-case generator.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Creates the generator for one case from a 64-bit seed.
+    #[must_use]
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng(StdRng::seed_from_u64(seed))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    fn index(&mut self, bound: usize) -> usize {
+        assert!(bound > 0, "index bound must be positive");
+        (self.next_u64() % bound as u64) as usize
+    }
+
+    fn size_in(&mut self, range: &Range<usize>) -> usize {
+        assert!(range.start < range.end, "empty size range");
+        range.start + self.index(range.end - range.start)
+    }
+}
+
+/// Generates one value from a strategy. Used by the macros instead of a
+/// bare `Strategy::generate` call so that `&'static str` strategies resolve
+/// as the sized `&str` impl rather than unsizing to `str`.
+pub fn generate_one<S: Strategy>(strategy: &S, rng: &mut TestRng) -> S::Value {
+    strategy.generate(rng)
+}
+
+/// FNV-1a over a test path, used to derive per-test seed bases.
+#[must_use]
+pub fn fnv(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// A value generator.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always generates a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T> Strategy for Range<T>
+where
+    T: Clone,
+    Range<T>: rand::SampleRange<T>,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.0.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_strategy_for_tuple {
+    ($($s:ident/$idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_strategy_for_tuple!(A / 0, B / 1);
+impl_strategy_for_tuple!(A / 0, B / 1, C / 2);
+impl_strategy_for_tuple!(A / 0, B / 1, C / 2, D / 3);
+impl_strategy_for_tuple!(A / 0, B / 1, C / 2, D / 3, E / 4);
+impl_strategy_for_tuple!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+
+/// Types with a canonical "anything" strategy, via [`any`].
+pub trait Arbitrary {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Mostly ASCII with a sprinkle of multi-byte code points.
+        const EXOTIC: [char; 6] = ['é', 'λ', '中', '€', 'Ω', '🦀'];
+        if rng.next_u64().is_multiple_of(8) {
+            EXOTIC[rng.index(EXOTIC.len())]
+        } else {
+            (0x20u8 + (rng.next_u64() % 0x5f) as u8) as char
+        }
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone)]
+pub struct Any<A>(PhantomData<A>);
+
+/// The canonical strategy for `A`.
+#[must_use]
+pub fn any<A: Arbitrary>() -> Any<A> {
+    Any(PhantomData)
+}
+
+impl<A: Arbitrary> Strategy for Any<A> {
+    type Value = A;
+
+    fn generate(&self, rng: &mut TestRng) -> A {
+        A::arbitrary(rng)
+    }
+}
+
+/// A boxed generator arm of a [`Union`].
+type UnionArm<V> = Box<dyn Fn(&mut TestRng) -> V>;
+
+/// Uniform choice between boxed alternatives; built by `prop_oneof!`.
+pub struct Union<V> {
+    arms: Vec<UnionArm<V>>,
+}
+
+impl<V> Union<V> {
+    /// Starts a union with one alternative; the union's value type is
+    /// pinned to that strategy's value type.
+    #[must_use]
+    pub fn from_strategy<S>(strategy: S) -> Self
+    where
+        S: Strategy<Value = V> + 'static,
+    {
+        let mut union = Union { arms: Vec::new() };
+        union.push_strategy(strategy);
+        union
+    }
+
+    /// Adds a further alternative.
+    pub fn push_strategy<S>(&mut self, strategy: S)
+    where
+        S: Strategy<Value = V> + 'static,
+    {
+        self.arms.push(Box::new(move |rng| strategy.generate(rng)));
+    }
+}
+
+impl<V> std::fmt::Debug for Union<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Union")
+            .field("arms", &self.arms.len())
+            .finish()
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let arm = rng.index(self.arms.len());
+        (self.arms[arm])(rng)
+    }
+}
+
+// ---- String pattern strategies -------------------------------------------
+//
+// `&str` strategies interpret the subset of regex syntax the tests use:
+// literal characters, character classes `[a-z0-9_]`, the proptest idiom
+// `\PC` ("any non-control character"), and `{m}` / `{m,n}` repetition.
+
+#[derive(Debug, Clone)]
+enum CharSet {
+    Literal(char),
+    Ranges(Vec<(char, char)>),
+    Printable,
+}
+
+impl CharSet {
+    fn sample(&self, rng: &mut TestRng) -> char {
+        match self {
+            CharSet::Literal(c) => *c,
+            CharSet::Ranges(ranges) => {
+                let (lo, hi) = ranges[rng.index(ranges.len())];
+                let span = hi as u32 - lo as u32 + 1;
+                char::from_u32(lo as u32 + (rng.next_u64() % u64::from(span)) as u32).unwrap_or(lo)
+            }
+            CharSet::Printable => char::arbitrary(rng),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Atom {
+    set: CharSet,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let set = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .map(|p| i + p)
+                    .unwrap_or_else(|| panic!("unclosed [ in pattern {pattern:?}"));
+                let mut ranges = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        ranges.push((chars[j], chars[j + 2]));
+                        j += 3;
+                    } else {
+                        ranges.push((chars[j], chars[j]));
+                        j += 1;
+                    }
+                }
+                i = close + 1;
+                CharSet::Ranges(ranges)
+            }
+            '\\' => {
+                // Only `\PC` (non-control char) is supported.
+                assert!(
+                    chars.get(i + 1) == Some(&'P') && chars.get(i + 2) == Some(&'C'),
+                    "unsupported escape in pattern {pattern:?}"
+                );
+                i += 3;
+                CharSet::Printable
+            }
+            c => {
+                i += 1;
+                CharSet::Literal(c)
+            }
+        };
+        let (min, max) = if chars.get(i) == Some(&'{') {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| i + p)
+                .unwrap_or_else(|| panic!("unclosed {{ in pattern {pattern:?}"));
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("repeat lower bound"),
+                    hi.trim().parse().expect("repeat upper bound"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("repeat count");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        atoms.push(Atom { set, min, max });
+    }
+    atoms
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in parse_pattern(self) {
+            let count = atom.min + rng.index(atom.max - atom.min + 1);
+            for _ in 0..count {
+                out.push(atom.set.sample(rng));
+            }
+        }
+        out
+    }
+}
+
+/// Collection strategies (`prop::collection::…`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::collections::BTreeMap;
+    use std::ops::Range;
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates vectors of values from `element`, with lengths in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.size_in(&self.size);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeMap<K::Value, V::Value>`.
+    #[derive(Debug, Clone)]
+    pub struct BTreeMapStrategy<K, V> {
+        keys: K,
+        values: V,
+        size: Range<usize>,
+    }
+
+    /// Generates maps with approximately `size` entries (key collisions
+    /// may yield fewer, as in upstream proptest with narrow key spaces).
+    pub fn btree_map<K: Strategy, V: Strategy>(
+        keys: K,
+        values: V,
+        size: Range<usize>,
+    ) -> BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        BTreeMapStrategy { keys, values, size }
+    }
+
+    impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+    where
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = rng.size_in(&self.size);
+            let mut map = BTreeMap::new();
+            for _ in 0..target.saturating_mul(4) {
+                if map.len() >= target {
+                    break;
+                }
+                map.insert(self.keys.generate(rng), self.values.generate(rng));
+            }
+            map
+        }
+    }
+
+    /// Strategy for `HashSet<S::Value>`.
+    #[derive(Debug, Clone)]
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generates sets with approximately `size` entries (collisions may
+    /// yield fewer, as in upstream proptest with narrow element spaces).
+    pub fn hash_set<S: Strategy>(element: S, size: Range<usize>) -> HashSetStrategy<S>
+    where
+        S::Value: std::hash::Hash + Eq,
+    {
+        HashSetStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for HashSetStrategy<S>
+    where
+        S::Value: std::hash::Hash + Eq,
+    {
+        type Value = std::collections::HashSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = rng.size_in(&self.size);
+            let mut set = std::collections::HashSet::new();
+            for _ in 0..target.saturating_mul(4) {
+                if set.len() >= target {
+                    break;
+                }
+                set.insert(self.element.generate(rng));
+            }
+            set
+        }
+    }
+}
+
+/// Fixed-size array strategies (`prop::array::…`).
+pub mod array {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `[S::Value; N]`.
+    #[derive(Debug, Clone)]
+    pub struct ArrayStrategy<S, const N: usize> {
+        element: S,
+    }
+
+    impl<S: Strategy, const N: usize> Strategy for ArrayStrategy<S, N> {
+        type Value = [S::Value; N];
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            std::array::from_fn(|_| self.element.generate(rng))
+        }
+    }
+
+    macro_rules! uniform_fns {
+        ($($name:ident => $n:literal),+ $(,)?) => {$(
+            /// Generates arrays whose elements all come from `element`.
+            pub fn $name<S: Strategy>(element: S) -> ArrayStrategy<S, $n> {
+                ArrayStrategy { element }
+            }
+        )+};
+    }
+
+    uniform_fns! {
+        uniform4 => 4,
+        uniform8 => 8,
+        uniform12 => 12,
+        uniform16 => 16,
+        uniform24 => 24,
+        uniform32 => 32,
+    }
+}
+
+/// `Option` strategies (`prop::option::…`).
+pub mod option {
+    use super::{Strategy, TestRng};
+
+    /// Strategy for `Option<S::Value>`, `None` roughly one time in four.
+    #[derive(Debug, Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Generates `Some` values from `inner`, interleaved with `None`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.index(4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
+/// Everything the property tests import.
+pub mod prelude {
+    pub use crate::{
+        any, fnv, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Any, Arbitrary, Just, Map, ProptestConfig, Strategy, TestCaseRejected, TestRng, Union,
+    };
+
+    /// The `prop::` module path used by strategy expressions.
+    pub mod prop {
+        pub use crate::{array, collection, option};
+    }
+}
+
+/// Runs one generated case body, reporting the case number on panic so the
+/// deterministic runner can be re-pointed at it.
+pub fn run_case(
+    test_path: &str,
+    case: u32,
+    total: u32,
+    body: impl FnOnce() -> Result<(), TestCaseRejected>,
+) -> Result<(), TestCaseRejected> {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(body)) {
+        Ok(outcome) => outcome,
+        Err(payload) => {
+            eprintln!("proptest: {test_path} failed at deterministic case {case}/{total}");
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Defines deterministic property tests.
+///
+/// Supports the upstream shape:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(32))]
+///     #[test]
+///     fn name(x in 0u8..4, ys in prop::collection::vec(any::<u8>(), 0..16)) {
+///         prop_assert!(x < 4);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let path = concat!(module_path!(), "::", stringify!($name));
+            let base = $crate::fnv(path);
+            for case in 0..config.cases {
+                let mut __rng = $crate::TestRng::from_seed(
+                    base ^ u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                );
+                $(let $arg = $crate::generate_one(&($strat), &mut __rng);)+
+                let _ = $crate::run_case(path, case, config.cases, move || {
+                    { $body }
+                    ::std::result::Result::Ok(())
+                });
+            }
+        }
+    )*};
+}
+
+/// Asserts within a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { ::std::assert!($($t)*) };
+}
+
+/// Asserts equality within a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { ::std::assert_eq!($($t)*) };
+}
+
+/// Asserts inequality within a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { ::std::assert_ne!($($t)*) };
+}
+
+/// Skips the current case when its precondition does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseRejected);
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($first:expr $(, $rest:expr)* $(,)?) => {{
+        #[allow(unused_mut)]
+        let mut __union = $crate::Union::from_strategy($first);
+        $(__union.push_strategy($rest);)*
+        __union
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::prop;
+    use super::*;
+
+    #[test]
+    fn deterministic_generation() {
+        let strat = collection::vec(0u8..10, 1..5);
+        let mut a = TestRng::from_seed(1);
+        let mut b = TestRng::from_seed(1);
+        assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+    }
+
+    #[test]
+    fn string_patterns() {
+        let mut rng = TestRng::from_seed(3);
+        for _ in 0..200 {
+            let s = "[a-d]".generate(&mut rng);
+            assert_eq!(s.len(), 1);
+            assert!(('a'..='d').contains(&s.chars().next().unwrap()));
+            let s = "[a-z]{1,8}".generate(&mut rng);
+            assert!((1..=8).contains(&s.chars().count()));
+            let s = "\\PC{0,50}".generate(&mut rng);
+            assert!(s.chars().count() <= 50);
+            assert_eq!("abc".generate(&mut rng), "abc");
+        }
+    }
+
+    #[test]
+    fn oneof_and_map() {
+        let strat = prop_oneof![Just(1usize), (2usize..5).prop_map(|v| v * 10),];
+        let mut rng = TestRng::from_seed(9);
+        let mut seen_just = false;
+        let mut seen_mapped = false;
+        for _ in 0..100 {
+            match strat.generate(&mut rng) {
+                1 => seen_just = true,
+                v if (20..50).contains(&v) => seen_mapped = true,
+                v => panic!("unexpected {v}"),
+            }
+        }
+        assert!(seen_just && seen_mapped);
+    }
+
+    #[test]
+    fn btree_map_sizes() {
+        let strat = prop::collection::btree_map(0u8..4, any::<u8>(), 0..3);
+        let mut rng = TestRng::from_seed(4);
+        for _ in 0..50 {
+            assert!(strat.generate(&mut rng).len() < 3);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+        #[test]
+        fn macro_end_to_end(
+            x in 0u8..4,
+            ys in prop::collection::vec(any::<u8>(), 0..16),
+        ) {
+            prop_assume!(x < 4);
+            prop_assert!(ys.len() < 16);
+            prop_assert_eq!(usize::from(x) / 4, 0);
+        }
+    }
+}
