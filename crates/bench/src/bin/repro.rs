@@ -2,24 +2,39 @@
 //! paper (see DESIGN.md's experiment index and EXPERIMENTS.md for the
 //! recorded outputs).
 //!
-//! Usage: `cargo run --release -p securecloud-bench --bin repro -- [exp]`
+//! Usage: `cargo run --release -p securecloud-bench --bin repro -- [exp] [--smoke]`
 //! where `exp` is one of `fig3`, `cache`, `fig3opt`, `genpack`, `ablation`,
 //! `genpack_sweep`, `syscall`, `syscall_window`, `container`, `index`,
-//! `orchestration`, or `all` (default).
+//! `orchestration`, or `all` (default). `--smoke` runs reduced workloads
+//! (CI-sized) with the same code paths.
+//!
+//! Every run leaves a telemetry report (Prometheus snapshot, JSONL trace,
+//! chrome trace) under `target/telemetry/`.
 
 use securecloud_bench::{container, fig3, genpack_exp, indexcmp, orchestration_exp, syscalls};
+use securecloud_telemetry::Telemetry;
+use std::path::Path;
 
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let mut which = "all".to_string();
+    let mut smoke = false;
+    for arg in std::env::args().skip(1) {
+        if arg == "--smoke" {
+            smoke = true;
+        } else {
+            which = arg;
+        }
+    }
     let all = which == "all";
+    let telemetry = Telemetry::new();
     if all || which == "fig3" {
-        run_fig3();
+        run_fig3(smoke, &telemetry);
     }
     if all || which == "cache" {
-        run_cache();
+        run_cache(smoke);
     }
     if all || which == "fig3opt" {
-        run_fig3opt();
+        run_fig3opt(smoke);
     }
     if all || which == "genpack" {
         run_genpack();
@@ -31,23 +46,32 @@ fn main() {
         run_genpack_sweep();
     }
     if all || which == "syscall_window" {
-        run_syscall_window();
+        run_syscall_window(smoke);
     }
     if all || which == "syscall" {
-        run_syscall();
+        run_syscall(smoke);
     }
     if all || which == "container" {
-        run_container();
+        run_container(smoke);
     }
     if all || which == "index" {
-        run_index();
+        run_index(smoke);
     }
     if all || which == "orchestration" {
-        run_orchestration();
+        run_orchestration(smoke);
+    }
+    match telemetry.write_report(Path::new("target/telemetry")) {
+        Ok(report) => println!(
+            "telemetry report: {}, {}, {}",
+            report.snapshot.display(),
+            report.trace_jsonl.display(),
+            report.trace_chrome.display()
+        ),
+        Err(err) => eprintln!("warning: telemetry report not written: {err}"),
     }
 }
 
-fn run_fig3() {
+fn run_fig3(smoke: bool, telemetry: &Telemetry) {
     println!("== E1 / Figure 3: effect of memory swapping ==");
     println!("(paper: ratio ~1 below EPC, degradation before the 128 MiB line,");
     println!(" ~18x at a 200 MiB subscription database)\n");
@@ -55,7 +79,14 @@ fn run_fig3() {
         "{:>6} {:>12} {:>13} {:>7} {:>11} {:>11}",
         "DB MiB", "native us/p", "enclave us/p", "ratio", "faults/pub", "visits/pub"
     );
-    for point in fig3::sweep(fig3::PAPER_DB_SIZES_MB, 30) {
+    let (sizes, pubs): (&[u64], usize) = if smoke {
+        // Few sizes, but enough publications that the 160 MiB point still
+        // pages (too few and the touched set fits the EPC after warm-up).
+        (&[8, 64, 128, 160], 20)
+    } else {
+        (fig3::PAPER_DB_SIZES_MB, 30)
+    };
+    for point in fig3::sweep_instrumented(sizes, pubs, Some(telemetry)) {
         let marker = if point.db_mb == 128 {
             "  <-- EPC size"
         } else {
@@ -74,14 +105,14 @@ fn run_fig3() {
     println!();
 }
 
-fn run_cache() {
+fn run_cache(smoke: bool) {
     println!("== E2: cache misses vs memory swapping (§V-B) ==");
     println!("(paper: cache misses impose limited overhead; swapping is worse)\n");
     println!(
         "{:<24} {:>6} {:>12} {:>13} {:>7} {:>11} {:>11}",
         "regime", "DB MiB", "native us/p", "enclave us/p", "ratio", "misses/pub", "faults/pub"
     );
-    for regime in fig3::cache_vs_swap(200) {
+    for regime in fig3::cache_vs_swap(if smoke { 30 } else { 200 }) {
         println!(
             "{:<24} {:>6} {:>12.1} {:>13.1} {:>6.1}x {:>11} {:>11}",
             regime.regime,
@@ -96,7 +127,7 @@ fn run_cache() {
     println!();
 }
 
-fn run_fig3opt() {
+fn run_fig3opt(smoke: bool) {
     println!("== E8: paging optimisations (paper's future work, quantified) ==");
     println!("(\"we intend to optimise our data structures to avoid paging and");
     println!(" cache misses ... to further decrease the overhead\", 160 MiB DB)\n");
@@ -104,7 +135,7 @@ fn run_fig3opt() {
         "{:<32} {:>13} {:>7} {:>11}",
         "variant", "enclave us/p", "ratio", "faults/pub"
     );
-    for point in fig3::optimisations(160, 30) {
+    for point in fig3::optimisations(160, if smoke { 6 } else { 30 }) {
         println!(
             "{:<32} {:>13.1} {:>6.1}x {:>11}",
             point.variant, point.enclave_us, point.ratio, point.faults_per_pub
@@ -171,7 +202,7 @@ fn run_genpack_sweep() {
     println!();
 }
 
-fn run_syscall_window() {
+fn run_syscall_window(smoke: bool) {
     println!("== E4b: async syscall in-flight window (batching ablation) ==");
     println!("(enclave-side cycles are window-independent; the window buys");
     println!(" wall-clock overlap with the host syscall thread)\n");
@@ -179,7 +210,10 @@ fn run_syscall_window() {
         "{:>8} {:>16} {:>18}",
         "window", "cycles per call", "wall ns per call"
     );
-    for point in syscalls::window_sweep(&[1, 2, 4, 8, 16, 32, 64], 20_000) {
+    for point in syscalls::window_sweep(
+        &[1, 2, 4, 8, 16, 32, 64],
+        if smoke { 2_000 } else { 20_000 },
+    ) {
         println!(
             "{:>8} {:>16.0} {:>18.0}",
             point.window, point.cycles_per_call, point.wall_ns_per_call
@@ -188,14 +222,14 @@ fn run_syscall_window() {
     println!();
 }
 
-fn run_syscall() {
+fn run_syscall(smoke: bool) {
     println!("== E4: synchronous vs asynchronous shielded syscalls (§IV) ==");
     println!("(paper: SCONE's async interface makes enclave performance acceptable)\n");
     println!(
         "{:>9} {:>12} {:>13} {:>9} {:>13} {:>14}",
         "payload B", "sync cyc", "async cyc", "speedup", "sync Mc/s", "async Mc/s"
     );
-    for point in syscalls::sweep(syscalls::PAYLOADS, 2_000) {
+    for point in syscalls::sweep(syscalls::PAYLOADS, if smoke { 500 } else { 2_000 }) {
         println!(
             "{:>9} {:>12.0} {:>13.0} {:>8.1}x {:>13.2} {:>14.2}",
             point.payload,
@@ -209,13 +243,14 @@ fn run_syscall() {
     println!();
 }
 
-fn run_container() {
+fn run_container(smoke: bool) {
     println!("== E5: secure container build & startup overhead (§V-A) ==\n");
     println!(
         "{:>6} {:>11} {:>12} {:>16} {:>15} {:>14}",
         "FS MiB", "build ms", "image MiB", "secure start ms", "plain start ms", "bootstrap Mcyc"
     );
-    for point in container::sweep(&[8, 32, 128]) {
+    let sizes: &[usize] = if smoke { &[8, 32] } else { &[8, 32, 128] };
+    for point in container::sweep(sizes) {
         println!(
             "{:>6} {:>11.1} {:>12.1} {:>16.1} {:>15.1} {:>14.1}",
             point.fs_mb,
@@ -229,13 +264,18 @@ fn run_container() {
     println!();
 }
 
-fn run_index() {
+fn run_index(smoke: bool) {
     println!("== E6: containment index vs naive matching (§V-B) ==\n");
     println!(
         "{:>8} {:>12} {:>12} {:>11} {:>11} {:>10} {:>10}",
         "subs", "naive visit", "poset visit", "naive pred", "poset pred", "naive us", "poset us"
     );
-    for point in indexcmp::sweep(&[1_000, 10_000, 50_000, 100_000], 30) {
+    let (sub_counts, pubs): (&[usize], usize) = if smoke {
+        (&[1_000, 10_000], 10)
+    } else {
+        (&[1_000, 10_000, 50_000, 100_000], 30)
+    };
+    for point in indexcmp::sweep(sub_counts, pubs) {
         println!(
             "{:>8} {:>12} {:>12} {:>11} {:>11} {:>10.1} {:>10.1}",
             point.subs,
@@ -255,9 +295,9 @@ fn run_index() {
     );
 }
 
-fn run_orchestration() {
+fn run_orchestration(smoke: bool) {
     println!("== E7: anomaly detection within milliseconds (§VI) ==\n");
-    let result = orchestration_exp::run(60_000, 10, 3);
+    let result = orchestration_exp::run(if smoke { 10_000 } else { 60_000 }, 10, 3);
     println!(
         "power-quality faults: {} injected, {} detected, {} missed, {} false positives",
         result.faults_injected, result.faults_detected, result.missed, result.false_positives

@@ -10,6 +10,7 @@ use securecloud_scbr::index::PosetIndex;
 use securecloud_scbr::workload::WorkloadSpec;
 use securecloud_sgx::costs::{CostModel, MemoryGeometry};
 use securecloud_sgx::mem::MemorySim;
+use securecloud_telemetry::Telemetry;
 
 /// The database sizes swept for Figure 3 (MiB). The vertical line of the
 /// paper's figure sits at 128 MiB.
@@ -59,6 +60,7 @@ fn run_domain(
         costs,
         enclave,
         Layout::ArrivalOrder,
+        None,
     )
 }
 
@@ -71,13 +73,29 @@ fn run_domain_with_layout(
     costs: CostModel,
     enclave: bool,
     layout: Layout,
+    telemetry: Option<&Telemetry>,
 ) -> DomainRun {
+    let domain = if enclave { "enclave" } else { "native" };
+    let _span = telemetry.map(|t| {
+        t.span_with(
+            "bench",
+            "fig3_domain",
+            vec![
+                ("domain", domain.to_string()),
+                ("db_mb", (db_bytes >> 20).to_string()),
+            ],
+        )
+    });
     let mut mem = if enclave {
         MemorySim::enclave(geometry, costs)
     } else {
         MemorySim::native(geometry, costs)
     };
     let mut engine = MatchEngine::with_layout(PosetIndex::with_partition_attr("topic"), layout);
+    if let Some(t) = telemetry {
+        mem.set_telemetry(t);
+        engine.set_telemetry(t, domain);
+    }
     for sub in spec.subscriptions_for_db_size(db_bytes) {
         engine.subscribe(&mut mem, sub);
     }
@@ -109,16 +127,40 @@ pub fn run_point_with(
     geometry: MemoryGeometry,
     costs: CostModel,
 ) -> Fig3Point {
+    run_point_with_telemetry(db_bytes, publications, geometry, costs, None)
+}
+
+/// Like [`run_point_with`], optionally recording per-domain sgx/scbr
+/// metrics and a `bench/fig3_domain` span pair into `telemetry`.
+#[must_use]
+pub fn run_point_with_telemetry(
+    db_bytes: u64,
+    publications: usize,
+    geometry: MemoryGeometry,
+    costs: CostModel,
+    telemetry: Option<&Telemetry>,
+) -> Fig3Point {
     let spec = WorkloadSpec::fig3();
-    let native = run_domain(
+    let native = run_domain_with_layout(
         &spec,
         db_bytes,
         publications,
         geometry,
         costs.clone(),
         false,
+        Layout::ArrivalOrder,
+        telemetry,
     );
-    let enclave = run_domain(&spec, db_bytes, publications, geometry, costs, true);
+    let enclave = run_domain_with_layout(
+        &spec,
+        db_bytes,
+        publications,
+        geometry,
+        costs,
+        true,
+        Layout::ArrivalOrder,
+        telemetry,
+    );
     Fig3Point {
         db_mb: db_bytes >> 20,
         native_us: native.us_per_pub,
@@ -144,9 +186,29 @@ pub fn run_point(db_mb: u64, publications: usize) -> Fig3Point {
 /// Full Figure 3 sweep.
 #[must_use]
 pub fn sweep(db_sizes_mb: &[u64], publications: usize) -> Vec<Fig3Point> {
+    sweep_instrumented(db_sizes_mb, publications, None)
+}
+
+/// Full Figure 3 sweep with optional telemetry: every point records its
+/// memory-simulator and matching-engine metrics (labeled by domain) into
+/// the shared registry and leaves a span per domain run in the trace.
+#[must_use]
+pub fn sweep_instrumented(
+    db_sizes_mb: &[u64],
+    publications: usize,
+    telemetry: Option<&Telemetry>,
+) -> Vec<Fig3Point> {
     db_sizes_mb
         .iter()
-        .map(|&mb| run_point(mb, publications))
+        .map(|&mb| {
+            run_point_with_telemetry(
+                mb << 20,
+                publications,
+                MemoryGeometry::sgx_v1(),
+                CostModel::sgx_v1(),
+                telemetry,
+            )
+        })
         .collect()
 }
 
@@ -224,6 +286,7 @@ pub fn optimisations(db_mb: u64, publications: usize) -> Vec<OptimisedPoint> {
                 costs.clone(),
                 true,
                 layout,
+                None,
             );
             let native_us = if geometry == MemoryGeometry::sgx_v2() {
                 native_v2.us_per_pub

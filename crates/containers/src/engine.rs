@@ -25,6 +25,7 @@ use securecloud_scone::hostos::{HostOs, MemHost, Syscall, SyscallRet};
 use securecloud_scone::runtime::SconeRuntime;
 use securecloud_scone::scf::ConfigService;
 use securecloud_sgx::enclave::{EnclaveConfig, Platform};
+use securecloud_telemetry::{OwnedSpan, Telemetry};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -186,7 +187,7 @@ impl Container {
     }
 
     /// Resource usage snapshot.
-    #[must_use]
+    #[must_use = "usage is a snapshot; discarding it does nothing"]
     pub fn usage(&mut self) -> ResourceUsage {
         ResourceUsage {
             cpu_cycles: self
@@ -211,6 +212,7 @@ pub struct Engine {
     now_ms: u64,
     jitter_rng: DetRng,
     injector: Option<Arc<FaultInjector>>,
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl Engine {
@@ -231,7 +233,16 @@ impl Engine {
             now_ms: 0,
             jitter_rng: DetRng::new(0x5EC0_C10D),
             injector: None,
+            telemetry: None,
         }
+    }
+
+    /// Attaches the shared telemetry: supervision events become trace
+    /// events/spans, restart counters feed the registry, and every
+    /// subsequently bootstrapped secure runtime is instrumented too. The
+    /// engine publishes its virtual clock on each [`Engine::advance`].
+    pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        self.telemetry = Some(telemetry);
     }
 
     /// Current virtual time in milliseconds.
@@ -318,6 +329,7 @@ impl Engine {
                 &self.config_service,
                 &image,
                 &host,
+                self.telemetry.as_ref(),
             )?)
         } else {
             None
@@ -352,7 +364,17 @@ impl Engine {
         config_service: &Arc<RwLock<ConfigService>>,
         image: &Image,
         host: &Arc<MemHost>,
+        telemetry: Option<&Arc<Telemetry>>,
     ) -> Result<SconeRuntime, ContainerError> {
+        let span = telemetry.map(|t| {
+            t.counter("securecloud_containers_bootstraps_total").inc();
+            OwnedSpan::open_with(
+                t.clone(),
+                "containers",
+                "attested_bootstrap",
+                vec![("image", image.reference())],
+            )
+        });
         let sealed_protection = image
             .flatten()
             .get(PROTECTION_PATH)
@@ -373,12 +395,22 @@ impl Engine {
             &sealed_protection,
         );
         let served = server.join().expect("config service thread");
+        drop(span);
         match runtime {
-            Ok(rt) => {
+            Ok(mut rt) => {
                 served.map_err(|e| ContainerError::Start(e.to_string()))?;
+                if let Some(t) = telemetry {
+                    rt.set_telemetry(t);
+                }
                 Ok(rt)
             }
-            Err(e) => Err(ContainerError::Start(e.to_string())),
+            Err(e) => {
+                if let Some(t) = telemetry {
+                    t.counter("securecloud_containers_bootstrap_failures_total")
+                        .inc();
+                }
+                Err(ContainerError::Start(e.to_string()))
+            }
         }
     }
 
@@ -431,6 +463,17 @@ impl Engine {
         container.state = ContainerState::Stopped;
         container.last_fault = Some(reason.to_string());
         self.record(format!("container c{} aborted: {reason}", id.0));
+        if let Some(t) = &self.telemetry {
+            t.counter("securecloud_containers_aborts_total").inc();
+            t.event(
+                "containers",
+                "container_aborted",
+                vec![
+                    ("container", format!("c{}", id.0)),
+                    ("reason", reason.to_string()),
+                ],
+            );
+        }
         match self.containers[&id].supervision.policy {
             RestartPolicy::Never => {
                 let container = self.containers.get_mut(&id).expect("present above");
@@ -452,6 +495,9 @@ impl Engine {
     /// restart budget quarantines the container.
     pub fn advance(&mut self, ms: u64) {
         self.now_ms += ms;
+        if let Some(t) = &self.telemetry {
+            t.clock().set_at_least_ms(self.now_ms);
+        }
         let now = self.now_ms;
         let mut due: Vec<ContainerId> = self
             .containers
@@ -468,9 +514,23 @@ impl Engine {
                 container.restarts += 1;
                 container.restarts
             };
+            let span = self.telemetry.clone().map(|t| {
+                OwnedSpan::open_with(
+                    t,
+                    "containers",
+                    "restart",
+                    vec![
+                        ("container", format!("c{}", id.0)),
+                        ("attempt", attempt.to_string()),
+                    ],
+                )
+            });
             match self.try_restart(id) {
                 Ok(()) => {
                     self.record(format!("container c{} restarted attempt {attempt}", id.0));
+                    if let Some(t) = &self.telemetry {
+                        t.counter("securecloud_containers_restarts_total").inc();
+                    }
                 }
                 Err(e) => {
                     self.record(format!(
@@ -480,6 +540,7 @@ impl Engine {
                     self.schedule_restart_or_quarantine(id);
                 }
             }
+            drop(span);
         }
     }
 
@@ -502,6 +563,7 @@ impl Engine {
                 &self.config_service,
                 &image,
                 &host,
+                self.telemetry.as_ref(),
             )?)
         } else {
             None
@@ -526,6 +588,17 @@ impl Engine {
                 "container c{} quarantined after {restarts} restarts",
                 id.0
             ));
+            if let Some(t) = &self.telemetry {
+                t.counter("securecloud_containers_quarantines_total").inc();
+                t.event(
+                    "containers",
+                    "container_quarantined",
+                    vec![
+                        ("container", format!("c{}", id.0)),
+                        ("restarts", restarts.to_string()),
+                    ],
+                );
+            }
             return;
         }
         let doublings = container.restarts.min(32);
@@ -542,6 +615,16 @@ impl Engine {
         container.health = ContainerHealth::Backoff;
         container.restart_due_ms = Some(now + delay);
         self.record(format!("container c{} backoff {delay}ms", id.0));
+        if let Some(t) = &self.telemetry {
+            t.event(
+                "containers",
+                "backoff_scheduled",
+                vec![
+                    ("container", format!("c{}", id.0)),
+                    ("delay_ms", delay.to_string()),
+                ],
+            );
+        }
     }
 
     /// Access to a container.

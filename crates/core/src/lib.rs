@@ -52,6 +52,7 @@ pub use securecloud_scbr as scbr;
 pub use securecloud_scone as scone;
 pub use securecloud_sgx as sgx;
 pub use securecloud_smartgrid as smartgrid;
+pub use securecloud_telemetry as telemetry;
 
 use containers::build::BuiltImage;
 use containers::engine::{ContainerId, Engine};
@@ -67,6 +68,7 @@ use scone::scf::ConfigService;
 use sgx::attest::AttestationService;
 use sgx::enclave::Platform;
 use std::sync::Arc;
+use telemetry::Telemetry;
 
 /// The assembled SecureCloud control plane.
 ///
@@ -82,6 +84,7 @@ pub struct SecureCloud {
     host: ServiceHost,
     sim_now_ms: u64,
     injector: Option<Arc<FaultInjector>>,
+    telemetry: Arc<Telemetry>,
 }
 
 impl std::fmt::Debug for SecureCloud {
@@ -107,21 +110,36 @@ impl SecureCloud {
         key_attestation.register_platform(&platform);
         let registry = Arc::new(Registry::new());
         let config_service = Arc::new(RwLock::new(ConfigService::new(attestation)));
-        let engine = Engine::new(
+        let mut engine = Engine::new(
             Arc::clone(&registry),
             platform.clone(),
             Arc::clone(&config_service),
         );
+        // One registry + virtual-clock trace buffer for the whole platform:
+        // engine supervision, bus delivery, and every bootstrapped secure
+        // runtime report into it.
+        let telemetry = Arc::new(Telemetry::new());
+        engine.set_telemetry(Arc::clone(&telemetry));
+        let mut host = ServiceHost::new(1_000);
+        host.set_telemetry(Arc::clone(&telemetry));
         SecureCloud {
             platform,
             registry,
             config_service,
             engine,
             key_service: TopicKeyService::new(key_attestation),
-            host: ServiceHost::new(1_000),
+            host,
             sim_now_ms: 0,
             injector: None,
+            telemetry,
         }
+    }
+
+    /// The platform-wide telemetry: shared metrics registry, virtual
+    /// clock, and trace buffer.
+    #[must_use]
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
     }
 
     /// Attaches a seeded fault injector to the whole platform: the event
@@ -157,6 +175,9 @@ impl SecureCloud {
     /// external [`scbr::broker::Overlay`]).
     pub fn advance(&mut self, ms: u64) -> Vec<FaultEvent> {
         self.sim_now_ms += ms;
+        // Stamp the telemetry clock before anything below emits events so
+        // every trace entry carries the current virtual time.
+        self.telemetry.clock().set_at_least_ms(self.sim_now_ms);
         // Move the injector's clock first so everything the engine and bus
         // record below is stamped with the current virtual time.
         let events = match &self.injector {

@@ -22,6 +22,7 @@
 
 use securecloud_faults::{FaultInjector, MessageFate};
 use securecloud_scbr::types::{Publication, Subscription};
+use securecloud_telemetry::{Counter, Gauge, Histogram, Telemetry};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
 
@@ -46,9 +47,13 @@ pub struct Message {
     pub attributes: Publication,
     /// Delivery attempt counter (1 on first delivery).
     pub attempt: u32,
+    /// Virtual time at which the message was published (for publish→ack
+    /// latency accounting).
+    pub published_at_ms: u64,
 }
 
-/// Bus statistics.
+/// Bus statistics snapshot. All counters saturate at `u64::MAX` — a
+/// runaway counter pegs rather than wrapping back to small values.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BusStats {
     /// Messages published.
@@ -64,6 +69,51 @@ pub struct BusStats {
     /// Messages moved to the dead-letter queue after exhausting their
     /// retry budget.
     pub dead_lettered: u64,
+    /// Negative acknowledgements received.
+    pub nacked: u64,
+}
+
+/// The bus's live metric handles. These are the single source of truth:
+/// [`EventBus::stats`] reads them, and [`EventBus::set_telemetry`] adopts
+/// the very same handles into the shared registry for export.
+#[derive(Debug, Clone, Default)]
+struct BusMetrics {
+    published: Counter,
+    delivered: Counter,
+    redelivered: Counter,
+    acked: Counter,
+    dropped: Counter,
+    dead_lettered: Counter,
+    nacked: Counter,
+    dead_letter_depth: Gauge,
+    publish_to_ack_ms: Histogram,
+}
+
+impl BusMetrics {
+    fn adopt_into(&self, telemetry: &Telemetry) {
+        let registry = telemetry.registry();
+        registry.adopt_counter("securecloud_bus_published_total", &[], &self.published);
+        registry.adopt_counter("securecloud_bus_delivered_total", &[], &self.delivered);
+        registry.adopt_counter("securecloud_bus_redelivered_total", &[], &self.redelivered);
+        registry.adopt_counter("securecloud_bus_acked_total", &[], &self.acked);
+        registry.adopt_counter("securecloud_bus_dropped_total", &[], &self.dropped);
+        registry.adopt_counter(
+            "securecloud_bus_dead_lettered_total",
+            &[],
+            &self.dead_lettered,
+        );
+        registry.adopt_counter("securecloud_bus_nacked_total", &[], &self.nacked);
+        registry.adopt_gauge(
+            "securecloud_bus_dead_letter_depth",
+            &[],
+            &self.dead_letter_depth,
+        );
+        registry.adopt_histogram(
+            "securecloud_bus_publish_to_ack_ms",
+            &[],
+            &self.publish_to_ack_ms,
+        );
+    }
 }
 
 /// A message that exhausted its retry budget, parked for inspection.
@@ -94,10 +144,11 @@ pub struct EventBus {
     lease_ms: u64,
     next_subscriber: u64,
     next_message: u64,
-    stats: BusStats,
+    metrics: BusMetrics,
     max_attempts: Option<u32>,
     dead: Vec<DeadLetter>,
     injector: Option<Arc<FaultInjector>>,
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl EventBus {
@@ -111,11 +162,20 @@ impl EventBus {
             lease_ms,
             next_subscriber: 1,
             next_message: 1,
-            stats: BusStats::default(),
+            metrics: BusMetrics::default(),
             max_attempts: None,
             dead: Vec::new(),
             injector: None,
+            telemetry: None,
         }
+    }
+
+    /// Attaches shared telemetry: the bus's live counters are adopted into
+    /// the registry, dead-letter events become trace events, and
+    /// [`EventBus::advance`] publishes the bus clock to the virtual clock.
+    pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        self.metrics.adopt_into(&telemetry);
+        self.telemetry = Some(telemetry);
     }
 
     /// Sets the per-message retry budget. A message whose `attempt` count
@@ -140,27 +200,42 @@ impl EventBus {
 
     /// Drains the dead-letter queue (e.g. to reprocess after a fix).
     pub fn take_dead_letters(&mut self) -> Vec<DeadLetter> {
+        self.metrics.dead_letter_depth.set(0);
         std::mem::take(&mut self.dead)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn park_or_requeue(
         state: &mut SubscriberState,
         subscriber: SubscriberId,
         message: Message,
         max_attempts: Option<u32>,
-        stats: &mut BusStats,
+        metrics: &BusMetrics,
         dead: &mut Vec<DeadLetter>,
+        telemetry: Option<&Telemetry>,
         reason: &'static str,
     ) {
         if max_attempts.is_some_and(|max| message.attempt >= max) {
-            stats.dead_lettered += 1;
+            metrics.dead_lettered.inc();
+            metrics.dead_letter_depth.add(1);
+            if let Some(t) = telemetry {
+                t.event(
+                    "eventbus",
+                    "dead_letter",
+                    vec![
+                        ("message", format!("m{}", message.id.0)),
+                        ("subscriber", format!("s{}", subscriber.0)),
+                        ("reason", reason.to_string()),
+                    ],
+                );
+            }
             dead.push(DeadLetter {
                 subscriber,
                 message,
                 reason,
             });
         } else {
-            stats.redelivered += 1;
+            metrics.redelivered.inc();
             // Requeue at the back: a message the consumer keeps rejecting
             // must not starve the rest of the queue.
             state.queue.push_back(message);
@@ -173,10 +248,18 @@ impl EventBus {
         self.now_ms
     }
 
-    /// Bus statistics.
+    /// Bus statistics, snapshotted from the live metric handles.
     #[must_use]
     pub fn stats(&self) -> BusStats {
-        self.stats
+        BusStats {
+            published: self.metrics.published.value(),
+            delivered: self.metrics.delivered.value(),
+            redelivered: self.metrics.redelivered.value(),
+            acked: self.metrics.acked.value(),
+            dropped: self.metrics.dropped.value(),
+            dead_lettered: self.metrics.dead_lettered.value(),
+            nacked: self.metrics.nacked.value(),
+        }
     }
 
     /// Subscribes to `topic`, optionally with a content filter evaluated
@@ -211,7 +294,7 @@ impl EventBus {
     pub fn publish(&mut self, topic: &str, payload: Vec<u8>, attributes: Publication) -> MessageId {
         let id = MessageId(self.next_message);
         self.next_message += 1;
-        self.stats.published += 1;
+        self.metrics.published.inc();
         let mut matched = false;
         let subscriber_ids = self.by_topic.get(topic).cloned().unwrap_or_default();
         for sub_id in subscriber_ids {
@@ -227,11 +310,12 @@ impl EventBus {
                     payload: payload.clone(),
                     attributes: attributes.clone(),
                     attempt: 0,
+                    published_at_ms: self.now_ms,
                 });
             }
         }
         if !matched {
-            self.stats.dropped += 1;
+            self.metrics.dropped.inc();
         }
         id
     }
@@ -268,20 +352,26 @@ impl EventBus {
                 state.queue.push_back(message.clone());
             }
         }
-        self.stats.delivered += 1;
+        self.metrics.delivered.inc();
         Some(message)
     }
 
     /// Acknowledges a leased message; returns whether it was leased.
     pub fn ack(&mut self, subscriber: SubscriberId, message: MessageId) -> bool {
+        let now_ms = self.now_ms;
         let Some(state) = self.subscribers.get_mut(&subscriber) else {
             return false;
         };
-        let acked = state.leased.remove(&message).is_some();
-        if acked {
-            self.stats.acked += 1;
+        match state.leased.remove(&message) {
+            Some((msg, _)) => {
+                self.metrics.acked.inc();
+                self.metrics
+                    .publish_to_ack_ms
+                    .observe(now_ms.saturating_sub(msg.published_at_ms));
+                true
+            }
+            None => false,
         }
-        acked
     }
 
     /// Negative-acknowledges a leased message: immediate requeue, or
@@ -293,13 +383,15 @@ impl EventBus {
         };
         match state.leased.remove(&message) {
             Some((msg, _)) => {
+                self.metrics.nacked.inc();
                 Self::park_or_requeue(
                     state,
                     subscriber,
                     msg,
                     max_attempts,
-                    &mut self.stats,
+                    &self.metrics,
                     &mut self.dead,
+                    self.telemetry.as_deref(),
                     "nack",
                 );
                 true
@@ -315,6 +407,9 @@ impl EventBus {
     pub fn advance(&mut self, ms: u64) {
         self.now_ms += ms;
         let now = self.now_ms;
+        if let Some(t) = &self.telemetry {
+            t.clock().set_at_least_ms(now);
+        }
         let max_attempts = self.max_attempts;
         for (&sub_id, state) in &mut self.subscribers {
             let expired: Vec<MessageId> = state
@@ -330,8 +425,9 @@ impl EventBus {
                     sub_id,
                     message,
                     max_attempts,
-                    &mut self.stats,
+                    &self.metrics,
                     &mut self.dead,
+                    self.telemetry.as_deref(),
                     "lease-expired",
                 );
             }

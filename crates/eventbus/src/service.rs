@@ -12,6 +12,7 @@
 use crate::bus::{EventBus, Message, SubscriberId};
 use securecloud_faults::FaultInjector;
 use securecloud_scbr::types::{Publication, Subscription};
+use securecloud_telemetry::Telemetry;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
@@ -55,6 +56,7 @@ pub struct ServiceHost {
     services: Vec<Registered>,
     quarantine_after: u32,
     injector: Option<Arc<FaultInjector>>,
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl std::fmt::Debug for ServiceHost {
@@ -74,7 +76,15 @@ impl ServiceHost {
             services: Vec::new(),
             quarantine_after: DEFAULT_QUARANTINE_AFTER,
             injector: None,
+            telemetry: None,
         }
+    }
+
+    /// Attaches shared telemetry to the host and its bus: handler panics
+    /// and quarantines become counted trace events.
+    pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        self.bus.set_telemetry(telemetry.clone());
+        self.telemetry = Some(telemetry);
     }
 
     /// Registers a service and subscribes it to its declared topics.
@@ -195,10 +205,38 @@ impl ServiceHost {
                                 message.id.0, message.attempt
                             ));
                         }
+                        if let Some(t) = &self.telemetry {
+                            t.counter_with(
+                                "securecloud_service_panics_total",
+                                &[("service", name)],
+                            )
+                            .inc();
+                            t.event(
+                                "eventbus",
+                                "service_panic",
+                                vec![
+                                    ("service", name.to_string()),
+                                    ("message", format!("m{}", message.id.0)),
+                                    ("attempt", message.attempt.to_string()),
+                                ],
+                            );
+                        }
                         if registered.consecutive_panics >= self.quarantine_after {
                             registered.quarantined = true;
                             if let Some(injector) = &self.injector {
                                 injector.record(format!("service {name} quarantined"));
+                            }
+                            if let Some(t) = &self.telemetry {
+                                t.counter_with(
+                                    "securecloud_service_quarantines_total",
+                                    &[("service", name)],
+                                )
+                                .inc();
+                                t.event(
+                                    "eventbus",
+                                    "service_quarantined",
+                                    vec![("service", name.to_string())],
+                                );
                             }
                         }
                     }

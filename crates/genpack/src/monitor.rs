@@ -9,15 +9,8 @@
 //! not yet "learned".
 
 use crate::cluster::JobId;
+use securecloud_telemetry::stats::Ema;
 use std::collections::BTreeMap;
-
-/// Per-job usage estimate.
-#[derive(Debug, Clone, Copy, Default)]
-struct Estimate {
-    mean: f64,
-    variance: f64,
-    samples: u64,
-}
 
 /// Exponential-moving-average usage monitor.
 ///
@@ -37,7 +30,7 @@ pub struct UsageMonitor {
     alpha: f64,
     min_samples: u64,
     stability_cv: f64,
-    estimates: BTreeMap<JobId, Estimate>,
+    estimates: BTreeMap<JobId, Ema>,
 }
 
 impl UsageMonitor {
@@ -61,31 +54,24 @@ impl UsageMonitor {
 
     /// Records one CPU-usage sample (cores) for `job`.
     pub fn observe(&mut self, job: JobId, cpu_used: f64) {
-        let e = self.estimates.entry(job).or_default();
-        if e.samples == 0 {
-            e.mean = cpu_used;
-            e.variance = 0.0;
-        } else {
-            let delta = cpu_used - e.mean;
-            e.mean += self.alpha * delta;
-            e.variance = (1.0 - self.alpha) * (e.variance + self.alpha * delta * delta);
-        }
-        e.samples += 1;
+        let alpha = self.alpha;
+        self.estimates
+            .entry(job)
+            .or_insert_with(|| Ema::new(alpha))
+            .observe(cpu_used);
     }
 
     /// The learned mean usage, if any samples exist.
     #[must_use]
     pub fn estimate(&self, job: JobId) -> Option<f64> {
-        self.estimates.get(&job).map(|e| e.mean)
+        self.estimates.get(&job).map(Ema::mean)
     }
 
     /// A conservative capacity estimate: mean plus `sigmas` standard
     /// deviations (what a careful packer reserves).
     #[must_use]
     pub fn estimate_with_headroom(&self, job: JobId, sigmas: f64) -> Option<f64> {
-        self.estimates
-            .get(&job)
-            .map(|e| e.mean + sigmas * e.variance.sqrt())
+        self.estimates.get(&job).map(|e| e.headroom(sigmas))
     }
 
     /// Whether the job's usage has been *learned*: enough samples and a
@@ -93,8 +79,8 @@ impl UsageMonitor {
     #[must_use]
     pub fn is_stable(&self, job: JobId) -> bool {
         self.estimates.get(&job).is_some_and(|e| {
-            e.samples >= self.min_samples
-                && (e.mean.abs() < 1e-9 || e.variance.sqrt() / e.mean.abs() <= self.stability_cv)
+            e.samples() >= self.min_samples
+                && (e.mean().abs() < 1e-9 || e.stddev() / e.mean().abs() <= self.stability_cv)
         })
     }
 

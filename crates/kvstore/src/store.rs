@@ -5,6 +5,7 @@ use securecloud_crypto::gcm::{AesGcm, NONCE_LEN};
 use securecloud_crypto::wire::Wire;
 use securecloud_crypto::CryptoError;
 use securecloud_sgx::mem::MemorySim;
+use securecloud_telemetry::{Counter, Telemetry};
 use std::collections::{BTreeMap, HashMap};
 use std::error::Error as StdError;
 use std::fmt;
@@ -97,6 +98,26 @@ pub struct KvStats {
     pub scanned: u64,
 }
 
+/// Live operation counters; [`KvStats`] snapshots read from these, and
+/// `set_telemetry` adopts the same handles into the shared registry.
+#[derive(Debug, Default)]
+struct KvMetrics {
+    puts: Counter,
+    gets: Counter,
+    deletes: Counter,
+    scanned: Counter,
+}
+
+impl KvMetrics {
+    fn adopt_into(&self, telemetry: &Telemetry) {
+        let registry = telemetry.registry();
+        registry.adopt_counter("securecloud_kv_puts_total", &[], &self.puts);
+        registry.adopt_counter("securecloud_kv_gets_total", &[], &self.gets);
+        registry.adopt_counter("securecloud_kv_deletes_total", &[], &self.deletes);
+        registry.adopt_counter("securecloud_kv_scanned_total", &[], &self.scanned);
+    }
+}
+
 #[derive(Debug, Clone)]
 struct Entry {
     value: Vec<u8>,
@@ -120,7 +141,7 @@ pub struct SecureKv {
     map: BTreeMap<Vec<u8>, Entry>,
     version: u64,
     bytes: u64,
-    stats: KvStats,
+    metrics: KvMetrics,
     arena_next: Option<(u64, u64)>, // (chunk base, used)
 }
 
@@ -160,7 +181,17 @@ impl SecureKv {
     /// Operation counters.
     #[must_use]
     pub fn stats(&self) -> KvStats {
-        self.stats
+        KvStats {
+            puts: self.metrics.puts.value(),
+            gets: self.metrics.gets.value(),
+            deletes: self.metrics.deletes.value(),
+            scanned: self.metrics.scanned.value(),
+        }
+    }
+
+    /// Adopts the store's operation counters into `telemetry`'s registry.
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        self.metrics.adopt_into(telemetry);
     }
 
     fn alloc(&mut self, mem: &mut MemorySim, bytes: u64) -> u64 {
@@ -188,7 +219,7 @@ impl SecureKv {
         mem.touch(offset, footprint as usize);
         mem.charge_ops(2 + (key.len() as u64) / 8);
         self.version += 1;
-        self.stats.puts += 1;
+        self.metrics.puts.inc();
         self.bytes += (key.len() + value.len()) as u64;
         let previous = self.map.insert(
             key.to_vec(),
@@ -206,7 +237,7 @@ impl SecureKv {
 
     /// Point lookup.
     pub fn get(&mut self, mem: &mut MemorySim, key: &[u8]) -> Option<Vec<u8>> {
-        self.stats.gets += 1;
+        self.metrics.gets.inc();
         // B-tree descent: log(n) comparisons.
         mem.charge_ops(2 + (self.map.len().max(2) as f64).log2() as u64);
         let entry = self.map.get(key)?;
@@ -219,7 +250,7 @@ impl SecureKv {
         mem.charge_ops(2 + (self.map.len().max(2) as f64).log2() as u64);
         let entry = self.map.remove(key)?;
         self.version += 1;
-        self.stats.deletes += 1;
+        self.metrics.deletes.inc();
         self.bytes -= (key.len() + entry.value.len()) as u64;
         Some(entry.value)
     }
@@ -240,7 +271,7 @@ impl SecureKv {
             mem.touch(offset, footprint as usize);
             mem.charge_ops(1);
             out.push((k, v));
-            self.stats.scanned += 1;
+            self.metrics.scanned.inc();
         }
         out
     }

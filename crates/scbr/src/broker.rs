@@ -14,8 +14,10 @@
 //! process, excluding the subtree it came from).
 
 use crate::types::{covers_normalised, Normalised, Publication, SubId, Subscription};
+use securecloud_telemetry::{Counter, OwnedSpan, Telemetry};
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// Identifier of a broker in the overlay.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -62,7 +64,8 @@ impl fmt::Display for OverlayError {
 
 impl std::error::Error for OverlayError {}
 
-/// Overlay-wide statistics.
+/// Overlay-wide statistics snapshot. All counters saturate at `u64::MAX`
+/// instead of wrapping.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct OverlayStats {
     /// Subscription-forward messages sent between brokers.
@@ -75,6 +78,42 @@ pub struct OverlayStats {
     /// Subscription forwards re-sent while recovering from a broker
     /// failure (re-parenting orphaned subtrees).
     pub recovery_forwards: u64,
+}
+
+/// Live metric handles; [`Overlay::stats`] reads them and
+/// [`Overlay::set_telemetry`] adopts the same handles into the registry.
+#[derive(Debug, Clone, Default)]
+struct OverlayMetrics {
+    subscription_forwards: Counter,
+    forwards_suppressed: Counter,
+    publication_hops: Counter,
+    recovery_forwards: Counter,
+}
+
+impl OverlayMetrics {
+    fn adopt_into(&self, telemetry: &Telemetry) {
+        let registry = telemetry.registry();
+        registry.adopt_counter(
+            "securecloud_scbr_subscription_forwards_total",
+            &[],
+            &self.subscription_forwards,
+        );
+        registry.adopt_counter(
+            "securecloud_scbr_forwards_suppressed_total",
+            &[],
+            &self.forwards_suppressed,
+        );
+        registry.adopt_counter(
+            "securecloud_scbr_publication_hops_total",
+            &[],
+            &self.publication_hops,
+        );
+        registry.adopt_counter(
+            "securecloud_scbr_recovery_forwards_total",
+            &[],
+            &self.recovery_forwards,
+        );
+    }
 }
 
 #[derive(Debug)]
@@ -102,7 +141,8 @@ struct BrokerNode {
 pub struct Overlay {
     brokers: Vec<BrokerNode>,
     next_sub: u64,
-    stats: OverlayStats,
+    metrics: OverlayMetrics,
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl Overlay {
@@ -160,8 +200,16 @@ impl Overlay {
         Ok(Overlay {
             brokers,
             next_sub: 0,
-            stats: OverlayStats::default(),
+            metrics: OverlayMetrics::default(),
+            telemetry: None,
         })
+    }
+
+    /// Attaches shared telemetry: routing counters are adopted into the
+    /// registry and broker failures / publication routing emit spans.
+    pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        self.metrics.adopt_into(&telemetry);
+        self.telemetry = Some(telemetry);
     }
 
     /// Builds an overlay from a parent vector, panicking on an invalid
@@ -195,10 +243,15 @@ impl Overlay {
         self.brokers.is_empty()
     }
 
-    /// Accumulated statistics.
+    /// Accumulated statistics, snapshotted from the live metric handles.
     #[must_use]
     pub fn stats(&self) -> OverlayStats {
-        self.stats
+        OverlayStats {
+            subscription_forwards: self.metrics.subscription_forwards.value(),
+            forwards_suppressed: self.metrics.forwards_suppressed.value(),
+            publication_hops: self.metrics.publication_hops.value(),
+            recovery_forwards: self.metrics.recovery_forwards.value(),
+        }
     }
 
     /// Whether `broker` has failed.
@@ -229,6 +282,14 @@ impl Overlay {
         if self.brokers[failed].failed {
             return;
         }
+        let _recovery_span = self.telemetry.clone().map(|t| {
+            t.event(
+                "scbr",
+                "broker_failed",
+                vec![("broker", format!("b{failed}"))],
+            );
+            OwnedSpan::open(t, "scbr", "recovery")
+        });
         self.brokers[failed].failed = true;
         let parent = self.brokers[failed].parent.take();
         let children = std::mem::take(&mut self.brokers[failed].children);
@@ -279,7 +340,7 @@ impl Overlay {
     fn repropagate(&mut self, from: usize, sub: Subscription, norm: Normalised) {
         let mut current = from;
         while let Some(parent) = self.brokers[current].parent {
-            self.stats.recovery_forwards += 1;
+            self.metrics.recovery_forwards.inc();
             self.brokers[parent]
                 .child_interest
                 .entry(current)
@@ -293,7 +354,7 @@ impl Overlay {
                 .iter()
                 .any(|f| covers_normalised(&f.norm, &norm));
             if covered {
-                self.stats.forwards_suppressed += 1;
+                self.metrics.forwards_suppressed.inc();
                 return;
             }
             if self.brokers[parent].parent.is_some() {
@@ -337,10 +398,10 @@ impl Overlay {
                 .iter()
                 .any(|f| covers_normalised(&f.norm, &carried.norm));
             if covered {
-                self.stats.forwards_suppressed += 1;
+                self.metrics.forwards_suppressed.inc();
                 return id;
             }
-            self.stats.subscription_forwards += 1;
+            self.metrics.subscription_forwards.inc();
             self.brokers[current].forwarded_up.push(Interest {
                 sub: carried.sub.clone(),
                 norm: carried.norm.clone(),
@@ -374,8 +435,17 @@ impl Overlay {
             "broker {} has failed",
             broker.0
         );
+        let span = self.telemetry.clone().map(|t| {
+            OwnedSpan::open_with(
+                t,
+                "scbr",
+                "publish",
+                vec![("entry_broker", format!("b{}", broker.0))],
+            )
+        });
         let mut delivered = Vec::new();
         self.route(broker.0, None, publication, &mut delivered);
+        drop(span);
         delivered
     }
 
@@ -403,14 +473,14 @@ impl Overlay {
                 .get(&child)
                 .is_some_and(|interests| interests.iter().any(|i| i.sub.matches(publication)));
             if interested {
-                self.stats.publication_hops += 1;
+                self.metrics.publication_hops.inc();
                 self.route(child, Some(at), publication, delivered);
             }
         }
         // Upward: the parent may have interested subtrees elsewhere.
         if let Some(parent) = self.brokers[at].parent {
             if Some(parent) != came_from {
-                self.stats.publication_hops += 1;
+                self.metrics.publication_hops.inc();
                 self.route(parent, Some(at), publication, delivered);
             }
         }

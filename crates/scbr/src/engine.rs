@@ -18,6 +18,7 @@
 use crate::index::SubscriptionIndex;
 use crate::types::{Op, Publication, SubId, Subscription, Value};
 use securecloud_sgx::mem::{MemorySim, Region};
+use securecloud_telemetry::{Counter, Telemetry};
 use std::collections::HashMap;
 
 /// Arena chunk size: subscriptions are packed into these.
@@ -42,7 +43,8 @@ pub enum Layout {
 /// predicate block; the payload is not touched during matching).
 const MATCH_READ_BYTES: u32 = 128;
 
-/// Counters accumulated by a [`MatchEngine`].
+/// Counters accumulated by a [`MatchEngine`] (snapshot; the live handles
+/// saturate rather than wrap).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// Publications processed.
@@ -53,6 +55,15 @@ pub struct EngineStats {
     pub nodes_visited: u64,
     /// Predicates evaluated.
     pub predicates_evaluated: u64,
+}
+
+/// Live metric handles behind [`EngineStats`].
+#[derive(Debug, Clone, Default)]
+struct EngineMetrics {
+    publications: Counter,
+    matches: Counter,
+    nodes_visited: Counter,
+    predicates_evaluated: Counter,
 }
 
 /// A content-based matching engine over an index `I`.
@@ -68,7 +79,7 @@ pub struct MatchEngine<I> {
     cluster_arenas: HashMap<ClusterKey, (u64, u64)>, // (next offset, end)
     db_bytes: u64,
     next_id: u64,
-    stats: EngineStats,
+    metrics: EngineMetrics,
 }
 
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -96,8 +107,36 @@ impl<I: SubscriptionIndex> MatchEngine<I> {
             cluster_arenas: HashMap::new(),
             db_bytes: 0,
             next_id: 0,
-            stats: EngineStats::default(),
+            metrics: EngineMetrics::default(),
         }
+    }
+
+    /// Adopts this engine's counters into the shared registry, labeled with
+    /// the memory `domain` it runs against (`"native"` / `"enclave"`), so a
+    /// Figure 3 run exports both sides distinctly.
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry, domain: &str) {
+        let labels: [(&str, &str); 1] = [("domain", domain)];
+        let registry = telemetry.registry();
+        registry.adopt_counter(
+            "securecloud_scbr_publications_total",
+            &labels,
+            &self.metrics.publications,
+        );
+        registry.adopt_counter(
+            "securecloud_scbr_matches_total",
+            &labels,
+            &self.metrics.matches,
+        );
+        registry.adopt_counter(
+            "securecloud_scbr_nodes_visited_total",
+            &labels,
+            &self.metrics.nodes_visited,
+        );
+        registry.adopt_counter(
+            "securecloud_scbr_predicates_evaluated_total",
+            &labels,
+            &self.metrics.predicates_evaluated,
+        );
     }
 
     fn cluster_key(&self, sub: &Subscription) -> ClusterKey {
@@ -157,10 +196,15 @@ impl<I: SubscriptionIndex> MatchEngine<I> {
         self.index.is_empty()
     }
 
-    /// Accumulated counters.
+    /// Accumulated counters, snapshotted from the live metric handles.
     #[must_use]
     pub fn stats(&self) -> EngineStats {
-        self.stats
+        EngineStats {
+            publications: self.metrics.publications.value(),
+            matches: self.metrics.matches.value(),
+            nodes_visited: self.metrics.nodes_visited.value(),
+            predicates_evaluated: self.metrics.predicates_evaluated.value(),
+        }
     }
 
     /// The underlying index (diagnostics).
@@ -215,10 +259,10 @@ impl<I: SubscriptionIndex> MatchEngine<I> {
             mem.touch(v.offset, v.size.min(MATCH_READ_BYTES) as usize);
         });
         mem.charge_ops(predicates);
-        self.stats.publications += 1;
-        self.stats.matches += matches.len() as u64;
-        self.stats.nodes_visited += nodes_visited;
-        self.stats.predicates_evaluated += predicates;
+        self.metrics.publications.inc();
+        self.metrics.matches.add(matches.len() as u64);
+        self.metrics.nodes_visited.add(nodes_visited);
+        self.metrics.predicates_evaluated.add(predicates);
         matches
     }
 }

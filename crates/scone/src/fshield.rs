@@ -20,7 +20,9 @@ use securecloud_crypto::sha256::Sha256;
 use securecloud_crypto::wire::Wire;
 use securecloud_crypto::{impl_wire_struct, CryptoError};
 use securecloud_sgx::mem::MemorySim;
+use securecloud_telemetry::Telemetry;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Plaintext bytes per encrypted chunk.
 pub const CHUNK_SIZE: usize = 4096;
@@ -184,6 +186,11 @@ impl ShieldedFs {
     #[must_use]
     pub fn protection(&self) -> &FsProtection {
         &self.protection
+    }
+
+    /// Routes the underlying shield's syscall telemetry into `telemetry`.
+    pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        self.shield.set_telemetry(telemetry);
     }
 
     /// Consumes the FS, returning the protection metadata for sealing.

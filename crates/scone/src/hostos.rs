@@ -63,6 +63,23 @@ pub enum Syscall {
     },
 }
 
+impl Syscall {
+    /// The syscall's kind name, used as a telemetry label
+    /// (`securecloud_scone_syscall_cycles{kind="pread",...}`).
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Syscall::Open { .. } => "open",
+            Syscall::Pread { .. } => "pread",
+            Syscall::Pwrite { .. } => "pwrite",
+            Syscall::Ftruncate { .. } => "ftruncate",
+            Syscall::Close { .. } => "close",
+            Syscall::Unlink { .. } => "unlink",
+            Syscall::Fstat { .. } => "fstat",
+        }
+    }
+}
+
 /// Result of a host system call.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SyscallRet {

@@ -102,6 +102,13 @@ impl SconeRuntime {
         &mut self.enclave
     }
 
+    /// Instruments the runtime: enclave transition/memory counters and the
+    /// file-system shield's syscall telemetry all feed `telemetry`.
+    pub fn set_telemetry(&mut self, telemetry: &Arc<securecloud_telemetry::Telemetry>) {
+        self.enclave.set_telemetry(telemetry);
+        self.fs.set_telemetry(telemetry.clone());
+    }
+
     fn ensure_alive(&self) -> Result<(), SconeError> {
         if self.enclave.is_destroyed() {
             return Err(SconeError::Sgx(securecloud_sgx::SgxError::Destroyed));

@@ -19,8 +19,44 @@ use crate::hostos::{HostOs, Syscall, SyscallRet};
 use crate::SconeError;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use securecloud_sgx::mem::MemorySim;
+use securecloud_telemetry::Telemetry;
 use std::sync::Arc;
 use std::thread::JoinHandle;
+
+/// Telemetry hook shared by both shield modes: per-kind syscall counters
+/// and enclave-side cycle histograms, labelled with the shield mode so
+/// the sync/async cost gap (benchmark E4) shows up in one metric family.
+#[derive(Debug, Clone)]
+struct ShieldTelemetry {
+    telemetry: Arc<Telemetry>,
+    mode: &'static str,
+}
+
+impl ShieldTelemetry {
+    fn record(&self, kind: &'static str, cycles: u64) {
+        self.telemetry
+            .counter_with(
+                "securecloud_scone_syscalls_total",
+                &[("kind", kind), ("mode", self.mode)],
+            )
+            .inc();
+        self.telemetry
+            .histogram_with(
+                "securecloud_scone_syscall_cycles",
+                &[("kind", kind), ("mode", self.mode)],
+            )
+            .observe(cycles);
+    }
+
+    fn violation(&self, kind: &'static str) {
+        self.telemetry
+            .counter_with(
+                "securecloud_scone_host_violations_total",
+                &[("kind", kind), ("mode", self.mode)],
+            )
+            .inc();
+    }
+}
 
 /// Cycle charges specific to the shield machinery.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -108,6 +144,7 @@ fn validate(call: &Syscall, ret: &SyscallRet) -> Result<(), SconeError> {
 pub struct SyncShield {
     host: Arc<dyn HostOs>,
     costs: ShieldCosts,
+    telemetry: Option<ShieldTelemetry>,
 }
 
 impl SyncShield {
@@ -116,7 +153,17 @@ impl SyncShield {
         SyncShield {
             host,
             costs: ShieldCosts::default(),
+            telemetry: None,
         }
+    }
+
+    /// Routes per-kind syscall counters and cycle histograms (labelled
+    /// `mode="sync"`) into `telemetry`'s registry.
+    pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        self.telemetry = Some(ShieldTelemetry {
+            telemetry,
+            mode: "sync",
+        });
     }
 
     /// Issues one shielded syscall from the enclave whose memory system is
@@ -127,15 +174,24 @@ impl SyncShield {
     /// [`SconeError::HostViolation`] if the host's answer fails the sanity
     /// checks; the malformed answer never reaches the application.
     pub fn call(&self, mem: &mut MemorySim, call: &Syscall) -> Result<SyscallRet, SconeError> {
+        let start = mem.cycles();
         // Copy arguments out of the enclave.
         mem.charge_cycles(self.costs.copy_cost(call_payload_bytes(call)));
         // OCALL out, syscall, ECALL back in.
         let transition = mem.costs().ocall_cycles + mem.costs().ecall_cycles;
         mem.charge_cycles(transition);
         let ret = self.host.execute(call);
-        validate(call, &ret)?;
+        if let Err(e) = validate(call, &ret) {
+            if let Some(t) = &self.telemetry {
+                t.violation(call.kind());
+            }
+            return Err(e);
+        }
         // Copy the (validated) result into the enclave.
         mem.charge_cycles(self.costs.copy_cost(ret_payload_bytes(&ret)));
+        if let Some(t) = &self.telemetry {
+            t.record(call.kind(), mem.cycles().saturating_sub(start));
+        }
         Ok(ret)
     }
 }
@@ -170,6 +226,7 @@ pub struct AsyncShield {
     next_id: u64,
     in_flight: usize,
     costs: ShieldCosts,
+    telemetry: Option<ShieldTelemetry>,
 }
 
 impl AsyncShield {
@@ -192,7 +249,19 @@ impl AsyncShield {
             next_id: 0,
             in_flight: 0,
             costs: ShieldCosts::default(),
+            telemetry: None,
         }
+    }
+
+    /// Routes per-kind syscall counters and cycle histograms (labelled
+    /// `mode="async"`) into `telemetry`'s registry. Only enclave-side
+    /// cycles are recorded; the host worker thread is never instrumented
+    /// (it runs on wall-clock time and would break trace determinism).
+    pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        self.telemetry = Some(ShieldTelemetry {
+            telemetry,
+            mode: "async",
+        });
     }
 
     /// Submits a syscall without leaving the enclave; returns its id.
@@ -233,8 +302,22 @@ impl AsyncShield {
         let (id, call, ret) = self.resp_rx.recv().map_err(|_| SconeError::ShieldStopped)?;
         self.in_flight -= 1;
         mem.charge_cycles(self.costs.queue_op_cycles);
-        validate(&call, &ret)?;
+        if let Err(e) = validate(&call, &ret) {
+            if let Some(t) = &self.telemetry {
+                t.violation(call.kind());
+            }
+            return Err(e);
+        }
         mem.charge_cycles(self.costs.copy_cost(ret_payload_bytes(&ret)));
+        if let Some(t) = &self.telemetry {
+            // Enclave-side cycles for the whole call: the submit-side copy
+            // and queue op (deterministic from the cost model) plus the
+            // completion-side queue op and result copy charged above.
+            let cycles = self.costs.copy_cost(call_payload_bytes(&call))
+                + 2 * self.costs.queue_op_cycles
+                + self.costs.copy_cost(ret_payload_bytes(&ret));
+            t.record(call.kind(), cycles);
+        }
         Ok(Completion { id, ret })
     }
 

@@ -16,7 +16,9 @@ use crate::hostos::{Syscall, SyscallRet};
 use crate::syscall::AsyncShield;
 use crate::SconeError;
 use securecloud_sgx::mem::MemorySim;
+use securecloud_telemetry::{Counter, Telemetry};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Cycles charged per user-level context switch (register save/restore —
 /// the whole point is that this is ~100x cheaper than an enclave exit).
@@ -63,6 +65,36 @@ pub struct SchedulerStats {
     pub completed: u64,
 }
 
+/// Live scheduler counters; [`SchedulerStats`] snapshots read from these,
+/// and `set_telemetry` adopts the same handles into the shared registry.
+#[derive(Debug, Default)]
+struct SchedulerMetrics {
+    switches: Counter,
+    syscalls: Counter,
+    completed: Counter,
+}
+
+impl SchedulerMetrics {
+    fn adopt_into(&self, telemetry: &Telemetry) {
+        let registry = telemetry.registry();
+        registry.adopt_counter(
+            "securecloud_scone_scheduler_switches_total",
+            &[],
+            &self.switches,
+        );
+        registry.adopt_counter(
+            "securecloud_scone_scheduler_syscalls_total",
+            &[],
+            &self.syscalls,
+        );
+        registry.adopt_counter(
+            "securecloud_scone_scheduler_completed_total",
+            &[],
+            &self.completed,
+        );
+    }
+}
+
 struct Slot {
     task: Box<dyn Task>,
     deliver: Option<SyscallRet>,
@@ -76,14 +108,14 @@ pub struct TaskScheduler {
     shield: AsyncShield,
     slots: Vec<Slot>,
     waiting: HashMap<u64, usize>, // syscall id -> slot
-    stats: SchedulerStats,
+    metrics: SchedulerMetrics,
 }
 
 impl std::fmt::Debug for TaskScheduler {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TaskScheduler")
             .field("tasks", &self.slots.len())
-            .field("stats", &self.stats)
+            .field("stats", &self.stats())
             .finish_non_exhaustive()
     }
 }
@@ -96,8 +128,15 @@ impl TaskScheduler {
             shield,
             slots: Vec::new(),
             waiting: HashMap::new(),
-            stats: SchedulerStats::default(),
+            metrics: SchedulerMetrics::default(),
         }
+    }
+
+    /// Adopts the scheduler's counters into `telemetry`'s registry and
+    /// instruments the underlying async shield.
+    pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        self.metrics.adopt_into(&telemetry);
+        self.shield.set_telemetry(telemetry);
     }
 
     /// Adds a task.
@@ -119,7 +158,11 @@ impl TaskScheduler {
     /// Scheduler statistics.
     #[must_use]
     pub fn stats(&self) -> SchedulerStats {
-        self.stats
+        SchedulerStats {
+            switches: self.metrics.switches.value(),
+            syscalls: self.metrics.syscalls.value(),
+            completed: self.metrics.completed.value(),
+        }
     }
 
     /// Runs until every task completes.
@@ -137,17 +180,17 @@ impl TaskScheduler {
                 }
                 progressed = true;
                 mem.charge_cycles(USER_SWITCH_CYCLES);
-                self.stats.switches += 1;
+                self.metrics.switches.inc();
                 let delivered = self.slots[idx].deliver.take();
                 match self.slots[idx].task.resume(mem, delivered) {
                     Poll::Yield => {}
                     Poll::Done => {
                         self.slots[idx].done = true;
-                        self.stats.completed += 1;
+                        self.metrics.completed.inc();
                     }
                     Poll::Syscall(call) => {
                         let id = self.shield.submit(mem, call)?;
-                        self.stats.syscalls += 1;
+                        self.metrics.syscalls.inc();
                         self.slots[idx].parked = true;
                         self.waiting.insert(id, idx);
                     }
@@ -166,7 +209,7 @@ impl TaskScheduler {
                 self.slots[slot].parked = false;
             }
         }
-        Ok(self.stats)
+        Ok(self.stats())
     }
 }
 

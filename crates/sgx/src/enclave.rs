@@ -15,6 +15,7 @@ use crate::SgxError;
 use securecloud_crypto::gcm::{AesGcm, NONCE_LEN};
 use securecloud_crypto::hmac::{hkdf, HmacSha256};
 use securecloud_crypto::sha256::Sha256;
+use securecloud_telemetry::{Counter, Telemetry};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -135,6 +136,7 @@ impl Platform {
             platform: self.clone(),
             destroyed: false,
             abort_reason: None,
+            metrics: None,
         })
     }
 
@@ -164,6 +166,26 @@ impl Platform {
     }
 }
 
+/// Shared-registry counters for enclave transitions.
+#[derive(Debug, Clone)]
+struct EnclaveMetrics {
+    ecalls: Counter,
+    ocalls: Counter,
+    transition_cycles: Counter,
+    aborts: Counter,
+}
+
+impl EnclaveMetrics {
+    fn shared(telemetry: &Telemetry) -> Self {
+        EnclaveMetrics {
+            ecalls: telemetry.counter("securecloud_sgx_ecalls_total"),
+            ocalls: telemetry.counter("securecloud_sgx_ocalls_total"),
+            transition_cycles: telemetry.counter("securecloud_sgx_transition_cycles_total"),
+            aborts: telemetry.counter("securecloud_sgx_enclave_aborts_total"),
+        }
+    }
+}
+
 /// A running simulated enclave.
 #[derive(Debug)]
 pub struct Enclave {
@@ -175,6 +197,7 @@ pub struct Enclave {
     platform: Platform,
     destroyed: bool,
     abort_reason: Option<String>,
+    metrics: Option<EnclaveMetrics>,
 }
 
 impl Enclave {
@@ -208,6 +231,14 @@ impl Enclave {
         &self.platform
     }
 
+    /// Attaches shared telemetry: ECALL/OCALL transitions and transition
+    /// cycles are counted platform-wide, and the enclave's memory simulator
+    /// mirrors its paging/decrypt counters into the registry.
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        self.metrics = Some(EnclaveMetrics::shared(telemetry));
+        self.mem.set_telemetry(telemetry);
+    }
+
     /// Enters the enclave, runs `body` with access to the enclave memory
     /// system, and exits, charging one ECALL/EEXIT round trip.
     ///
@@ -220,6 +251,10 @@ impl Enclave {
         }
         let ecall = self.mem.costs().ecall_cycles;
         let ocall = self.mem.costs().ocall_cycles;
+        if let Some(m) = &self.metrics {
+            m.ecalls.inc();
+            m.transition_cycles.add(ecall + ocall);
+        }
         self.mem.charge_cycles(ecall);
         let result = body(&mut self.mem);
         self.mem.charge_cycles(ocall);
@@ -237,6 +272,10 @@ impl Enclave {
             return Err(SgxError::Destroyed);
         }
         let cost = self.mem.costs().ocall_cycles + self.mem.costs().ecall_cycles;
+        if let Some(m) = &self.metrics {
+            m.ocalls.inc();
+            m.transition_cycles.add(cost);
+        }
         self.mem.charge_cycles(cost);
         Ok(body())
     }
@@ -318,6 +357,9 @@ impl Enclave {
     /// enclave is destroyed and the reason is kept for diagnostics; enclave
     /// memory is unrecoverable, so only sealed state survives.
     pub fn abort(&mut self, reason: impl Into<String>) {
+        if let Some(m) = &self.metrics {
+            m.aborts.inc();
+        }
         self.abort_reason = Some(reason.into());
         self.destroyed = true;
     }

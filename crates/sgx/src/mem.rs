@@ -21,6 +21,7 @@
 
 use crate::costs::{CostModel, MemoryGeometry};
 use crate::lru::LruSet;
+use securecloud_telemetry::{Counter, Telemetry};
 use std::time::Duration;
 
 /// Execution domain of a [`MemorySim`].
@@ -89,6 +90,41 @@ pub struct MemStats {
     pub bytes_allocated: u64,
 }
 
+/// Registry-backed mirror counters for a [`MemorySim`].
+///
+/// The local [`MemStats`] stays the per-instance source of truth (and is
+/// what [`MemorySim::reset_metrics`] zeroes for steady-state measurement);
+/// these shared counters accumulate *globally* per domain across every
+/// simulator attached to the same registry, so a run's total paging and
+/// decrypt activity shows up in the exported snapshot.
+#[derive(Debug, Clone)]
+struct MemMetrics {
+    line_accesses: Counter,
+    cache_hits: Counter,
+    llc_misses: Counter,
+    mee_decrypts: Counter,
+    epc_faults: Counter,
+    epc_evictions: Counter,
+}
+
+impl MemMetrics {
+    fn for_domain(telemetry: &Telemetry, domain: Domain) -> Self {
+        let domain = match domain {
+            Domain::Native => "native",
+            Domain::Enclave => "enclave",
+        };
+        let labels: [(&str, &str); 1] = [("domain", domain)];
+        MemMetrics {
+            line_accesses: telemetry.counter_with("securecloud_sgx_line_accesses_total", &labels),
+            cache_hits: telemetry.counter_with("securecloud_sgx_cache_hits_total", &labels),
+            llc_misses: telemetry.counter_with("securecloud_sgx_llc_misses_total", &labels),
+            mee_decrypts: telemetry.counter_with("securecloud_sgx_mee_decrypts_total", &labels),
+            epc_faults: telemetry.counter_with("securecloud_sgx_epc_faults_total", &labels),
+            epc_evictions: telemetry.counter_with("securecloud_sgx_epc_evictions_total", &labels),
+        }
+    }
+}
+
 /// One hardware thread's simulated memory system and clock.
 #[derive(Debug)]
 pub struct MemorySim {
@@ -100,6 +136,7 @@ pub struct MemorySim {
     next_addr: u64,
     cycles: u64,
     stats: MemStats,
+    metrics: Option<MemMetrics>,
 }
 
 impl MemorySim {
@@ -131,7 +168,15 @@ impl MemorySim {
             next_addr: 0x1000, // skip the null page
             cycles: 0,
             stats: MemStats::default(),
+            metrics: None,
         }
+    }
+
+    /// Mirrors this simulator's access counters into the shared registry,
+    /// labeled by domain. Shared counters aggregate across simulators and
+    /// are *not* cleared by [`MemorySim::reset_metrics`].
+    pub fn set_telemetry(&mut self, telemetry: &Telemetry) {
+        self.metrics = Some(MemMetrics::for_domain(telemetry, self.domain));
     }
 
     /// The simulator's execution domain.
@@ -186,25 +231,46 @@ impl MemorySim {
         let page_shift = self.geometry.page_bytes.trailing_zeros();
         let first_line = addr / line;
         let last_line = (addr + len as u64 - 1) / line;
+        let metrics = self.metrics.as_ref();
         for l in first_line..=last_line {
             self.stats.line_accesses += 1;
+            if let Some(m) = metrics {
+                m.line_accesses.inc();
+            }
             if self.llc.touch(l).hit {
                 self.stats.cache_hits += 1;
+                if let Some(m) = metrics {
+                    m.cache_hits.inc();
+                }
                 self.cycles += self.costs.cache_hit_cycles;
                 continue;
             }
             self.stats.llc_misses += 1;
+            if let Some(m) = metrics {
+                m.llc_misses.inc();
+            }
             match &mut self.epc {
                 None => self.cycles += self.costs.dram_cycles,
                 Some(epc) => {
                     let page = (l * line) >> page_shift;
                     let t = epc.touch(page);
                     if t.hit {
+                        // DRAM access through the MEE: decrypt + integrity
+                        // check on the missed line.
+                        if let Some(m) = metrics {
+                            m.mee_decrypts.inc();
+                        }
                         self.cycles += self.costs.epc_miss_cycles;
                     } else {
                         self.stats.epc_faults += 1;
+                        if let Some(m) = metrics {
+                            m.epc_faults.inc();
+                        }
                         if t.evicted.is_some() {
                             self.stats.epc_evictions += 1;
+                            if let Some(m) = metrics {
+                                m.epc_evictions.inc();
+                            }
                         }
                         self.cycles += self.costs.epc_fault_cycles;
                     }

@@ -11,6 +11,7 @@
 use securecloud_eventbus::bus::Message;
 use securecloud_eventbus::service::{MicroService, ServiceCtx};
 use securecloud_scbr::types::{Publication, Subscription, Value};
+use securecloud_telemetry::stats::Welford;
 use std::collections::HashMap;
 
 /// Telemetry topic consumed by the orchestrator.
@@ -18,43 +19,33 @@ pub const TELEMETRY_TOPIC: &str = "telemetry/latency";
 /// Topic on which scaling actions are emitted.
 pub const ACTIONS_TOPIC: &str = "orchestration/actions";
 
-/// Online mean/variance (Welford) with a minimum sample count.
-#[derive(Debug, Clone, Default)]
-pub struct LatencyStats {
-    count: u64,
-    mean: f64,
-    m2: f64,
-}
+/// Online mean/variance with a minimum sample count — a thin wrapper over
+/// the workspace-shared [`Welford`] accumulator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LatencyStats(Welford);
 
 impl LatencyStats {
     /// Observes one sample.
     pub fn observe(&mut self, value: f64) {
-        self.count += 1;
-        let delta = value - self.mean;
-        self.mean += delta / self.count as f64;
-        self.m2 += delta * (value - self.mean);
+        self.0.observe(value);
     }
 
     /// Samples observed.
     #[must_use]
     pub fn count(&self) -> u64 {
-        self.count
+        self.0.count()
     }
 
     /// Current mean.
     #[must_use]
     pub fn mean(&self) -> f64 {
-        self.mean
+        self.0.mean()
     }
 
     /// Current standard deviation (0 before two samples).
     #[must_use]
     pub fn stddev(&self) -> f64 {
-        if self.count < 2 {
-            0.0
-        } else {
-            (self.m2 / (self.count - 1) as f64).sqrt()
-        }
+        self.0.stddev()
     }
 }
 

@@ -1,0 +1,53 @@
+//! The simulation virtual clock.
+//!
+//! Every telemetry timestamp comes from this clock, never from the wall
+//! clock, so traces from equal-seed runs are byte-identical. The clock only
+//! moves forward: subsystems that each track their own `now_ms` (the event
+//! bus, the container engine, the fault injector) publish their view through
+//! [`VirtualClock::set_at_least_ms`], and the shared clock keeps the maximum.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonic millisecond clock driven by the simulation, not the host.
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    now_ms: AtomicU64,
+}
+
+impl VirtualClock {
+    /// A clock starting at t=0 ms.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current virtual time in milliseconds.
+    #[must_use]
+    pub fn now_ms(&self) -> u64 {
+        self.now_ms.load(Ordering::Relaxed)
+    }
+
+    /// Advances the clock to `ms` if that is later than the current time.
+    /// Earlier values are ignored, keeping the clock monotonic even when
+    /// several subsystems publish their local `now_ms` in any order.
+    pub fn set_at_least_ms(&self, ms: u64) {
+        self.now_ms.fetch_max(ms, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic() {
+        let clock = VirtualClock::new();
+        assert_eq!(clock.now_ms(), 0);
+        clock.set_at_least_ms(250);
+        assert_eq!(clock.now_ms(), 250);
+        clock.set_at_least_ms(100);
+        assert_eq!(clock.now_ms(), 250, "earlier timestamps must not rewind");
+        clock.set_at_least_ms(1_000);
+        assert_eq!(clock.now_ms(), 1_000);
+    }
+}

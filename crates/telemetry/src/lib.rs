@@ -1,0 +1,295 @@
+//! # securecloud-telemetry
+//!
+//! The unified observability layer for the SecureCloud reproduction:
+//!
+//! * a lock-cheap **metrics registry** ([`metrics`]) — saturating counters,
+//!   gauges, and log₂-bucketed histograms behind cheap `Arc` handles, with
+//!   labeled families and deterministic export order;
+//! * **structured tracing** ([`trace`]) — spans and instant events stamped
+//!   with the *simulation virtual clock* ([`clock`]), the same deterministic
+//!   time base `securecloud-faults` and the container engine use, so traces
+//!   from equal-seed runs are byte-identical;
+//! * **exporters** ([`export`]) — a Prometheus-style text snapshot, a JSONL
+//!   trace writer, and a chrome://tracing `trace_event` JSON emitter;
+//! * shared **streaming statistics** ([`stats`]) — the one Welford and EMA
+//!   implementation the rest of the workspace builds on.
+//!
+//! The [`Telemetry`] facade bundles a clock, a registry, and a trace buffer;
+//! subsystems receive an `Arc<Telemetry>` (or stay un-instrumented at zero
+//! cost — every integration point is optional).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod export;
+pub mod metrics;
+pub mod stats;
+pub mod trace;
+
+pub use clock::VirtualClock;
+pub use metrics::{Counter, Gauge, Histogram, Metric, MetricKey, Registry};
+pub use stats::{Ema, Welford};
+pub use trace::{Phase, TraceBuffer, TraceEvent};
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Clock + registry + trace buffer, bundled for handing around the stack.
+#[derive(Debug, Default)]
+pub struct Telemetry {
+    clock: VirtualClock,
+    registry: Registry,
+    events: TraceBuffer,
+}
+
+/// Where [`Telemetry::write_report`] put each artifact.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    /// Prometheus-style metrics snapshot.
+    pub snapshot: PathBuf,
+    /// JSONL span/event trace.
+    pub trace_jsonl: PathBuf,
+    /// chrome://tracing JSON document.
+    pub trace_chrome: PathBuf,
+}
+
+impl Telemetry {
+    /// A fresh telemetry bundle at virtual time 0 with no metrics.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The shared virtual clock.
+    #[must_use]
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    /// The metric registry.
+    #[must_use]
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// Gets or creates an unlabeled counter.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.registry.counter(name)
+    }
+
+    /// Gets or creates a labeled counter.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        self.registry.counter_with(name, labels)
+    }
+
+    /// Gets or creates an unlabeled gauge.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.registry.gauge(name)
+    }
+
+    /// Gets or creates a labeled gauge.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        self.registry.gauge_with(name, labels)
+    }
+
+    /// Gets or creates an unlabeled histogram.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.registry.histogram(name)
+    }
+
+    /// Gets or creates a labeled histogram.
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        self.registry.histogram_with(name, labels)
+    }
+
+    /// Emits an instant event stamped with the current virtual time.
+    pub fn event(&self, category: &'static str, name: &str, args: Vec<(&'static str, String)>) {
+        self.events.push(TraceEvent {
+            ts_ms: self.clock.now_ms(),
+            phase: Phase::Instant,
+            category,
+            name: name.to_string(),
+            args,
+        });
+    }
+
+    /// Opens a span (emits a `Begin` event now, an `End` event on drop).
+    #[must_use]
+    pub fn span(&self, category: &'static str, name: &str) -> Span<'_> {
+        self.span_with(category, name, vec![])
+    }
+
+    /// Opens a span with annotations on the `Begin` event.
+    #[must_use]
+    pub fn span_with(
+        &self,
+        category: &'static str,
+        name: &str,
+        args: Vec<(&'static str, String)>,
+    ) -> Span<'_> {
+        self.events.push(TraceEvent {
+            ts_ms: self.clock.now_ms(),
+            phase: Phase::Begin,
+            category,
+            name: name.to_string(),
+            args,
+        });
+        Span {
+            telemetry: self,
+            category,
+            name: name.to_string(),
+        }
+    }
+
+    /// A copy of all trace events in emission order.
+    #[must_use]
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.events.events()
+    }
+
+    /// The trace as JSON Lines.
+    #[must_use]
+    pub fn trace_jsonl(&self) -> String {
+        export::trace_jsonl(&self.trace_events())
+    }
+
+    /// The trace as a chrome://tracing JSON document.
+    #[must_use]
+    pub fn chrome_trace_json(&self) -> String {
+        export::chrome_trace_json(&self.trace_events())
+    }
+
+    /// The metrics as a Prometheus-style text snapshot.
+    #[must_use]
+    pub fn prometheus(&self) -> String {
+        export::prometheus_text(&self.registry)
+    }
+
+    /// Writes the full per-run report (`snapshot.prom`, `trace.jsonl`,
+    /// `trace.chrome.json`) into `dir`, creating it if needed.
+    ///
+    /// # Errors
+    /// Propagates any filesystem error.
+    pub fn write_report(&self, dir: &Path) -> io::Result<Report> {
+        std::fs::create_dir_all(dir)?;
+        let report = Report {
+            snapshot: dir.join("snapshot.prom"),
+            trace_jsonl: dir.join("trace.jsonl"),
+            trace_chrome: dir.join("trace.chrome.json"),
+        };
+        std::fs::write(&report.snapshot, self.prometheus())?;
+        std::fs::write(&report.trace_jsonl, self.trace_jsonl())?;
+        std::fs::write(&report.trace_chrome, self.chrome_trace_json())?;
+        Ok(report)
+    }
+}
+
+/// A RAII span guard: emits the matching `End` event when dropped.
+#[derive(Debug)]
+pub struct Span<'t> {
+    telemetry: &'t Telemetry,
+    category: &'static str,
+    name: String,
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        self.telemetry.events.push(TraceEvent {
+            ts_ms: self.telemetry.clock.now_ms(),
+            phase: Phase::End,
+            category: self.category,
+            name: std::mem::take(&mut self.name),
+            args: vec![],
+        });
+    }
+}
+
+/// Like [`Span`] but owning an `Arc<Telemetry>`, for methods that cannot
+/// hold a borrow of the telemetry bundle across the span's lifetime (e.g.
+/// `&mut self` methods that keep telemetry in `self`).
+#[derive(Debug)]
+pub struct OwnedSpan {
+    telemetry: Arc<Telemetry>,
+    category: &'static str,
+    name: String,
+}
+
+impl OwnedSpan {
+    /// Opens a span (emits `Begin` now, `End` when the guard drops).
+    #[must_use]
+    pub fn open(telemetry: Arc<Telemetry>, category: &'static str, name: &str) -> Self {
+        Self::open_with(telemetry, category, name, vec![])
+    }
+
+    /// Opens a span with annotations on the `Begin` event.
+    #[must_use]
+    pub fn open_with(
+        telemetry: Arc<Telemetry>,
+        category: &'static str,
+        name: &str,
+        args: Vec<(&'static str, String)>,
+    ) -> Self {
+        telemetry.events.push(TraceEvent {
+            ts_ms: telemetry.clock.now_ms(),
+            phase: Phase::Begin,
+            category,
+            name: name.to_string(),
+            args,
+        });
+        OwnedSpan {
+            telemetry,
+            category,
+            name: name.to_string(),
+        }
+    }
+}
+
+impl Drop for OwnedSpan {
+    fn drop(&mut self) {
+        self.telemetry.events.push(TraceEvent {
+            ts_ms: self.telemetry.clock.now_ms(),
+            phase: Phase::End,
+            category: self.category,
+            name: std::mem::take(&mut self.name),
+            args: vec![],
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_emits_begin_and_end_with_virtual_timestamps() {
+        let t = Telemetry::new();
+        t.clock().set_at_least_ms(10);
+        {
+            let _span = t.span_with("test", "work", vec![("job", "j1".to_string())]);
+            t.clock().set_at_least_ms(25);
+            t.event("test", "milestone", vec![]);
+        }
+        let events = t.trace_events();
+        assert_eq!(events.len(), 3);
+        assert_eq!((events[0].phase, events[0].ts_ms), (Phase::Begin, 10));
+        assert_eq!((events[1].phase, events[1].ts_ms), (Phase::Instant, 25));
+        assert_eq!((events[2].phase, events[2].ts_ms), (Phase::End, 25));
+        assert_eq!(events[2].name, "work");
+    }
+
+    #[test]
+    fn write_report_produces_all_three_files() {
+        let t = Telemetry::new();
+        t.counter("securecloud_demo_total").inc();
+        t.event("test", "tick", vec![]);
+        let dir = std::env::temp_dir().join("securecloud-telemetry-report-test");
+        let report = t.write_report(&dir).expect("report");
+        for path in [&report.snapshot, &report.trace_jsonl, &report.trace_chrome] {
+            let data = std::fs::read_to_string(path).expect("artifact readable");
+            assert!(!data.is_empty());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

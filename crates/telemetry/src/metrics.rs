@@ -1,0 +1,433 @@
+//! Lock-cheap metrics: counters, gauges, log-bucketed histograms, and the
+//! registry that names them.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap `Arc`-backed
+//! clones around atomics; the hot path never takes a lock. The [`Registry`]
+//! is only locked to *create or look up* a handle — subsystems hold their
+//! handles in their own structs and update them directly.
+//!
+//! Two ways to get a handle:
+//!
+//! * **get-or-create** ([`Registry::counter`], [`Registry::histogram_with`],
+//!   …): shared, labeled families. Two callers asking for the same
+//!   name+labels get the *same* underlying metric and aggregate together.
+//! * **adopt** ([`Registry::adopt_counter`], …): a subsystem that created a
+//!   standalone handle (so it works without any registry attached) hands a
+//!   clone of that handle to the registry for export. The subsystem's own
+//!   view and the exported view are the same atomics; nothing is copied.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of log₂ histogram buckets: bucket `i` holds values whose bit
+/// length is `i`, i.e. values in `[2^(i-1), 2^i - 1]` (bucket 0 holds only
+/// zero). 64-bit values need 65 buckets.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A monotonically increasing counter. Increments saturate at `u64::MAX`
+/// instead of wrapping, so a runaway counter reads as "pegged", never as a
+/// small number again.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    value: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// A fresh counter at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments by one (saturating).
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `delta`, saturating at `u64::MAX`.
+    pub fn add(&self, delta: u64) {
+        let prev = self.value.fetch_add(delta, Ordering::Relaxed);
+        if prev.checked_add(delta).is_none() {
+            // The addition wrapped; clamp to the ceiling. Concurrent
+            // increments may briefly observe the wrapped value, but every
+            // subsequent read sees the saturated one.
+            self.value.store(u64::MAX, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that can go up and down (queue depths, residency counts).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    value: Arc<AtomicI64>,
+}
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the gauge to an absolute value.
+    pub fn set(&self, value: i64) {
+        self.value.store(value, Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative via [`Gauge::sub`]).
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Subtracts `delta`.
+    pub fn sub(&self, delta: i64) {
+        self.value.fetch_sub(delta, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn value(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for HistogramInner {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A histogram over `u64` observations with log₂ buckets.
+///
+/// Bucket `i` counts observations whose bit length is `i`; its inclusive
+/// upper bound is `2^i - 1` (`u64::MAX` for the last bucket). The scheme is
+/// branch-free — the bucket index is `64 - leading_zeros` — and spans the
+/// full `u64` range, which suits cycle and latency measurements that cover
+/// many orders of magnitude.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram {
+    inner: Arc<HistogramInner>,
+}
+
+impl Histogram {
+    /// A fresh, empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bucket index a value lands in: the value's bit length.
+    #[must_use]
+    pub fn bucket_index(value: u64) -> usize {
+        (u64::BITS - value.leading_zeros()) as usize
+    }
+
+    /// The inclusive upper bound of bucket `index`.
+    #[must_use]
+    pub fn bucket_upper_bound(index: usize) -> u64 {
+        if index >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << index) - 1
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, value: u64) {
+        self.inner.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.inner.count.fetch_add(1, Ordering::Relaxed);
+        let prev = self.inner.sum.fetch_add(value, Ordering::Relaxed);
+        if prev.checked_add(value).is_none() {
+            self.inner.sum.store(u64::MAX, Ordering::Relaxed);
+        }
+    }
+
+    /// Total number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.inner.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations (saturating).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.inner.sum.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket counts, non-cumulative.
+    #[must_use]
+    pub fn bucket_counts(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        let mut out = [0u64; HISTOGRAM_BUCKETS];
+        for (slot, bucket) in out.iter_mut().zip(self.inner.buckets.iter()) {
+            *slot = bucket.load(Ordering::Relaxed);
+        }
+        out
+    }
+}
+
+/// A metric's identity in the registry: name plus sorted label pairs.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct MetricKey {
+    /// Metric name, e.g. `securecloud_bus_published_total`.
+    pub name: String,
+    /// Label pairs, kept sorted for deterministic export order.
+    pub labels: Vec<(String, String)>,
+}
+
+impl MetricKey {
+    fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| ((*k).to_string(), (*v).to_string()))
+            .collect();
+        labels.sort();
+        Self {
+            name: name.to_string(),
+            labels,
+        }
+    }
+}
+
+/// One registered metric.
+#[derive(Debug, Clone)]
+pub enum Metric {
+    /// A [`Counter`].
+    Counter(Counter),
+    /// A [`Gauge`].
+    Gauge(Gauge),
+    /// A [`Histogram`].
+    Histogram(Histogram),
+}
+
+/// The metric registry: a named, labeled view over live metric handles.
+///
+/// Iteration order (and therefore exporter output order) is the `BTreeMap`
+/// order of [`MetricKey`] — deterministic regardless of registration order.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<MetricKey, Metric>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn get_or_create(&self, name: &str, labels: &[(&str, &str)], make: fn() -> Metric) -> Metric {
+        let key = MetricKey::new(name, labels);
+        let mut metrics = self.metrics.lock().expect("registry poisoned");
+        metrics.entry(key).or_insert_with(make).clone()
+    }
+
+    /// Gets or creates an unlabeled counter.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counter_with(name, &[])
+    }
+
+    /// Gets or creates a labeled counter. Same name+labels → same handle.
+    ///
+    /// # Panics
+    /// Panics if the name is already registered as a different metric type.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        match self.get_or_create(name, labels, || Metric::Counter(Counter::new())) {
+            Metric::Counter(c) => c,
+            other => panic!("metric {name} already registered as {other:?}"),
+        }
+    }
+
+    /// Gets or creates an unlabeled gauge.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauge_with(name, &[])
+    }
+
+    /// Gets or creates a labeled gauge.
+    ///
+    /// # Panics
+    /// Panics if the name is already registered as a different metric type.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.get_or_create(name, labels, || Metric::Gauge(Gauge::new())) {
+            Metric::Gauge(g) => g,
+            other => panic!("metric {name} already registered as {other:?}"),
+        }
+    }
+
+    /// Gets or creates an unlabeled histogram.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        self.histogram_with(name, &[])
+    }
+
+    /// Gets or creates a labeled histogram.
+    ///
+    /// # Panics
+    /// Panics if the name is already registered as a different metric type.
+    pub fn histogram_with(&self, name: &str, labels: &[(&str, &str)]) -> Histogram {
+        match self.get_or_create(name, labels, || Metric::Histogram(Histogram::new())) {
+            Metric::Histogram(h) => h,
+            other => panic!("metric {name} already registered as {other:?}"),
+        }
+    }
+
+    fn adopt(&self, name: &str, labels: &[(&str, &str)], metric: Metric) {
+        let key = MetricKey::new(name, labels);
+        let mut metrics = self.metrics.lock().expect("registry poisoned");
+        // Last adopter wins the export slot. Instances that want to
+        // aggregate should use the get-or-create constructors instead.
+        metrics.insert(key, metric);
+    }
+
+    /// Registers an existing counter handle under `name` for export. The
+    /// registry and the caller share the same underlying atomics.
+    pub fn adopt_counter(&self, name: &str, labels: &[(&str, &str)], counter: &Counter) {
+        self.adopt(name, labels, Metric::Counter(counter.clone()));
+    }
+
+    /// Registers an existing gauge handle under `name` for export.
+    pub fn adopt_gauge(&self, name: &str, labels: &[(&str, &str)], gauge: &Gauge) {
+        self.adopt(name, labels, Metric::Gauge(gauge.clone()));
+    }
+
+    /// Registers an existing histogram handle under `name` for export.
+    pub fn adopt_histogram(&self, name: &str, labels: &[(&str, &str)], histogram: &Histogram) {
+        self.adopt(name, labels, Metric::Histogram(histogram.clone()));
+    }
+
+    /// A deterministic snapshot of every registered metric, in export order.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<(MetricKey, Metric)> {
+        let metrics = self.metrics.lock().expect("registry poisoned");
+        metrics
+            .iter()
+            .map(|(k, m)| (k.clone(), m.clone()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_saturates_instead_of_wrapping() {
+        let c = Counter::new();
+        c.add(u64::MAX - 1);
+        c.add(5);
+        assert_eq!(c.value(), u64::MAX);
+        c.inc();
+        assert_eq!(c.value(), u64::MAX);
+    }
+
+    #[test]
+    fn gauge_tracks_depth() {
+        let g = Gauge::new();
+        g.add(3);
+        g.sub(1);
+        assert_eq!(g.value(), 2);
+        g.set(-7);
+        assert_eq!(g.value(), -7);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries() {
+        // Bucket i holds values with bit length i: [2^(i-1), 2^i - 1].
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(255), 8);
+        assert_eq!(Histogram::bucket_index(256), 9);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_upper_bound(0), 0);
+        assert_eq!(Histogram::bucket_upper_bound(1), 1);
+        assert_eq!(Histogram::bucket_upper_bound(8), 255);
+        assert_eq!(Histogram::bucket_upper_bound(64), u64::MAX);
+        // Every boundary value lands in the bucket whose upper bound it is.
+        for i in 1..64 {
+            let ub = Histogram::bucket_upper_bound(i);
+            assert_eq!(Histogram::bucket_index(ub), i);
+            assert_eq!(Histogram::bucket_index(ub + 1), i + 1);
+        }
+    }
+
+    #[test]
+    fn histogram_observes_into_buckets() {
+        let h = Histogram::new();
+        h.observe(0);
+        h.observe(1);
+        h.observe(2);
+        h.observe(3);
+        h.observe(1024);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 1030);
+        let buckets = h.bucket_counts();
+        assert_eq!(buckets[0], 1);
+        assert_eq!(buckets[1], 1);
+        assert_eq!(buckets[2], 2);
+        assert_eq!(buckets[11], 1);
+    }
+
+    #[test]
+    fn registry_shares_handles_by_name_and_labels() {
+        let r = Registry::new();
+        let a = r.counter_with("hits", &[("kind", "read")]);
+        let b = r.counter_with("hits", &[("kind", "read")]);
+        let other = r.counter_with("hits", &[("kind", "write")]);
+        a.add(2);
+        b.add(3);
+        other.inc();
+        assert_eq!(a.value(), 5);
+        assert_eq!(other.value(), 1);
+    }
+
+    #[test]
+    fn adopt_exports_live_handle() {
+        let r = Registry::new();
+        let c = Counter::new();
+        c.add(7);
+        r.adopt_counter("adopted_total", &[], &c);
+        c.add(1);
+        let snap = r.snapshot();
+        assert_eq!(snap.len(), 1);
+        match &snap[0].1 {
+            Metric::Counter(exported) => assert_eq!(exported.value(), 8),
+            other => panic!("unexpected metric {other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_order_is_deterministic() {
+        let r = Registry::new();
+        r.counter("zzz_total");
+        r.counter("aaa_total");
+        r.counter_with("mid_total", &[("b", "2")]);
+        r.counter_with("mid_total", &[("a", "1")]);
+        let names: Vec<String> = r
+            .snapshot()
+            .into_iter()
+            .map(|(k, _)| format!("{}{:?}", k.name, k.labels))
+            .collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
+    }
+}

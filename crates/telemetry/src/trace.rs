@@ -1,0 +1,112 @@
+//! Structured tracing: spans and instant events stamped with the virtual
+//! clock.
+//!
+//! Events accumulate in an in-memory buffer in emission order. Because
+//! timestamps come from the deterministic simulation clock and instrumented
+//! code runs single-threaded (background helper threads are deliberately
+//! never instrumented), two equal-seed runs produce identical buffers and
+//! therefore byte-identical exported traces.
+
+use std::sync::Mutex;
+
+/// The phase of a trace event, mirroring the chrome `trace_event` phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Span begin (`B`).
+    Begin,
+    /// Span end (`E`).
+    End,
+    /// Instant event (`I`).
+    Instant,
+}
+
+impl Phase {
+    /// The single-letter chrome `trace_event` phase code.
+    #[must_use]
+    pub fn code(self) -> char {
+        match self {
+            Phase::Begin => 'B',
+            Phase::End => 'E',
+            Phase::Instant => 'I',
+        }
+    }
+}
+
+/// One trace event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual-clock timestamp, milliseconds.
+    pub ts_ms: u64,
+    /// Begin / End / Instant.
+    pub phase: Phase,
+    /// Span taxonomy category, e.g. `"containers"` or `"scbr"`.
+    pub category: &'static str,
+    /// Event name, e.g. `"restart"`.
+    pub name: String,
+    /// Key/value annotations.
+    pub args: Vec<(&'static str, String)>,
+}
+
+/// The shared trace buffer.
+#[derive(Debug, Default)]
+pub struct TraceBuffer {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl TraceBuffer {
+    /// An empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one event.
+    pub fn push(&self, event: TraceEvent) {
+        self.events
+            .lock()
+            .expect("trace buffer poisoned")
+            .push(event);
+    }
+
+    /// A copy of all events in emission order.
+    #[must_use]
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().expect("trace buffer poisoned").clone()
+    }
+
+    /// Number of buffered events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("trace buffer poisoned").len()
+    }
+
+    /// Whether no events have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buffer_keeps_emission_order() {
+        let buf = TraceBuffer::new();
+        for i in 0..3u64 {
+            buf.push(TraceEvent {
+                ts_ms: i,
+                phase: Phase::Instant,
+                category: "test",
+                name: format!("e{i}"),
+                args: vec![],
+            });
+        }
+        let events = buf.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].name, "e0");
+        assert_eq!(events[2].ts_ms, 2);
+        assert!(!buf.is_empty());
+    }
+}

@@ -206,4 +206,16 @@ fn main() {
             dead.reason
         );
     }
+
+    // Leave the run's full telemetry (metrics snapshot + traces) on disk.
+    let report_dir = std::path::Path::new("target/telemetry/chaos");
+    match cloud.telemetry().write_report(report_dir) {
+        Ok(report) => println!(
+            "telemetry report: {}, {}, {}",
+            report.snapshot.display(),
+            report.trace_jsonl.display(),
+            report.trace_chrome.display()
+        ),
+        Err(err) => eprintln!("warning: telemetry report not written: {err}"),
+    }
 }
