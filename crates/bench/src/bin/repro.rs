@@ -5,13 +5,15 @@
 //! Usage: `cargo run --release -p securecloud-bench --bin repro -- [exp] [--smoke]`
 //! where `exp` is one of `fig3`, `cache`, `fig3opt`, `genpack`, `ablation`,
 //! `genpack_sweep`, `syscall`, `syscall_window`, `container`, `index`,
-//! `orchestration`, or `all` (default). `--smoke` runs reduced workloads
-//! (CI-sized) with the same code paths.
+//! `orchestration`, `replication`, or `all` (default). `--smoke` runs
+//! reduced workloads (CI-sized) with the same code paths.
 //!
 //! Every run leaves a telemetry report (Prometheus snapshot, JSONL trace,
 //! chrome trace) under `target/telemetry/`.
 
-use securecloud_bench::{container, fig3, genpack_exp, indexcmp, orchestration_exp, syscalls};
+use securecloud_bench::{
+    container, fig3, genpack_exp, indexcmp, orchestration_exp, replication, syscalls,
+};
 use securecloud_telemetry::Telemetry;
 use std::path::Path;
 
@@ -59,6 +61,9 @@ fn main() {
     }
     if all || which == "orchestration" {
         run_orchestration(smoke);
+    }
+    if all || which == "replication" {
+        run_replication(smoke);
     }
     match telemetry.write_report(Path::new("target/telemetry")) {
         Ok(report) => println!(
@@ -293,6 +298,43 @@ fn run_index(smoke: bool) {
         "  naive visits/pub: {naive}, poset visits/pub: {poset} ({}x fewer)\n",
         naive / poset.max(1)
     );
+}
+
+fn run_replication(smoke: bool) {
+    println!("== E9: replicated KV — shards x replication factor ==");
+    println!("(sharding splits the working set below the EPC knee; replication");
+    println!(" multiplies write work and buys attested failover)\n");
+    println!(
+        "{:>7} {:>4} {:>3} {:>10} {:>10} {:>11} {:>11} {:>12}",
+        "shards", "rf", "w", "put us", "get us", "put kops/s", "faults/get", "failover ms"
+    );
+    let (shards, replication, workload) = if smoke {
+        (
+            &[1u32, 4][..],
+            &[1u32, 3][..],
+            replication::ReplicationWorkload::smoke(),
+        )
+    } else {
+        (
+            &[1u32, 2, 4, 8][..],
+            &[1u32, 3, 5][..],
+            replication::ReplicationWorkload::full(),
+        )
+    };
+    for point in replication::sweep(shards, replication, &workload) {
+        println!(
+            "{:>7} {:>4} {:>3} {:>10.1} {:>10.1} {:>11.1} {:>11.2} {:>12.2}",
+            point.shards,
+            point.replication_factor,
+            point.write_quorum,
+            point.put_us,
+            point.get_us,
+            point.put_kops_s,
+            point.faults_per_get,
+            point.failover_ms
+        );
+    }
+    println!();
 }
 
 fn run_orchestration(smoke: bool) {

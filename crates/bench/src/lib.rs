@@ -15,4 +15,5 @@ pub mod fig3;
 pub mod genpack_exp;
 pub mod indexcmp;
 pub mod orchestration_exp;
+pub mod replication;
 pub mod syscalls;

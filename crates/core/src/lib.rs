@@ -13,6 +13,7 @@
 //! | GenPack generational scheduler | [`genpack`] |
 //! | Event bus + micro-services | [`eventbus`] |
 //! | Secure KV store | [`kvstore`] |
+//! | Attested shard/replication layer | [`replica`] |
 //! | Secure map/reduce | [`mapreduce`] |
 //! | Smart-grid use cases | [`smartgrid`] |
 //!
@@ -48,6 +49,7 @@ pub use securecloud_faults as faults;
 pub use securecloud_genpack as genpack;
 pub use securecloud_kvstore as kvstore;
 pub use securecloud_mapreduce as mapreduce;
+pub use securecloud_replica as replica;
 pub use securecloud_scbr as scbr;
 pub use securecloud_scone as scone;
 pub use securecloud_sgx as sgx;
@@ -62,7 +64,9 @@ use containers::ContainerError;
 use eventbus::service::{MicroService, ServiceHost};
 use eventbus::TopicKeyService;
 use faults::{FaultEvent, FaultInjector, FaultKind};
+use kvstore::CounterService;
 use parking_lot::RwLock;
+use replica::{ReplicaConfig, ReplicaError, ReplicatedKv};
 use scone::runtime::SconeRuntime;
 use scone::scf::ConfigService;
 use sgx::attest::AttestationService;
@@ -82,10 +86,16 @@ pub struct SecureCloud {
     engine: Engine,
     key_service: TopicKeyService,
     host: ServiceHost,
+    counter_service: CounterService,
+    replicated: Vec<ReplicatedKv>,
     sim_now_ms: u64,
     injector: Option<Arc<FaultInjector>>,
     telemetry: Arc<Telemetry>,
 }
+
+/// Handle to a replicated KV deployment owned by the facade.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ReplicatedKvId(pub usize);
 
 impl std::fmt::Debug for SecureCloud {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -129,6 +139,8 @@ impl SecureCloud {
             engine,
             key_service: TopicKeyService::new(key_attestation),
             host,
+            counter_service: CounterService::new(),
+            replicated: Vec::new(),
             sim_now_ms: 0,
             injector: None,
             telemetry,
@@ -205,6 +217,15 @@ impl SecureCloud {
                 FaultKind::SyscallFail { .. } => {}
                 // The facade owns no broker overlay; returned to the caller.
                 FaultKind::BrokerFail { .. } => {}
+                FaultKind::ReplicaKill { .. } => {
+                    // Every replicated deployment gets a shot at the event;
+                    // the one owning the shard kills the replica and fails
+                    // over to a re-attested replacement. Failover errors
+                    // (e.g. no survivors) are already in the trace.
+                    for kv in &mut self.replicated {
+                        let _ = kv.apply_fault(&event.kind);
+                    }
+                }
                 _ => {}
             }
         }
@@ -282,6 +303,49 @@ impl SecureCloud {
         &mut self.engine
     }
 
+    /// The platform's trusted monotonic counter service (rollback
+    /// protection for KV snapshots and replica-group epochs).
+    #[must_use]
+    pub fn counter_service(&self) -> &CounterService {
+        &self.counter_service
+    }
+
+    /// Deploys a sharded, quorum-replicated secure KV store on this
+    /// platform: every replica enclave is attested before admission, the
+    /// platform counter service backs epoch/version rollback protection,
+    /// and the deployment shares the platform telemetry and fault
+    /// injector. [`FaultKind::ReplicaKill`] events fired by
+    /// [`SecureCloud::advance`] are routed to it automatically.
+    ///
+    /// # Errors
+    ///
+    /// See [`ReplicatedKv::deploy_with`].
+    pub fn deploy_replicated_kv(
+        &mut self,
+        config: ReplicaConfig,
+    ) -> Result<ReplicatedKvId, ReplicaError> {
+        let kv = ReplicatedKv::deploy_with(
+            config,
+            &self.platform,
+            &self.counter_service,
+            Some(&self.telemetry),
+            self.injector.as_ref(),
+        )?;
+        self.replicated.push(kv);
+        Ok(ReplicatedKvId(self.replicated.len() - 1))
+    }
+
+    /// A replicated KV deployment by handle.
+    #[must_use]
+    pub fn replicated_kv(&self, id: ReplicatedKvId) -> Option<&ReplicatedKv> {
+        self.replicated.get(id.0)
+    }
+
+    /// Mutable access to a replicated KV deployment (puts/gets/failover).
+    pub fn replicated_kv_mut(&mut self, id: ReplicatedKvId) -> Option<&mut ReplicatedKv> {
+        self.replicated.get_mut(id.0)
+    }
+
     /// Registers a micro-service on the platform event bus.
     pub fn register_service(&mut self, service: Box<dyn MicroService>) {
         self.host.register(service);
@@ -319,6 +383,36 @@ mod tests {
             .unwrap();
         assert_eq!(content, b"42");
         cloud.stop_container(container).unwrap();
+    }
+
+    #[test]
+    fn replica_kill_events_route_to_replicated_deployments() {
+        use faults::FaultPlan;
+        use replica::{ReplicaConfig, ReplicationFactor, WriteQuorum};
+
+        let mut cloud = SecureCloud::new();
+        let plan = FaultPlan::new().at(50, FaultKind::ReplicaKill { shard: 0, slot: 1 });
+        cloud.set_fault_injector(Arc::new(FaultInjector::with_plan(7, plan)));
+        let id = cloud
+            .deploy_replicated_kv(ReplicaConfig {
+                shards: 2,
+                replication: ReplicationFactor(3),
+                write_quorum: WriteQuorum(2),
+                ..ReplicaConfig::default()
+            })
+            .unwrap();
+        cloud
+            .replicated_kv_mut(id)
+            .unwrap()
+            .put(b"acked", b"before fault")
+            .unwrap();
+        let events = cloud.advance(100);
+        assert_eq!(events.len(), 1);
+        let kv = cloud.replicated_kv_mut(id).unwrap();
+        assert_eq!(kv.stats().replicas_killed, 1);
+        assert_eq!(kv.stats().replicas_replaced, 1, "auto-failover ran");
+        assert_eq!(kv.get(b"acked").unwrap(), Some(b"before fault".to_vec()));
+        assert!(cloud.replicated_kv(ReplicatedKvId(9)).is_none());
     }
 
     #[test]

@@ -82,6 +82,14 @@ pub enum FaultKind {
         /// Number of consecutive syscalls to fail.
         count: u32,
     },
+    /// Kill one replica of a sharded KV deployment (the group re-attests
+    /// a replacement during failover).
+    ReplicaKill {
+        /// Shard group index.
+        shard: u32,
+        /// Replica slot within the group.
+        slot: u32,
+    },
 }
 
 impl std::fmt::Display for FaultKind {
@@ -91,6 +99,9 @@ impl std::fmt::Display for FaultKind {
             FaultKind::ServicePanic { service } => write!(f, "service-panic {service}"),
             FaultKind::BrokerFail { broker } => write!(f, "broker-fail b{broker}"),
             FaultKind::SyscallFail { count } => write!(f, "syscall-fail x{count}"),
+            FaultKind::ReplicaKill { shard, slot } => {
+                write!(f, "replica-kill s{shard}/r{slot}")
+            }
         }
     }
 }

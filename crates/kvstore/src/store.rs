@@ -80,6 +80,17 @@ impl CounterService {
         *v += 1;
         *v
     }
+
+    /// Advances a counter to `value` if that moves it forward, returning
+    /// the resulting value. Monotone: a lagging writer (e.g. a replica
+    /// sealing an older snapshot than a sibling already recorded) can
+    /// never roll the counter back.
+    pub fn advance_to(&self, name: &str, value: u64) -> u64 {
+        let mut counters = self.counters.lock();
+        let v = counters.entry(name.to_string()).or_insert(0);
+        *v = (*v).max(value);
+        *v
+    }
 }
 
 /// A key-value pair as stored in snapshots.
@@ -276,15 +287,19 @@ impl SecureKv {
         out
     }
 
-    /// Serialises and seals the store under `key`, bumping the trusted
-    /// counter `counter_name` to the new version.
+    /// Serialises and seals the store under `key`, advancing the trusted
+    /// counter `counter_name` to the snapshot's version.
+    ///
+    /// The snapshot version is the store's mutation version at seal time
+    /// (sealing itself is not a mutation): replicas applying the same
+    /// writes seal interchangeable snapshots, whichever of them does the
+    /// sealing.
     pub fn snapshot(
         &mut self,
         key: &[u8; 16],
         counters: &CounterService,
         counter_name: &str,
     ) -> Snapshot {
-        self.version += 1;
         let pairs: Vec<Pair> = self
             .map
             .iter()
@@ -294,11 +309,9 @@ impl SecureKv {
         let nonce: [u8; NONCE_LEN] = securecloud_crypto::random_array();
         let mut sealed = nonce.to_vec();
         sealed.extend_from_slice(&AesGcm::new(key).seal(&nonce, &body, b"securecloud kv snapshot"));
-        // Record the snapshot version in the trusted counter.
-        counters
-            .counters
-            .lock()
-            .insert(counter_name.to_string(), self.version);
+        // Record the snapshot version in the trusted counter (monotone, so
+        // a lagging replica cannot regress a sibling's newer record).
+        counters.advance_to(counter_name, self.version);
         Snapshot {
             version: self.version,
             sealed,

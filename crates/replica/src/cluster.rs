@@ -1,0 +1,549 @@
+//! The cluster handle: shard routing + quorum groups + failover policy.
+//!
+//! [`ReplicatedKv`] is what deployments interact with: it owns one
+//! [`ShardGroup`] per shard, routes keys through the consistent-hash
+//! [`ShardMap`], gates membership behind one [`ProvisioningService`], and
+//! translates [`FaultKind::ReplicaKill`] events from the fault injector
+//! into kill + re-attested failover.
+
+use crate::group::ShardGroup;
+use crate::provision::ProvisioningService;
+use crate::shard::ShardMap;
+use crate::{ReplicaError, ReplicaId, ShardId};
+use securecloud_faults::{FaultInjector, FaultKind};
+use securecloud_kvstore::CounterService;
+use securecloud_sgx::costs::{CostModel, MemoryGeometry};
+use securecloud_sgx::enclave::{Measurement, Platform};
+use securecloud_telemetry::{Counter, OwnedSpan, Telemetry};
+use std::sync::Arc;
+
+/// The code every shard replica runs (its measurement is what the
+/// provisioning service allowlists by default).
+pub const DEFAULT_SHARD_CODE: &[u8] = b"securecloud replica kv shard v1";
+
+/// How many replicas each shard group runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ReplicationFactor(pub u32);
+
+/// How many replicas must be live for a write to be acknowledged.
+///
+/// Writes go to *every* live replica; the quorum is the liveness floor
+/// under which writes are refused. Keeping `w > n/2` guarantees every
+/// acknowledged write survives any minority of replica crashes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct WriteQuorum(pub u32);
+
+impl WriteQuorum {
+    /// The smallest majority quorum for `replication` replicas.
+    #[must_use]
+    pub fn majority(replication: ReplicationFactor) -> Self {
+        WriteQuorum(replication.0 / 2 + 1)
+    }
+}
+
+/// Deployment shape of a replicated store.
+#[derive(Debug, Clone)]
+pub struct ReplicaConfig {
+    /// Number of shard groups (consistent-hash ring partitions).
+    pub shards: u32,
+    /// Replicas per shard group.
+    pub replication: ReplicationFactor,
+    /// Liveness floor for acknowledging writes.
+    pub write_quorum: WriteQuorum,
+    /// Virtual nodes per shard on the hash ring.
+    pub virtual_nodes: u32,
+    /// The enclave code every replica runs (measured for attestation).
+    pub code: Vec<u8>,
+    /// Memory geometry of each replica enclave.
+    pub geometry: MemoryGeometry,
+    /// Cycle-cost model of each replica enclave.
+    pub costs: CostModel,
+}
+
+impl Default for ReplicaConfig {
+    fn default() -> Self {
+        ReplicaConfig {
+            shards: 4,
+            replication: ReplicationFactor(3),
+            write_quorum: WriteQuorum(2),
+            virtual_nodes: 16,
+            code: DEFAULT_SHARD_CODE.to_vec(),
+            geometry: MemoryGeometry::sgx_v1(),
+            costs: CostModel::sgx_v1(),
+        }
+    }
+}
+
+impl ReplicaConfig {
+    /// Checks the deployment shape.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplicaError::InvalidConfig`] when a dimension is zero, the write
+    /// quorum exceeds the replication factor, or the quorum is not a
+    /// majority (`2w <= n` would let an acknowledged write die with a
+    /// minority of crashes).
+    pub fn validate(&self) -> Result<(), ReplicaError> {
+        if self.shards == 0 {
+            return Err(ReplicaError::InvalidConfig("shards must be >= 1".into()));
+        }
+        if self.virtual_nodes == 0 {
+            return Err(ReplicaError::InvalidConfig(
+                "virtual_nodes must be >= 1".into(),
+            ));
+        }
+        let n = self.replication.0;
+        let w = self.write_quorum.0;
+        if n == 0 {
+            return Err(ReplicaError::InvalidConfig(
+                "replication factor must be >= 1".into(),
+            ));
+        }
+        if w == 0 || w > n {
+            return Err(ReplicaError::InvalidConfig(format!(
+                "write quorum {w} must be in 1..={n}"
+            )));
+        }
+        if 2 * w <= n {
+            return Err(ReplicaError::InvalidConfig(format!(
+                "write quorum {w} of {n} is not a majority; acknowledged \
+                 writes could be lost to a minority of crashes"
+            )));
+        }
+        if self.code.is_empty() {
+            return Err(ReplicaError::InvalidConfig(
+                "shard code must not be empty".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Cluster-wide operation counters (standalone when no telemetry).
+#[derive(Debug)]
+struct ClusterMetrics {
+    puts: Counter,
+    gets: Counter,
+    quorum_failures: Counter,
+    replicas_killed: Counter,
+    failovers: Counter,
+}
+
+impl ClusterMetrics {
+    fn new(telemetry: Option<&Arc<Telemetry>>) -> Self {
+        match telemetry {
+            Some(t) => ClusterMetrics {
+                puts: t.counter("securecloud_replica_puts_total"),
+                gets: t.counter("securecloud_replica_gets_total"),
+                quorum_failures: t.counter("securecloud_replica_quorum_failures_total"),
+                replicas_killed: t.counter("securecloud_replica_killed_total"),
+                failovers: t.counter("securecloud_replica_failovers_total"),
+            },
+            None => ClusterMetrics {
+                puts: Counter::new(),
+                gets: Counter::new(),
+                quorum_failures: Counter::new(),
+                replicas_killed: Counter::new(),
+                failovers: Counter::new(),
+            },
+        }
+    }
+}
+
+/// A point-in-time view of a replicated deployment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[must_use]
+pub struct ReplicaStats {
+    /// Shard groups in the deployment.
+    pub shards: u32,
+    /// Configured replicas per shard.
+    pub replication_factor: u32,
+    /// Configured write quorum.
+    pub write_quorum: u32,
+    /// Replicas currently live across all shards.
+    pub live_replicas: usize,
+    /// Replica slots across all shards (`shards * replication_factor`).
+    pub total_replicas: usize,
+    /// Acknowledged quorum writes.
+    pub puts: u64,
+    /// Served quorum reads.
+    pub gets: u64,
+    /// Operations refused for lack of quorum.
+    pub quorum_failures: u64,
+    /// Replicas killed (by fault injection or direct calls).
+    pub replicas_killed: u64,
+    /// Replicas re-admitted through failover.
+    pub replicas_replaced: u64,
+    /// Current trusted epoch of each shard group, by shard index.
+    pub epochs: Vec<u64>,
+}
+
+/// A sharded, quorum-replicated secure KV store.
+///
+/// ```
+/// use securecloud_kvstore::CounterService;
+/// use securecloud_replica::{ReplicaConfig, ReplicatedKv};
+/// use securecloud_sgx::enclave::Platform;
+///
+/// let platform = Platform::new();
+/// let counters = CounterService::new();
+/// let mut kv = ReplicatedKv::deploy(ReplicaConfig::default(), &platform, &counters).unwrap();
+/// kv.put(b"meter/0042", b"17.3 kWh").unwrap();
+/// assert_eq!(kv.get(b"meter/0042").unwrap(), Some(b"17.3 kWh".to_vec()));
+/// ```
+#[derive(Debug)]
+pub struct ReplicatedKv {
+    map: ShardMap,
+    groups: Vec<ShardGroup>,
+    provisioning: ProvisioningService,
+    write_quorum: u32,
+    telemetry: Option<Arc<Telemetry>>,
+    metrics: ClusterMetrics,
+}
+
+impl ReplicatedKv {
+    /// Deploys the store without telemetry or fault-injection wiring.
+    ///
+    /// # Errors
+    ///
+    /// Configuration ([`ReplicaError::InvalidConfig`]) or admission errors
+    /// while bootstrapping the shard groups.
+    pub fn deploy(
+        config: ReplicaConfig,
+        platform: &Platform,
+        counters: &CounterService,
+    ) -> Result<Self, ReplicaError> {
+        Self::deploy_with(config, platform, counters, None, None)
+    }
+
+    /// Deploys the store, instrumenting with `telemetry` and recording
+    /// membership events through `injector`'s deterministic trace.
+    ///
+    /// # Errors
+    ///
+    /// Configuration ([`ReplicaError::InvalidConfig`]) or admission errors
+    /// while bootstrapping the shard groups.
+    pub fn deploy_with(
+        config: ReplicaConfig,
+        platform: &Platform,
+        counters: &CounterService,
+        telemetry: Option<&Arc<Telemetry>>,
+        injector: Option<&Arc<FaultInjector>>,
+    ) -> Result<Self, ReplicaError> {
+        config.validate()?;
+        let mut provisioning =
+            ProvisioningService::new(platform, Measurement::of_code(&config.code));
+        if let Some(t) = telemetry {
+            provisioning.set_telemetry(t);
+        }
+        let mut groups = Vec::with_capacity(config.shards as usize);
+        for shard in 0..config.shards {
+            groups.push(ShardGroup::new(
+                ShardId(shard),
+                &config,
+                platform,
+                counters,
+                &mut provisioning,
+                telemetry,
+                injector,
+            )?);
+        }
+        Ok(ReplicatedKv {
+            map: ShardMap::new(config.shards, config.virtual_nodes),
+            groups,
+            provisioning,
+            write_quorum: config.write_quorum.0,
+            telemetry: telemetry.cloned(),
+            metrics: ClusterMetrics::new(telemetry),
+        })
+    }
+
+    /// The shard `key` routes to.
+    #[must_use]
+    pub fn shard_of(&self, key: &[u8]) -> ShardId {
+        self.map.shard_for(key)
+    }
+
+    /// The consistent-hash ring in use.
+    #[must_use]
+    pub fn shard_map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// The shard group serving `shard`, if it exists.
+    #[must_use]
+    pub fn group(&self, shard: ShardId) -> Option<&ShardGroup> {
+        self.groups.get(shard.0 as usize)
+    }
+
+    /// Replicas currently live across every shard.
+    #[must_use]
+    pub fn live_replicas(&self) -> usize {
+        self.groups.iter().map(ShardGroup::live).sum()
+    }
+
+    /// Total simulated cycles charged across every replica that ever ran
+    /// (monotone across kills and failovers).
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        self.groups.iter().map(ShardGroup::cycles).sum()
+    }
+
+    /// Quorum write to the shard owning `key`.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplicaError::QuorumLost`] when the owning shard has fewer live
+    /// replicas than the write quorum (the write is applied nowhere), plus
+    /// the per-replica error cases of [`ShardGroup::put`].
+    pub fn put(&mut self, key: &[u8], value: &[u8]) -> Result<(), ReplicaError> {
+        let shard = self.map.shard_for(key);
+        let _span = self.telemetry.as_ref().map(|t| {
+            OwnedSpan::open_with(
+                t.clone(),
+                "replica",
+                "quorum_put",
+                vec![("shard", shard.to_string())],
+            )
+        });
+        let result = self.groups[shard.0 as usize].put(key, value);
+        match &result {
+            Ok(()) => self.metrics.puts.inc(),
+            Err(ReplicaError::QuorumLost { .. }) => self.metrics.quorum_failures.inc(),
+            Err(_) => {}
+        }
+        result
+    }
+
+    /// Quorum read from the shard owning `key`, returning the freshest
+    /// copy among the read quorum.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplicaError::QuorumLost`] when the owning shard has fewer live
+    /// replicas than the read quorum, plus the per-replica error cases of
+    /// [`ShardGroup::get`].
+    pub fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, ReplicaError> {
+        let shard = self.map.shard_for(key);
+        let _span = self.telemetry.as_ref().map(|t| {
+            OwnedSpan::open_with(
+                t.clone(),
+                "replica",
+                "quorum_get",
+                vec![("shard", shard.to_string())],
+            )
+        });
+        let result = self.groups[shard.0 as usize].get(key);
+        match &result {
+            Ok(_) => self.metrics.gets.inc(),
+            Err(ReplicaError::QuorumLost { .. }) => self.metrics.quorum_failures.inc(),
+            Err(_) => {}
+        }
+        result
+    }
+
+    /// Kills one replica (its enclave aborts, the slot goes vacant) without
+    /// repairing the group. Returns the killed replica's id, or `None` when
+    /// the shard/slot does not address a live replica.
+    pub fn kill_replica(&mut self, shard: ShardId, slot: u32) -> Option<ReplicaId> {
+        let group = self.groups.get_mut(shard.0 as usize)?;
+        let killed = group.kill(slot as usize, "fault injection")?;
+        self.metrics.replicas_killed.inc();
+        Some(killed)
+    }
+
+    /// Repairs every degraded shard group: re-attests replacements and
+    /// streams them snapshots. Returns how many replicas were replaced.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplicaError::NoSurvivors`] when a shard lost every replica, or
+    /// admission/restore errors from the replacement path.
+    pub fn fail_over(&mut self) -> Result<u32, ReplicaError> {
+        let mut replaced = 0;
+        for group in &mut self.groups {
+            if group.is_degraded() {
+                let n = group.failover(&mut self.provisioning)?;
+                self.metrics.failovers.add(u64::from(n));
+                replaced += n;
+            }
+        }
+        Ok(replaced)
+    }
+
+    /// Applies a fault-injection event to the deployment. Returns `true`
+    /// when the event addressed this subsystem ([`FaultKind::ReplicaKill`]):
+    /// the replica is killed and the group immediately fails over to a
+    /// re-attested replacement. Other fault kinds return `false` untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplicaError::UnknownShard`] when the event names a shard outside
+    /// this deployment, or failover errors from [`ReplicatedKv::fail_over`].
+    pub fn apply_fault(&mut self, fault: &FaultKind) -> Result<bool, ReplicaError> {
+        match fault {
+            FaultKind::ReplicaKill { shard, slot } => {
+                let shard = ShardId(*shard);
+                if shard.0 as usize >= self.groups.len() {
+                    return Err(ReplicaError::UnknownShard(shard));
+                }
+                self.kill_replica(shard, *slot);
+                self.fail_over()?;
+                Ok(true)
+            }
+            _ => Ok(false),
+        }
+    }
+
+    /// Point-in-time deployment statistics.
+    pub fn stats(&self) -> ReplicaStats {
+        ReplicaStats {
+            shards: self.map.shards(),
+            replication_factor: self
+                .groups
+                .first()
+                .map_or(0, |g| g.replication_factor() as u32),
+            write_quorum: self.write_quorum,
+            live_replicas: self.live_replicas(),
+            total_replicas: self.groups.iter().map(ShardGroup::replication_factor).sum(),
+            puts: self.metrics.puts.value(),
+            gets: self.metrics.gets.value(),
+            quorum_failures: self.metrics.quorum_failures.value(),
+            replicas_killed: self.metrics.replicas_killed.value(),
+            replicas_replaced: self.metrics.failovers.value(),
+            epochs: self.groups.iter().map(ShardGroup::epoch).collect(),
+        }
+    }
+
+    /// The provisioning service guarding this deployment's membership.
+    #[must_use]
+    pub fn provisioning(&self) -> &ProvisioningService {
+        &self.provisioning
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> ReplicaConfig {
+        ReplicaConfig {
+            shards: 2,
+            replication: ReplicationFactor(3),
+            write_quorum: WriteQuorum(2),
+            virtual_nodes: 8,
+            ..ReplicaConfig::default()
+        }
+    }
+
+    fn deploy() -> ReplicatedKv {
+        ReplicatedKv::deploy(tiny_config(), &Platform::new(), &CounterService::new()).unwrap()
+    }
+
+    #[test]
+    fn majority_quorum_helper() {
+        assert_eq!(WriteQuorum::majority(ReplicationFactor(3)), WriteQuorum(2));
+        assert_eq!(WriteQuorum::majority(ReplicationFactor(4)), WriteQuorum(3));
+        assert_eq!(WriteQuorum::majority(ReplicationFactor(5)), WriteQuorum(3));
+    }
+
+    #[test]
+    fn config_validation_rejects_bad_shapes() {
+        let reject = |config: ReplicaConfig| {
+            assert!(matches!(
+                config.validate(),
+                Err(ReplicaError::InvalidConfig(_))
+            ));
+        };
+        reject(ReplicaConfig {
+            shards: 0,
+            ..ReplicaConfig::default()
+        });
+        reject(ReplicaConfig {
+            virtual_nodes: 0,
+            ..ReplicaConfig::default()
+        });
+        reject(ReplicaConfig {
+            write_quorum: WriteQuorum(4),
+            ..ReplicaConfig::default()
+        });
+        reject(ReplicaConfig {
+            // 1-of-3 is not a majority: acked writes could be lost.
+            write_quorum: WriteQuorum(1),
+            ..ReplicaConfig::default()
+        });
+        reject(ReplicaConfig {
+            code: Vec::new(),
+            ..ReplicaConfig::default()
+        });
+        assert!(ReplicaConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn routes_and_replicates_across_shards() {
+        let mut kv = deploy();
+        for i in 0..40u32 {
+            let key = format!("meter/{i:04}");
+            kv.put(key.as_bytes(), &i.to_le_bytes()).unwrap();
+        }
+        for i in 0..40u32 {
+            let key = format!("meter/{i:04}");
+            assert_eq!(
+                kv.get(key.as_bytes()).unwrap(),
+                Some(i.to_le_bytes().to_vec())
+            );
+        }
+        let stats = kv.stats();
+        assert_eq!(stats.puts, 40);
+        assert_eq!(stats.gets, 40);
+        assert_eq!(stats.live_replicas, 6);
+        assert_eq!(stats.epochs, vec![1, 1]);
+        // Both shards saw traffic (consistent hashing spreads 40 keys).
+        let spread: Vec<u64> = kv
+            .map
+            .distribution(
+                (0..40u32)
+                    .map(|i| format!("meter/{i:04}").into_bytes())
+                    .collect::<Vec<_>>()
+                    .iter()
+                    .map(Vec::as_slice),
+            )
+            .into_iter()
+            .collect();
+        assert!(spread.iter().all(|&n| n > 0), "{spread:?}");
+    }
+
+    #[test]
+    fn replica_kill_fault_triggers_attested_failover() {
+        let mut kv = deploy();
+        kv.put(b"acked", b"survives").unwrap();
+        let admitted_before = kv.provisioning().admitted();
+        let handled = kv
+            .apply_fault(&FaultKind::ReplicaKill { shard: 0, slot: 1 })
+            .unwrap();
+        assert!(handled);
+        assert_eq!(kv.live_replicas(), 6, "failover restored the group");
+        assert_eq!(kv.provisioning().admitted(), admitted_before + 1);
+        assert_eq!(kv.get(b"acked").unwrap(), Some(b"survives".to_vec()));
+        let stats = kv.stats();
+        assert_eq!(stats.replicas_killed, 1);
+        assert_eq!(stats.replicas_replaced, 1);
+        assert_eq!(stats.epochs[0], 2, "membership change bumped the epoch");
+        assert_eq!(stats.epochs[1], 1, "other shard untouched");
+    }
+
+    #[test]
+    fn foreign_faults_are_ignored_and_unknown_shards_rejected() {
+        let mut kv = deploy();
+        let handled = kv
+            .apply_fault(&FaultKind::ServicePanic {
+                service: "other".into(),
+            })
+            .unwrap();
+        assert!(!handled);
+        let err = kv
+            .apply_fault(&FaultKind::ReplicaKill { shard: 9, slot: 0 })
+            .unwrap_err();
+        assert!(matches!(err, ReplicaError::UnknownShard(ShardId(9))));
+    }
+}

@@ -1,0 +1,675 @@
+//! One shard group: `n` enclave replicas, quorum writes/reads, epoch
+//! discipline, and snapshot-streaming failover.
+//!
+//! Every replica is its own enclave with its own
+//! [`MemorySim`](securecloud_sgx::mem::MemorySim), so a group's working
+//! set pages independently of its siblings — the sharding story of Göttel
+//! et al.'s memory-protection trade-off study: keep each working set under
+//! the EPC knee and the paging cliff never fires.
+//!
+//! ## Quorum rules
+//!
+//! A write goes to **every** live replica and is acknowledged only when at
+//! least [`WriteQuorum`](crate::cluster::WriteQuorum) replicas are live to
+//! take it; with `w > n/2` this means every acknowledged write is on a
+//! majority, so it survives any minority of replica crashes. A read
+//! requires `n - w + 1` live replicas (the read quorum overlapping every
+//! write quorum) and returns the freshest copy.
+//!
+//! ## Epochs and rollback protection
+//!
+//! The group's membership epoch and snapshot version both live in the
+//! trusted [`CounterService`]. The epoch bumps on every failover; a
+//! replica holding a stale epoch refuses writes
+//! ([`ReplicaError::StaleEpoch`]). Snapshots seal the store under the
+//! group key and record their version in the counter, so an untrusted
+//! host serving an *old* snapshot during failover is caught by
+//! [`SecureKv::restore`]'s freshness check.
+
+use crate::cluster::ReplicaConfig;
+use crate::provision::ProvisioningService;
+use crate::{ReplicaError, ReplicaId, ShardId};
+use securecloud_faults::FaultInjector;
+use securecloud_kvstore::{CounterService, SecureKv, Snapshot};
+use securecloud_sgx::costs::{CostModel, MemoryGeometry};
+use securecloud_sgx::enclave::{Enclave, EnclaveConfig, Platform};
+use securecloud_telemetry::{Gauge, Histogram, Telemetry};
+use std::sync::Arc;
+
+/// One enclave-resident replica of a shard's keyspace.
+#[derive(Debug)]
+struct Replica {
+    id: ReplicaId,
+    enclave: Enclave,
+    kv: SecureKv,
+    group_key: [u8; 16],
+    epoch: u64,
+}
+
+impl Replica {
+    fn put(&mut self, key: &[u8], value: &[u8]) -> Result<(), ReplicaError> {
+        let kv = &mut self.kv;
+        self.enclave
+            .ecall(|mem| {
+                kv.put(mem, key, value);
+            })
+            .map_err(|source| ReplicaError::Sgx {
+                replica: self.id,
+                source,
+            })
+    }
+
+    fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, ReplicaError> {
+        let kv = &mut self.kv;
+        self.enclave
+            .ecall(|mem| kv.get(mem, key))
+            .map_err(|source| ReplicaError::Sgx {
+                replica: self.id,
+                source,
+            })
+    }
+}
+
+/// Per-group metric handles; standalone when no telemetry is attached.
+#[derive(Debug)]
+struct GroupMetrics {
+    put_cycles: Histogram,
+    get_cycles: Histogram,
+    replication_lag: Gauge,
+}
+
+impl GroupMetrics {
+    fn new(shard: ShardId, telemetry: Option<&Arc<Telemetry>>) -> Self {
+        match telemetry {
+            Some(t) => {
+                let label = shard.to_string();
+                let labels: &[(&str, &str)] = &[("shard", label.as_str())];
+                GroupMetrics {
+                    put_cycles: t.histogram_with("securecloud_replica_put_cycles", labels),
+                    get_cycles: t.histogram_with("securecloud_replica_get_cycles", labels),
+                    replication_lag: t.gauge_with("securecloud_replica_replication_lag", labels),
+                }
+            }
+            None => GroupMetrics {
+                put_cycles: Histogram::new(),
+                get_cycles: Histogram::new(),
+                replication_lag: Gauge::new(),
+            },
+        }
+    }
+}
+
+/// A quorum-replicated shard group over enclave-resident stores.
+#[derive(Debug)]
+pub struct ShardGroup {
+    shard: ShardId,
+    slots: Vec<Option<Replica>>,
+    write_quorum: usize,
+    counters: CounterService,
+    epoch_counter: String,
+    version_counter: String,
+    platform: Platform,
+    code: Vec<u8>,
+    geometry: MemoryGeometry,
+    costs: CostModel,
+    /// Cycles spent by replicas that have since been killed, so
+    /// [`ShardGroup::cycles`] stays monotone across failovers.
+    retired_cycles: u64,
+    /// EPC faults charged by replicas that have since been killed.
+    retired_epc_faults: u64,
+    incarnations: u32,
+    telemetry: Option<Arc<Telemetry>>,
+    injector: Option<Arc<FaultInjector>>,
+    metrics: GroupMetrics,
+}
+
+impl ShardGroup {
+    /// Builds the group: launches `replication_factor` enclaves and admits
+    /// each through the provisioning service (attestation-gated).
+    ///
+    /// Most deployments go through
+    /// [`ReplicatedKv::deploy`](crate::cluster::ReplicatedKv::deploy); a
+    /// bare group is useful for tests and single-shard setups.
+    ///
+    /// # Errors
+    ///
+    /// Admission errors ([`ReplicaError::AdmissionDenied`] /
+    /// [`ReplicaError::Channel`]) or enclave-launch failures
+    /// ([`ReplicaError::Sgx`]).
+    pub fn new(
+        shard: ShardId,
+        config: &ReplicaConfig,
+        platform: &Platform,
+        counters: &CounterService,
+        provisioning: &mut ProvisioningService,
+        telemetry: Option<&Arc<Telemetry>>,
+        injector: Option<&Arc<FaultInjector>>,
+    ) -> Result<Self, ReplicaError> {
+        let n = config.replication.0 as usize;
+        let mut group = ShardGroup {
+            shard,
+            slots: Vec::new(),
+            write_quorum: config.write_quorum.0 as usize,
+            counters: counters.clone(),
+            epoch_counter: format!("replica/{shard}/epoch"),
+            version_counter: format!("replica/{shard}/version"),
+            platform: platform.clone(),
+            code: config.code.clone(),
+            geometry: config.geometry,
+            costs: config.costs.clone(),
+            retired_cycles: 0,
+            retired_epc_faults: 0,
+            incarnations: 0,
+            telemetry: telemetry.cloned(),
+            injector: injector.cloned(),
+            metrics: GroupMetrics::new(shard, telemetry),
+        };
+        // Epoch 1: the founding membership.
+        group.counters.increment(&group.epoch_counter);
+        for slot in 0..n {
+            let replica = group.launch_admitted(slot as u32, provisioning)?;
+            group.slots.push(Some(replica));
+        }
+        Ok(group)
+    }
+
+    /// The shard this group serves.
+    #[must_use]
+    pub fn shard(&self) -> ShardId {
+        self.shard
+    }
+
+    /// The group's current trusted epoch.
+    #[must_use]
+    pub fn epoch(&self) -> u64 {
+        self.counters.read(&self.epoch_counter)
+    }
+
+    /// Configured replication factor.
+    #[must_use]
+    pub fn replication_factor(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Live replicas in the group.
+    #[must_use]
+    pub fn live(&self) -> usize {
+        self.slots.iter().flatten().count()
+    }
+
+    /// Whether any slot is vacant (a replica was killed and not replaced).
+    #[must_use]
+    pub fn is_degraded(&self) -> bool {
+        self.live() < self.slots.len()
+    }
+
+    /// Store versions of the live replicas, by slot order.
+    #[must_use]
+    pub fn replica_versions(&self) -> Vec<u64> {
+        self.slots
+            .iter()
+            .flatten()
+            .map(|r| r.kv.version())
+            .collect()
+    }
+
+    /// Total simulated cycles charged by this group's replicas, including
+    /// replicas retired by failover (monotone).
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.retired_cycles
+            + self
+                .slots
+                .iter()
+                .flatten()
+                .map(|r| r.enclave.memory_view().cycles())
+                .sum::<u64>()
+    }
+
+    /// Total EPC faults charged by this group's replicas, including
+    /// replicas retired by failover (monotone). The paging indicator for
+    /// the sharding sweep: ~0 once each shard's slice fits the EPC.
+    #[must_use]
+    pub fn epc_faults(&self) -> u64 {
+        self.retired_epc_faults
+            + self
+                .slots
+                .iter()
+                .flatten()
+                .map(|r| r.enclave.memory_view().stats().epc_faults)
+                .sum::<u64>()
+    }
+
+    /// Quorum write: every live replica takes the write; acknowledged only
+    /// if at least the write quorum is live.
+    ///
+    /// # Errors
+    ///
+    /// * [`ReplicaError::QuorumLost`] — fewer live replicas than the write
+    ///   quorum; the write is not applied anywhere.
+    /// * [`ReplicaError::StaleEpoch`] — a replica missed a membership
+    ///   change (defensive; the group keeps epochs in lockstep).
+    pub fn put(&mut self, key: &[u8], value: &[u8]) -> Result<(), ReplicaError> {
+        let live = self.live();
+        if live < self.write_quorum {
+            return Err(ReplicaError::QuorumLost {
+                shard: self.shard,
+                needed: self.write_quorum,
+                live,
+            });
+        }
+        let epoch = self.epoch();
+        let before = self.cycles();
+        for replica in self.slots.iter_mut().flatten() {
+            if replica.epoch != epoch {
+                return Err(ReplicaError::StaleEpoch {
+                    replica: replica.id,
+                    have: replica.epoch,
+                    want: epoch,
+                });
+            }
+            replica.put(key, value)?;
+        }
+        self.metrics.put_cycles.observe(self.cycles() - before);
+        self.update_replication_lag();
+        Ok(())
+    }
+
+    /// Quorum read: requires the read quorum (`n - w + 1`) live so it
+    /// overlaps every write quorum, and returns the freshest copy.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplicaError::QuorumLost`] — fewer live replicas than the read
+    /// quorum.
+    pub fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, ReplicaError> {
+        let read_quorum = self.slots.len() - self.write_quorum + 1;
+        let live = self.live();
+        if live < read_quorum {
+            return Err(ReplicaError::QuorumLost {
+                shard: self.shard,
+                needed: read_quorum,
+                live,
+            });
+        }
+        let before = self.cycles();
+        let mut freshest: Option<(u64, Option<Vec<u8>>)> = None;
+        for replica in self.slots.iter_mut().flatten().take(read_quorum) {
+            let version = replica.kv.version();
+            let value = replica.get(key)?;
+            if freshest.as_ref().is_none_or(|(v, _)| version > *v) {
+                freshest = Some((version, value));
+            }
+        }
+        self.metrics.get_cycles.observe(self.cycles() - before);
+        Ok(freshest.expect("read quorum is at least one replica").1)
+    }
+
+    /// Kills the replica in `slot`: its enclave aborts and the slot goes
+    /// vacant. Returns the killed replica's id, or `None` if the slot is
+    /// already vacant or out of range.
+    pub fn kill(&mut self, slot: usize, reason: &str) -> Option<ReplicaId> {
+        let mut replica = self.slots.get_mut(slot)?.take()?;
+        replica.enclave.abort(reason);
+        self.retired_cycles += replica.enclave.memory_view().cycles();
+        self.retired_epc_faults += replica.enclave.memory_view().stats().epc_faults;
+        self.record(format!("replica {} killed: {reason}", replica.id));
+        if let Some(t) = &self.telemetry {
+            t.event(
+                "replica",
+                "replica_killed",
+                vec![("replica", replica.id.to_string())],
+            );
+        }
+        self.update_replication_lag();
+        Some(replica.id)
+    }
+
+    /// Repairs every vacant slot: bumps the trusted epoch, streams a
+    /// sealed snapshot from a surviving replica, and admits a re-attested
+    /// replacement per vacancy. Returns the number of replicas replaced.
+    ///
+    /// # Errors
+    ///
+    /// * [`ReplicaError::NoSurvivors`] — every replica is gone; only
+    ///   sealed state (outside this group) could recover the shard.
+    /// * Admission/restore errors from [`ShardGroup::adopt_replacement`].
+    pub fn failover(
+        &mut self,
+        provisioning: &mut ProvisioningService,
+    ) -> Result<u32, ReplicaError> {
+        let vacant: Vec<usize> = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.is_none().then_some(i))
+            .collect();
+        if vacant.is_empty() {
+            return Ok(0);
+        }
+        // Membership change: bump the trusted epoch before anyone rejoins.
+        let epoch = self.counters.increment(&self.epoch_counter);
+        let snapshot = self.snapshot_from_survivor()?;
+        self.record(format!(
+            "shard {} failover epoch {epoch}: snapshot v{} streamed to {} replacement(s)",
+            self.shard,
+            snapshot.version,
+            vacant.len()
+        ));
+        let mut replaced = 0;
+        for slot in vacant {
+            self.adopt_replacement(slot, provisioning, &snapshot.sealed)?;
+            replaced += 1;
+        }
+        for replica in self.slots.iter_mut().flatten() {
+            replica.epoch = epoch;
+        }
+        if let Some(t) = &self.telemetry {
+            t.event(
+                "replica",
+                "failover",
+                vec![
+                    ("shard", self.shard.to_string()),
+                    ("epoch", epoch.to_string()),
+                    ("replaced", replaced.to_string()),
+                ],
+            );
+        }
+        self.update_replication_lag();
+        Ok(replaced)
+    }
+
+    /// The failover install step, split out so the snapshot can come from
+    /// the *untrusted host*: launches and admits (re-attests) a fresh
+    /// enclave for `slot`, then restores `sealed` inside it with the
+    /// trusted-counter freshness check. A stale-but-validly-sealed
+    /// snapshot fails with [`KvError::RollbackDetected`] wrapped in
+    /// [`ReplicaError::Store`] and the slot stays vacant.
+    ///
+    /// # Errors
+    ///
+    /// Admission ([`ReplicaError::AdmissionDenied`] /
+    /// [`ReplicaError::Channel`]), enclave ([`ReplicaError::Sgx`]), or
+    /// restore ([`ReplicaError::Store`]) failures.
+    ///
+    /// [`KvError::RollbackDetected`]: securecloud_kvstore::KvError::RollbackDetected
+    pub fn adopt_replacement(
+        &mut self,
+        slot: usize,
+        provisioning: &mut ProvisioningService,
+        sealed: &[u8],
+    ) -> Result<ReplicaId, ReplicaError> {
+        let mut replica = self.launch_admitted(slot as u32, provisioning)?;
+        let counters = self.counters.clone();
+        let counter_name = self.version_counter.clone();
+        let key = replica.group_key;
+        let id = replica.id;
+        let kv = replica
+            .enclave
+            .ecall(|mem| SecureKv::restore(mem, &key, sealed, &counters, &counter_name))
+            .map_err(|source| ReplicaError::Sgx {
+                replica: id,
+                source,
+            })?
+            .map_err(|source| ReplicaError::Store {
+                replica: id,
+                source,
+            })?;
+        replica.kv = kv;
+        self.record(format!(
+            "replica {id} re-attested and admitted at epoch {}",
+            replica.epoch
+        ));
+        self.slots[slot] = Some(replica);
+        Ok(id)
+    }
+
+    /// Seals a snapshot of the shard from a surviving replica (the same
+    /// artefact failover streams to replacements; also useful as an
+    /// off-group backup). Records the snapshot version in the trusted
+    /// counter.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplicaError::NoSurvivors`] when no replica is live, or
+    /// [`ReplicaError::Sgx`] when the survivor's enclave call fails.
+    pub fn seal_snapshot(&mut self) -> Result<Snapshot, ReplicaError> {
+        self.snapshot_from_survivor()
+    }
+
+    /// Seals a snapshot from the first surviving replica; every live
+    /// replica holds all acknowledged writes, so any survivor will do.
+    fn snapshot_from_survivor(&mut self) -> Result<Snapshot, ReplicaError> {
+        let counters = self.counters.clone();
+        let counter_name = self.version_counter.clone();
+        let survivor = self
+            .slots
+            .iter_mut()
+            .flatten()
+            .next()
+            .ok_or(ReplicaError::NoSurvivors { shard: self.shard })?;
+        let key = survivor.group_key;
+        let id = survivor.id;
+        let kv = &mut survivor.kv;
+        survivor
+            .enclave
+            .ecall(|_mem| kv.snapshot(&key, &counters, &counter_name))
+            .map_err(|source| ReplicaError::Sgx {
+                replica: id,
+                source,
+            })
+    }
+
+    fn launch_admitted(
+        &mut self,
+        slot: u32,
+        provisioning: &mut ProvisioningService,
+    ) -> Result<Replica, ReplicaError> {
+        let id = ReplicaId {
+            shard: self.shard,
+            slot,
+        };
+        let name = format!("{id}-i{}", self.incarnations);
+        self.incarnations += 1;
+        let mut enclave = self
+            .platform
+            .launch(EnclaveConfig {
+                name,
+                code: self.code.clone(),
+                geometry: self.geometry,
+                costs: self.costs.clone(),
+                debug: false,
+            })
+            .map_err(|source| ReplicaError::Sgx {
+                replica: id,
+                source,
+            })?;
+        if let Some(t) = &self.telemetry {
+            enclave.set_telemetry(t);
+        }
+        let admission = provisioning.admit(self.shard, &enclave, self.epoch())?;
+        Ok(Replica {
+            id,
+            enclave,
+            kv: SecureKv::new(),
+            group_key: admission.group_key,
+            epoch: admission.epoch,
+        })
+    }
+
+    fn update_replication_lag(&self) {
+        let versions = self.replica_versions();
+        let lag = match (versions.iter().max(), versions.iter().min()) {
+            (Some(max), Some(min)) => max - min,
+            _ => 0,
+        };
+        self.metrics.replication_lag.set(lag as i64);
+    }
+
+    fn record(&self, line: String) {
+        if let Some(injector) = &self.injector {
+            injector.record(line);
+        }
+    }
+
+    #[cfg(test)]
+    fn force_epoch(&mut self, slot: usize, epoch: u64) {
+        if let Some(replica) = self.slots.get_mut(slot).and_then(Option::as_mut) {
+            replica.epoch = epoch;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{ReplicaConfig, ReplicationFactor, WriteQuorum};
+    use crate::provision::ProvisioningService;
+    use securecloud_kvstore::KvError;
+    use securecloud_sgx::enclave::Measurement;
+
+    fn small_config() -> ReplicaConfig {
+        ReplicaConfig {
+            shards: 1,
+            replication: ReplicationFactor(3),
+            write_quorum: WriteQuorum(2),
+            ..ReplicaConfig::default()
+        }
+    }
+
+    fn group() -> (ShardGroup, ProvisioningService, CounterService) {
+        let platform = Platform::new();
+        let config = small_config();
+        let mut provisioning =
+            ProvisioningService::new(&platform, Measurement::of_code(&config.code));
+        let counters = CounterService::new();
+        let group = ShardGroup::new(
+            ShardId(0),
+            &config,
+            &platform,
+            &counters,
+            &mut provisioning,
+            None,
+            None,
+        )
+        .unwrap();
+        (group, provisioning, counters)
+    }
+
+    #[test]
+    fn quorum_write_read_roundtrip() {
+        let (mut g, _prov, _counters) = group();
+        assert_eq!(g.live(), 3);
+        assert_eq!(g.epoch(), 1);
+        g.put(b"k", b"v1").unwrap();
+        g.put(b"k", b"v2").unwrap();
+        assert_eq!(g.get(b"k").unwrap(), Some(b"v2".to_vec()));
+        assert_eq!(g.get(b"missing").unwrap(), None);
+        // All replicas applied both writes: identical versions, zero lag.
+        let versions = g.replica_versions();
+        assert!(versions.windows(2).all(|w| w[0] == w[1]), "{versions:?}");
+    }
+
+    #[test]
+    fn writes_survive_minority_crash_and_fail_past_quorum() {
+        let (mut g, _prov, _counters) = group();
+        g.put(b"acked", b"before crash").unwrap();
+        assert!(g.kill(1, "test kill").is_some());
+        assert!(g.kill(1, "double kill is a no-op").is_none());
+        // 2 of 3 live: writes and reads still meet quorum.
+        g.put(b"acked2", b"after crash").unwrap();
+        assert_eq!(g.get(b"acked").unwrap(), Some(b"before crash".to_vec()));
+        // Losing the majority loses the write quorum.
+        g.kill(0, "second kill");
+        let err = g.put(b"x", b"y").unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ReplicaError::QuorumLost {
+                    needed: 2,
+                    live: 1,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn failover_readmits_and_catches_up() {
+        let (mut g, mut prov, _counters) = group();
+        for i in 0..10u32 {
+            g.put(&i.to_be_bytes(), b"payload").unwrap();
+        }
+        g.kill(2, "chaos");
+        g.put(b"while degraded", b"still acked").unwrap();
+        assert!(g.is_degraded());
+        let replaced = g.failover(&mut prov).unwrap();
+        assert_eq!(replaced, 1);
+        assert_eq!(g.live(), 3);
+        assert_eq!(g.epoch(), 2, "failover bumps the trusted epoch");
+        assert_eq!(prov.admitted(), 4, "replacement was re-attested");
+        // The replacement holds every acknowledged write.
+        assert_eq!(
+            g.get(b"while degraded").unwrap(),
+            Some(b"still acked".to_vec())
+        );
+        g.put(b"after failover", b"ok").unwrap();
+        assert!(g.failover(&mut prov).unwrap() == 0, "nothing vacant");
+    }
+
+    #[test]
+    fn stale_snapshot_during_failover_is_detected() {
+        let (mut g, mut prov, _counters) = group();
+        g.put(b"balance", b"100").unwrap();
+        // The untrusted host keeps an old snapshot around...
+        let stale = g.snapshot_from_survivor().unwrap();
+        g.put(b"balance", b"10").unwrap();
+        // ...the group moves on (a fresh snapshot bumps the counter)...
+        let _fresh = g.snapshot_from_survivor().unwrap();
+        g.kill(0, "chaos");
+        g.counters.increment("replica/s0/epoch");
+        // ...and serves the stale one during failover: detected.
+        let err = g
+            .adopt_replacement(0, &mut prov, &stale.sealed)
+            .unwrap_err();
+        match err {
+            ReplicaError::Store {
+                replica,
+                source: KvError::RollbackDetected { .. },
+            } => assert_eq!(replica.slot, 0),
+            other => panic!("expected rollback detection, got {other}"),
+        }
+        assert!(g.is_degraded(), "rejected replacement must not join");
+    }
+
+    #[test]
+    fn stale_epoch_replica_refuses_writes() {
+        let (mut g, _prov, _counters) = group();
+        g.put(b"a", b"1").unwrap();
+        g.force_epoch(1, 0);
+        let err = g.put(b"b", b"2").unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ReplicaError::StaleEpoch {
+                    have: 0,
+                    want: 1,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn cycles_are_monotone_across_kill_and_failover() {
+        let (mut g, mut prov, _counters) = group();
+        g.put(b"k", b"v").unwrap();
+        let before_kill = g.cycles();
+        g.kill(0, "chaos");
+        assert!(g.cycles() >= before_kill, "retired cycles must be kept");
+        g.failover(&mut prov).unwrap();
+        assert!(g.cycles() > before_kill, "failover work is charged");
+    }
+}

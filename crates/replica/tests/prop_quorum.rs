@@ -1,0 +1,134 @@
+//! Property tests for the quorum invariants the replication layer sells:
+//!
+//! * every **acknowledged** write survives any crash of a *minority* of
+//!   replicas, before and after snapshot-streaming failover;
+//! * an untrusted host serving a **stale** snapshot during failover is
+//!   always detected by the trusted-counter freshness check, no matter
+//!   how far behind the snapshot is.
+
+use proptest::prelude::*;
+use securecloud_kvstore::{CounterService, KvError};
+use securecloud_replica::cluster::{ReplicaConfig, ReplicationFactor, WriteQuorum};
+use securecloud_replica::{ProvisioningService, ReplicaError, ShardGroup, ShardId};
+use securecloud_sgx::enclave::{Measurement, Platform};
+
+fn build_group(replication: u32) -> (ShardGroup, ProvisioningService) {
+    let config = ReplicaConfig {
+        shards: 1,
+        replication: ReplicationFactor(replication),
+        write_quorum: WriteQuorum::majority(ReplicationFactor(replication)),
+        ..ReplicaConfig::default()
+    };
+    config.validate().expect("valid shape");
+    let platform = Platform::new();
+    let mut provisioning = ProvisioningService::new(&platform, Measurement::of_code(&config.code));
+    let counters = CounterService::new();
+    let group = ShardGroup::new(
+        ShardId(0),
+        &config,
+        &platform,
+        &counters,
+        &mut provisioning,
+        None,
+        None,
+    )
+    .expect("bootstrap");
+    (group, provisioning)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Acked writes survive any minority of crashes, and failover restores
+    /// full strength without losing them.
+    #[test]
+    fn acked_writes_survive_minority_crashes(
+        replication in prop_oneof![Just(3u32), Just(5u32)],
+        writes in prop::collection::vec(
+            (prop::collection::vec(any::<u8>(), 1..8), prop::collection::vec(any::<u8>(), 0..16)),
+            1..12,
+        ),
+        kill_seed in any::<u64>(),
+    ) {
+        let (mut group, mut provisioning) = build_group(replication);
+        for (key, value) in &writes {
+            group.put(key, value).expect("acknowledged quorum write");
+        }
+
+        // Crash a minority: any subset of size < n/2 + ... at most
+        // floor((n-1)/2) replicas, chosen by the seed.
+        let minority = ((replication as usize) - 1) / 2;
+        let mut kills = 0;
+        let mut slot = (kill_seed % u64::from(replication)) as usize;
+        while kills < minority {
+            if group.kill(slot, "prop minority crash").is_some() {
+                kills += 1;
+            }
+            slot = (slot + 1) % replication as usize;
+        }
+
+        // Every acknowledged write is still readable at quorum.
+        let mut expected: std::collections::HashMap<&[u8], &[u8]> = Default::default();
+        for (key, value) in &writes {
+            expected.insert(key.as_slice(), value.as_slice());
+        }
+        for (key, value) in &expected {
+            prop_assert_eq!(
+                group.get(key).expect("read quorum held"),
+                Some(value.to_vec())
+            );
+        }
+
+        // Failover re-attests replacements and catches them up.
+        let replaced = group.failover(&mut provisioning).expect("survivors exist");
+        prop_assert_eq!(replaced as usize, minority);
+        prop_assert_eq!(group.live(), replication as usize);
+        for (key, value) in &expected {
+            prop_assert_eq!(group.get(key).unwrap(), Some(value.to_vec()));
+        }
+        // And the group accepts new writes at the bumped epoch.
+        group.put(b"post-failover", b"ok").expect("healthy again");
+        prop_assert_eq!(group.epoch(), 2);
+    }
+
+    /// However many writes and snapshots separate a stale snapshot from
+    /// the group's present, serving it during failover is detected.
+    #[test]
+    fn stale_snapshots_always_detected(
+        staleness in 1usize..6,
+        extra_writes in 1usize..8,
+    ) {
+        let (mut group, mut provisioning) = build_group(3);
+        group.put(b"k", b"v0").unwrap();
+        let stale = group.seal_snapshot().expect("snapshot sealed");
+
+        // The group moves on: more writes, `staleness` fresher snapshots.
+        for i in 0..extra_writes {
+            group.put(format!("k{i}").as_bytes(), b"newer").unwrap();
+        }
+        for _ in 0..staleness {
+            group.seal_snapshot().expect("fresher snapshot");
+        }
+
+        group.kill(0, "prop stale-snapshot crash");
+        let err = group
+            .adopt_replacement(0, &mut provisioning, &stale.sealed)
+            .expect_err("stale snapshot must be rejected");
+        prop_assert!(
+            matches!(
+                err,
+                ReplicaError::Store {
+                    source: KvError::RollbackDetected { .. },
+                    ..
+                }
+            ),
+            "expected rollback detection, got {err}"
+        );
+        prop_assert!(group.is_degraded(), "rejected replacement must not join");
+
+        // The *fresh* path still works: a current snapshot is accepted.
+        let fresh = group.seal_snapshot().unwrap();
+        group.adopt_replacement(0, &mut provisioning, &fresh.sealed).expect("fresh snapshot accepted");
+        prop_assert_eq!(group.live(), 3);
+    }
+}

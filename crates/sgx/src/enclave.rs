@@ -287,6 +287,13 @@ impl Enclave {
         &mut self.mem
     }
 
+    /// Read-only view of the enclave's memory simulator, for cycle and
+    /// paging accounting without entering the enclave.
+    #[must_use]
+    pub fn memory_view(&self) -> &MemorySim {
+        &self.mem
+    }
+
     /// Produces an attestation report binding `report_data` (e.g. the hash
     /// of a channel public key) to this enclave's measurement.
     #[must_use]

@@ -415,6 +415,119 @@ fn chaos_pipeline_survives_seeded_faults() {
     }
 }
 
+/// What the replica-kill chaos scenario exposes for assertions.
+struct ReplicaOutcome {
+    trace: Vec<String>,
+    telemetry_jsonl: String,
+    stats: securecloud::replica::cluster::ReplicaStats,
+    lost_any_acked_write: bool,
+}
+
+/// Drives a replicated KV deployment through a seeded replica-kill
+/// schedule: three kills across two shards (one slot hit twice), writes
+/// acknowledged between every fault, every fault auto-failed-over by
+/// [`SecureCloud::advance`].
+fn run_replica_scenario(seed: u64) -> ReplicaOutcome {
+    use securecloud::replica::{ReplicaConfig, ReplicationFactor, WriteQuorum};
+
+    let mut cloud = SecureCloud::new();
+    let plan = FaultPlan::new()
+        .at(300, FaultKind::ReplicaKill { shard: 0, slot: 1 })
+        .at(700, FaultKind::ReplicaKill { shard: 1, slot: 0 })
+        .at(1_100, FaultKind::ReplicaKill { shard: 0, slot: 1 });
+    let injector = Arc::new(FaultInjector::with_plan(seed, plan));
+    cloud.set_fault_injector(Arc::clone(&injector));
+    let id = cloud
+        .deploy_replicated_kv(ReplicaConfig {
+            shards: 2,
+            replication: ReplicationFactor(3),
+            write_quorum: WriteQuorum(2),
+            ..ReplicaConfig::default()
+        })
+        .unwrap();
+
+    // Interleave acknowledged writes with the fault schedule.
+    let mut acked = Vec::new();
+    for round in 0..6u64 {
+        for meter in 0..5u64 {
+            let key = format!("meter/{round}/{meter}");
+            cloud
+                .replicated_kv_mut(id)
+                .unwrap()
+                .put(key.as_bytes(), &round.to_le_bytes())
+                .expect("acknowledged write");
+            acked.push((key, round));
+        }
+        cloud.advance(250);
+    }
+
+    let kv = cloud.replicated_kv_mut(id).unwrap();
+    let lost_any_acked_write = acked.iter().any(|(key, round)| {
+        kv.get(key.as_bytes()).expect("read quorum") != Some(round.to_le_bytes().to_vec())
+    });
+    let stats = kv.stats();
+    ReplicaOutcome {
+        trace: injector.trace(),
+        telemetry_jsonl: cloud.telemetry().trace_jsonl(),
+        stats,
+        lost_any_acked_write,
+    }
+}
+
+#[test]
+fn replica_kill_schedule_never_loses_acked_writes() {
+    let outcome = run_replica_scenario(0xFA11);
+
+    assert!(
+        !outcome.lost_any_acked_write,
+        "an acknowledged write disappeared across replica kills"
+    );
+    assert_eq!(outcome.stats.replicas_killed, 3);
+    assert_eq!(outcome.stats.replicas_replaced, 3, "every kill failed over");
+    assert_eq!(
+        outcome.stats.live_replicas, 6,
+        "groups back at full strength"
+    );
+    assert_eq!(outcome.stats.quorum_failures, 0);
+    // Shard 0 lost a replica twice, shard 1 once: epochs 1+2 and 1+1.
+    assert_eq!(outcome.stats.epochs, vec![3, 2]);
+
+    // The deterministic trace tells the whole story: fault fired, replica
+    // killed, snapshot streamed, replacement re-attested.
+    assert!(trace_has(&outcome.trace, "fire replica-kill s0/r1"));
+    assert!(trace_has(&outcome.trace, "fire replica-kill s1/r0"));
+    assert!(trace_has(&outcome.trace, "replica s0/r1 killed"));
+    assert!(trace_has(&outcome.trace, "snapshot v"));
+    assert!(trace_has(&outcome.trace, "re-attested and admitted"));
+    assert!(
+        outcome
+            .trace
+            .iter()
+            .any(|l| l.starts_with("t=300 ") && l.contains("replica-kill")),
+        "kill not stamped with its virtual time: {:?}",
+        outcome.trace
+    );
+}
+
+#[test]
+fn same_seed_gives_byte_identical_failover_telemetry() {
+    let first = run_replica_scenario(0x7EE0);
+    let second = run_replica_scenario(0x7EE0);
+    assert!(!first.telemetry_jsonl.is_empty());
+    assert_eq!(
+        first.telemetry_jsonl, second.telemetry_jsonl,
+        "failover telemetry must be byte-identical for equal seeds"
+    );
+    assert_eq!(first.trace, second.trace);
+    assert!(
+        first
+            .telemetry_jsonl
+            .lines()
+            .any(|l| l.contains("failover")),
+        "telemetry trace should contain failover events"
+    );
+}
+
 #[test]
 fn same_seed_gives_identical_traces() {
     let (first, second) = with_silent_panics(|| (run_scenario(0x5EED), run_scenario(0x5EED)));
