@@ -2,17 +2,22 @@
 //! paper (see DESIGN.md's experiment index and EXPERIMENTS.md for the
 //! recorded outputs).
 //!
-//! Usage: `cargo run --release -p securecloud-bench --bin repro -- [exp] [--smoke]`
+//! Usage: `cargo run --release -p securecloud-bench --bin repro -- [exp] [--smoke] [--jobs N]`
 //! where `exp` is one of `fig3`, `cache`, `fig3opt`, `genpack`, `ablation`,
 //! `genpack_sweep`, `syscall`, `syscall_window`, `container`, `index`,
-//! `orchestration`, `replication`, or `all` (default). `--smoke` runs
-//! reduced workloads (CI-sized) with the same code paths.
+//! `orchestration`, `replication`, `crypto`, or `all` (default). `--smoke`
+//! runs reduced workloads (CI-sized) with the same code paths. `--jobs N`
+//! fans the fig3 and replication sweeps across N worker threads (default:
+//! available parallelism; `--jobs 1` forces serial) — results and
+//! telemetry are byte-identical for any job count.
 //!
 //! Every run leaves a telemetry report (Prometheus snapshot, JSONL trace,
-//! chrome trace) under `target/telemetry/`.
+//! chrome trace) under `target/telemetry/`; `crypto` additionally writes
+//! `target/telemetry/BENCH_crypto.json`.
 
 use securecloud_bench::{
-    container, fig3, genpack_exp, indexcmp, orchestration_exp, replication, syscalls,
+    container, cryptobench, fig3, genpack_exp, indexcmp, orchestration_exp, pool, replication,
+    syscalls,
 };
 use securecloud_telemetry::Telemetry;
 use std::path::Path;
@@ -20,17 +25,29 @@ use std::path::Path;
 fn main() {
     let mut which = "all".to_string();
     let mut smoke = false;
-    for arg in std::env::args().skip(1) {
+    let mut jobs = pool::default_jobs();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         if arg == "--smoke" {
             smoke = true;
+        } else if arg == "--jobs" {
+            let value = args.next().unwrap_or_else(|| {
+                eprintln!("--jobs requires a worker count");
+                std::process::exit(2);
+            });
+            jobs = value.parse().unwrap_or_else(|_| {
+                eprintln!("--jobs: invalid worker count {value:?}");
+                std::process::exit(2);
+            });
         } else {
             which = arg;
         }
     }
+    let jobs = jobs.max(1);
     let all = which == "all";
     let telemetry = Telemetry::new();
     if all || which == "fig3" {
-        run_fig3(smoke, &telemetry);
+        run_fig3(smoke, jobs, &telemetry);
     }
     if all || which == "cache" {
         run_cache(smoke);
@@ -63,7 +80,10 @@ fn main() {
         run_orchestration(smoke);
     }
     if all || which == "replication" {
-        run_replication(smoke);
+        run_replication(smoke, jobs);
+    }
+    if all || which == "crypto" {
+        run_crypto(smoke);
     }
     match telemetry.write_report(Path::new("target/telemetry")) {
         Ok(report) => println!(
@@ -76,7 +96,7 @@ fn main() {
     }
 }
 
-fn run_fig3(smoke: bool, telemetry: &Telemetry) {
+fn run_fig3(smoke: bool, jobs: usize, telemetry: &Telemetry) {
     println!("== E1 / Figure 3: effect of memory swapping ==");
     println!("(paper: ratio ~1 below EPC, degradation before the 128 MiB line,");
     println!(" ~18x at a 200 MiB subscription database)\n");
@@ -91,7 +111,7 @@ fn run_fig3(smoke: bool, telemetry: &Telemetry) {
     } else {
         (fig3::PAPER_DB_SIZES_MB, 30)
     };
-    for point in fig3::sweep_instrumented(sizes, pubs, Some(telemetry)) {
+    for point in fig3::sweep_jobs(sizes, pubs, jobs, Some(telemetry)) {
         let marker = if point.db_mb == 128 {
             "  <-- EPC size"
         } else {
@@ -300,7 +320,7 @@ fn run_index(smoke: bool) {
     );
 }
 
-fn run_replication(smoke: bool) {
+fn run_replication(smoke: bool, jobs: usize) {
     println!("== E9: replicated KV — shards x replication factor ==");
     println!("(sharding splits the working set below the EPC knee; replication");
     println!(" multiplies write work and buys attested failover)\n");
@@ -321,7 +341,7 @@ fn run_replication(smoke: bool) {
             replication::ReplicationWorkload::full(),
         )
     };
-    for point in replication::sweep(shards, replication, &workload) {
+    for point in replication::sweep_jobs(shards, replication, &workload, jobs) {
         println!(
             "{:>7} {:>4} {:>3} {:>10.1} {:>10.1} {:>11.1} {:>11.2} {:>12.2}",
             point.shards,
@@ -335,6 +355,44 @@ fn run_replication(smoke: bool) {
         );
     }
     println!();
+}
+
+fn run_crypto(smoke: bool) {
+    println!("== E10: crypto kernel throughput (wall-clock) ==");
+    println!("(optimised T-table AES-GCM / windowed GHASH vs the scalar");
+    println!(" reference implementations they match byte-for-byte)\n");
+    let config = if smoke {
+        cryptobench::CryptoBenchConfig::smoke()
+    } else {
+        cryptobench::CryptoBenchConfig::full()
+    };
+    let report = cryptobench::run(config);
+    println!(
+        "payload: {} KiB x {} iterations\n",
+        report.payload_bytes >> 10,
+        report.iterations
+    );
+    println!(
+        "{:<8} {:>12} {:>15} {:>9}",
+        "op", "fast MB/s", "reference MB/s", "speedup"
+    );
+    for point in &report.points {
+        match (point.reference_mb_per_s, point.speedup()) {
+            (Some(reference), Some(speedup)) => println!(
+                "{:<8} {:>12.1} {:>15.1} {:>8.1}x",
+                point.op, point.mb_per_s, reference, speedup
+            ),
+            _ => println!(
+                "{:<8} {:>12.1} {:>15} {:>9}",
+                point.op, point.mb_per_s, "-", "-"
+            ),
+        }
+    }
+    let path = Path::new("target/telemetry/BENCH_crypto.json");
+    match report.write_json(path) {
+        Ok(()) => println!("\ncrypto bench report: {}\n", path.display()),
+        Err(err) => eprintln!("\nwarning: crypto bench report not written: {err}\n"),
+    }
 }
 
 fn run_orchestration(smoke: bool) {

@@ -1,0 +1,235 @@
+//! E10: crypto kernel throughput — the one experiment measured in real
+//! wall-clock time.
+//!
+//! Times the optimised kernels (`securecloud-crypto`'s T-table AES-GCM and
+//! windowed GHASH) against the scalar reference implementations they must
+//! match byte-for-byte (`securecloud_crypto::reference`), over a fixed
+//! deterministic payload. Reported throughput is decimal MB/s of payload
+//! processed; SHA-256 has a single implementation and reports throughput
+//! only.
+//!
+//! Wall-clock numbers vary with the host, so unlike the simulated
+//! experiments this one asserts nothing — EXPERIMENTS.md records the
+//! observed speedups instead.
+
+use std::io;
+use std::path::Path;
+use std::time::Instant;
+
+use securecloud_crypto::gcm::{AesGcm, NONCE_LEN};
+use securecloud_crypto::sha256::Sha256;
+use securecloud_crypto::{reference, CryptoError};
+
+/// Sizing knobs for the microbenchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct CryptoBenchConfig {
+    /// Payload size per pass, bytes.
+    pub payload_bytes: usize,
+    /// Timed passes per operation (one extra warm-up pass runs first).
+    pub iterations: usize,
+}
+
+impl CryptoBenchConfig {
+    /// Full-size run: 4 MiB payload, enough passes to smooth timer jitter.
+    #[must_use]
+    pub fn full() -> Self {
+        CryptoBenchConfig {
+            payload_bytes: 4 << 20,
+            iterations: 4,
+        }
+    }
+
+    /// CI-sized run: 256 KiB payload, same shape.
+    #[must_use]
+    pub fn smoke() -> Self {
+        CryptoBenchConfig {
+            payload_bytes: 256 << 10,
+            iterations: 2,
+        }
+    }
+}
+
+/// Throughput of one operation, fast kernel vs scalar reference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CryptoBenchPoint {
+    /// Operation label (`ghash`, `seal`, `open`, `sha256`).
+    pub op: &'static str,
+    /// Optimised-kernel throughput, decimal MB/s of payload.
+    pub mb_per_s: f64,
+    /// Scalar-reference throughput, where a reference implementation
+    /// exists.
+    pub reference_mb_per_s: Option<f64>,
+}
+
+impl CryptoBenchPoint {
+    /// fast / reference throughput ratio, where a reference exists.
+    #[must_use]
+    pub fn speedup(&self) -> Option<f64> {
+        self.reference_mb_per_s.map(|r| self.mb_per_s / r)
+    }
+}
+
+/// The whole microbenchmark run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CryptoBenchReport {
+    /// The sizing used.
+    pub payload_bytes: usize,
+    /// Timed passes per operation.
+    pub iterations: usize,
+    /// One point per operation.
+    pub points: Vec<CryptoBenchPoint>,
+}
+
+const KEY: [u8; 16] = *b"securecloud-key!";
+const NONCE: [u8; NONCE_LEN] = *b"bench-nonce!";
+const AAD: &[u8] = b"securecloud crypto bench";
+
+/// Payload bytes: fixed, patterned, incompressible enough to defeat any
+/// accidental special-casing of all-zero input.
+fn payload(bytes: usize) -> Vec<u8> {
+    (0..bytes)
+        .map(|i| (i.wrapping_mul(31) % 251) as u8)
+        .collect()
+}
+
+/// Times `pass` (one warm-up, then `iterations` timed passes) and returns
+/// decimal MB/s of `bytes_per_pass`.
+fn throughput(bytes_per_pass: usize, iterations: usize, mut pass: impl FnMut()) -> f64 {
+    pass();
+    let start = Instant::now();
+    for _ in 0..iterations {
+        pass();
+    }
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    (bytes_per_pass * iterations) as f64 / secs / 1e6
+}
+
+/// Runs every operation at the configured size.
+#[must_use]
+pub fn run(config: CryptoBenchConfig) -> CryptoBenchReport {
+    let data = payload(config.payload_bytes);
+    let cipher = AesGcm::new(&KEY);
+    let iterations = config.iterations;
+    let bytes = config.payload_bytes;
+
+    let ghash_fast = throughput(bytes, iterations, || {
+        std::hint::black_box(cipher.ghash(AAD, &data));
+    });
+    let ghash_ref = throughput(bytes, iterations, || {
+        std::hint::black_box(reference::ghash(&KEY, AAD, &data));
+    });
+
+    let seal_fast = throughput(bytes, iterations, || {
+        std::hint::black_box(cipher.seal(&NONCE, &data, AAD));
+    });
+    let seal_ref = throughput(bytes, iterations, || {
+        std::hint::black_box(reference::seal(&KEY, &NONCE, &data, AAD));
+    });
+
+    let sealed = cipher.seal(&NONCE, &data, AAD);
+    let open_fast = throughput(bytes, iterations, || {
+        let opened: Result<Vec<u8>, CryptoError> = cipher.open(&NONCE, &sealed, AAD);
+        std::hint::black_box(opened.expect("bench ciphertext authenticates"));
+    });
+    let open_ref = throughput(bytes, iterations, || {
+        let opened = reference::open(&KEY, &NONCE, &sealed, AAD);
+        std::hint::black_box(opened.expect("bench ciphertext authenticates"));
+    });
+
+    let sha = throughput(bytes, iterations, || {
+        std::hint::black_box(Sha256::digest(&data));
+    });
+
+    CryptoBenchReport {
+        payload_bytes: config.payload_bytes,
+        iterations,
+        points: vec![
+            CryptoBenchPoint {
+                op: "ghash",
+                mb_per_s: ghash_fast,
+                reference_mb_per_s: Some(ghash_ref),
+            },
+            CryptoBenchPoint {
+                op: "seal",
+                mb_per_s: seal_fast,
+                reference_mb_per_s: Some(seal_ref),
+            },
+            CryptoBenchPoint {
+                op: "open",
+                mb_per_s: open_fast,
+                reference_mb_per_s: Some(open_ref),
+            },
+            CryptoBenchPoint {
+                op: "sha256",
+                mb_per_s: sha,
+                reference_mb_per_s: None,
+            },
+        ],
+    }
+}
+
+impl CryptoBenchReport {
+    /// The report as a JSON document (hand-rolled — the workspace carries
+    /// no serde).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"bench\": \"crypto\",\n");
+        out.push_str(&format!("  \"payload_bytes\": {},\n", self.payload_bytes));
+        out.push_str(&format!("  \"iterations\": {},\n", self.iterations));
+        out.push_str("  \"results\": [\n");
+        for (i, p) in self.points.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"op\": \"{}\", \"mb_per_s\": {:.1}",
+                p.op, p.mb_per_s
+            ));
+            if let (Some(r), Some(s)) = (p.reference_mb_per_s, p.speedup()) {
+                out.push_str(&format!(
+                    ", \"reference_mb_per_s\": {r:.1}, \"speedup\": {s:.2}"
+                ));
+            }
+            out.push('}');
+            if i + 1 < self.points.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes the JSON report to `path`, creating parent directories.
+    ///
+    /// # Errors
+    /// Propagates any filesystem error.
+    pub fn write_json(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_covers_every_op_and_serialises() {
+        let report = run(CryptoBenchConfig {
+            payload_bytes: 4 << 10,
+            iterations: 1,
+        });
+        let ops: Vec<&str> = report.points.iter().map(|p| p.op).collect();
+        assert_eq!(ops, ["ghash", "seal", "open", "sha256"]);
+        for p in &report.points {
+            assert!(p.mb_per_s > 0.0, "{}: non-positive throughput", p.op);
+        }
+        let json = report.to_json();
+        assert!(json.contains("\"op\": \"ghash\""));
+        assert!(json.contains("\"speedup\""));
+        assert!(json.ends_with("}\n"));
+    }
+}

@@ -198,16 +198,43 @@ pub fn sweep_instrumented(
     publications: usize,
     telemetry: Option<&Telemetry>,
 ) -> Vec<Fig3Point> {
-    db_sizes_mb
-        .iter()
-        .map(|&mb| {
-            run_point_with_telemetry(
-                mb << 20,
-                publications,
-                MemoryGeometry::sgx_v1(),
-                CostModel::sgx_v1(),
-                telemetry,
-            )
+    sweep_jobs(db_sizes_mb, publications, 1, telemetry)
+}
+
+/// Figure 3 sweep fanned across up to `jobs` worker threads.
+///
+/// Every sweep point is independent (own simulator, own engine, own virtual
+/// time base), so points run concurrently and are collected in input order.
+/// When telemetry is requested, each point records into a private bundle
+/// that is absorbed into the shared one in point order — the serial path
+/// (`jobs == 1`) goes through the identical record-then-absorb sequence, so
+/// results *and* telemetry exports are byte-identical for any job count.
+#[must_use]
+pub fn sweep_jobs(
+    db_sizes_mb: &[u64],
+    publications: usize,
+    jobs: usize,
+    telemetry: Option<&Telemetry>,
+) -> Vec<Fig3Point> {
+    let instrument = telemetry.is_some();
+    let results = crate::pool::run_ordered(db_sizes_mb.to_vec(), jobs, move |mb| {
+        let local = instrument.then(Telemetry::new);
+        let point = run_point_with_telemetry(
+            mb << 20,
+            publications,
+            MemoryGeometry::sgx_v1(),
+            CostModel::sgx_v1(),
+            local.as_ref(),
+        );
+        (point, local)
+    });
+    results
+        .into_iter()
+        .map(|(point, local)| {
+            if let (Some(shared), Some(local)) = (telemetry, local) {
+                shared.absorb(&local);
+            }
+            point
         })
         .collect()
 }

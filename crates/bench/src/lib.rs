@@ -1,19 +1,23 @@
 //! The SecureCloud benchmark harness.
 //!
-//! One module per experiment in DESIGN.md's index (E1–E7). Each module
-//! exposes a runner returning structured results; the `repro` binary
-//! prints them as the tables recorded in EXPERIMENTS.md, and the Criterion
-//! benches in `benches/` exercise the same code paths at reduced scale for
-//! regression tracking.
+//! One module per experiment in DESIGN.md's index (E1–E10), plus the
+//! ordered worker [`pool`] the sweeps fan out on. Each module exposes a
+//! runner returning structured results; the `repro` binary prints them as
+//! the tables recorded in EXPERIMENTS.md, and the Criterion benches in
+//! `benches/` exercise the same code paths at reduced scale for regression
+//! tracking.
 //!
 //! Experiment results are *simulated* durations from the SGX cost model
 //! (deterministic, hardware-independent) except where noted (E5 measures
-//! real wall-clock of the cryptographic build pipeline).
+//! real wall-clock of the cryptographic build pipeline, E10 real
+//! wall-clock crypto kernel throughput).
 
 pub mod container;
+pub mod cryptobench;
 pub mod fig3;
 pub mod genpack_exp;
 pub mod indexcmp;
 pub mod orchestration_exp;
+pub mod pool;
 pub mod replication;
 pub mod syscalls;

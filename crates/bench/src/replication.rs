@@ -98,13 +98,24 @@ pub fn sweep(
     replication: &[u32],
     workload: &ReplicationWorkload,
 ) -> Vec<ReplicationPoint> {
-    let mut points = Vec::with_capacity(shards.len() * replication.len());
-    for &s in shards {
-        for &n in replication {
-            points.push(run_cell(s, n, workload));
-        }
-    }
-    points
+    sweep_jobs(shards, replication, workload, 1)
+}
+
+/// Runs the grid fanned across up to `jobs` worker threads. Each cell
+/// deploys its own platform and replica set, so cells are independent and
+/// deterministic; results come back in the serial sweep's row-major order.
+#[must_use]
+pub fn sweep_jobs(
+    shards: &[u32],
+    replication: &[u32],
+    workload: &ReplicationWorkload,
+    jobs: usize,
+) -> Vec<ReplicationPoint> {
+    let cells: Vec<(u32, u32)> = shards
+        .iter()
+        .flat_map(|&s| replication.iter().map(move |&n| (s, n)))
+        .collect();
+    crate::pool::run_ordered(cells, jobs, |(s, n)| run_cell(s, n, workload))
 }
 
 fn run_cell(shards: u32, replication: u32, workload: &ReplicationWorkload) -> ReplicationPoint {

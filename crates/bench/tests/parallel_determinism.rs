@@ -1,0 +1,63 @@
+//! The parallel sweep contract: fanning sweep points across worker threads
+//! changes wall-clock time and nothing else. Equal-seed runs must produce
+//! byte-identical point vectors *and* byte-identical telemetry exports for
+//! any `--jobs` value.
+
+use securecloud_bench::{fig3, replication};
+use securecloud_telemetry::Telemetry;
+
+/// Tiny Figure 3 sweep (debug-build sized): serial and 4-way parallel runs
+/// must agree on every point and on both telemetry exports.
+#[test]
+fn fig3_sweep_is_identical_across_job_counts() {
+    let sizes: &[u64] = &[1, 2, 3];
+    let pubs = 2;
+
+    let run = |jobs: usize| {
+        let telemetry = Telemetry::new();
+        let points = fig3::sweep_jobs(sizes, pubs, jobs, Some(&telemetry));
+        (points, telemetry.prometheus(), telemetry.trace_jsonl())
+    };
+
+    let (serial_points, serial_prom, serial_trace) = run(1);
+    let (parallel_points, parallel_prom, parallel_trace) = run(4);
+
+    assert_eq!(serial_points, parallel_points, "point vectors diverge");
+    assert_eq!(serial_prom, parallel_prom, "metrics snapshots diverge");
+    assert_eq!(serial_trace, parallel_trace, "trace exports diverge");
+    assert_eq!(serial_points.len(), sizes.len());
+    assert!(
+        !serial_trace.is_empty(),
+        "instrumented sweep must leave trace events"
+    );
+}
+
+/// The uninstrumented fig3 path takes the same pool code; points must still
+/// match across job counts.
+#[test]
+fn fig3_sweep_without_telemetry_is_identical_across_job_counts() {
+    let serial = fig3::sweep_jobs(&[1, 2], 2, 1, None);
+    let parallel = fig3::sweep_jobs(&[1, 2], 2, 3, None);
+    assert_eq!(serial, parallel);
+}
+
+/// Replication grid: serial and parallel runs must agree cell-for-cell, in
+/// the serial sweep's row-major order.
+#[test]
+fn replication_grid_is_identical_across_job_counts() {
+    let mut workload = replication::ReplicationWorkload::smoke();
+    workload.keys = 128;
+    workload.value_bytes = 256;
+
+    let serial = replication::sweep_jobs(&[1, 2], &[1, 3], &workload, 1);
+    let parallel = replication::sweep_jobs(&[1, 2], &[1, 3], &workload, 4);
+
+    assert_eq!(serial, parallel);
+    assert_eq!(serial.len(), 4);
+    let expected_order: Vec<(u32, u32)> = vec![(1, 1), (1, 3), (2, 1), (2, 3)];
+    let order: Vec<(u32, u32)> = serial
+        .iter()
+        .map(|p| (p.shards, p.replication_factor))
+        .collect();
+    assert_eq!(order, expected_order, "row-major order must be preserved");
+}

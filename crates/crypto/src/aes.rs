@@ -4,6 +4,15 @@
 //! (multiplicative inverse in GF(2^8) followed by the affine transform)
 //! rather than being transcribed, and the implementation is validated against
 //! the FIPS-197 known-answer vector.
+//!
+//! Encryption runs table-driven: the classic four T-tables (each entry packs
+//! `SubBytes` + `MixColumns` for one state byte) are precomputed from the
+//! derived S-box, so a round is 16 lookups and a handful of XORs instead of
+//! byte-wise `sub_bytes`/`shift_rows`/`mix_columns` passes. The byte-wise
+//! round functions are retained as the reference path (see
+//! [`crate::reference`]) and the two are property-tested for equivalence.
+//! Table lookups are *not* constant-time; see DESIGN.md for why that is
+//! acceptable in this simulator.
 
 use std::sync::OnceLock;
 
@@ -15,6 +24,10 @@ const NR: usize = 10;
 struct Tables {
     sbox: [u8; 256],
     inv_sbox: [u8; 256],
+    /// Encryption T-tables. `te[0][x]` packs `(2s, s, s, 3s)` big-endian for
+    /// `s = sbox[x]`; `te[1..4]` are byte rotations so each state byte indexes
+    /// its own table.
+    te: [[u32; 256]; 4],
 }
 
 fn gf_mul(mut a: u8, mut b: u8) -> u8 {
@@ -59,7 +72,18 @@ fn tables() -> &'static Tables {
             sbox[x] = s;
             inv_sbox[s as usize] = x as u8;
         }
-        Tables { sbox, inv_sbox }
+        let mut te = [[0u32; 256]; 4];
+        for x in 0..256usize {
+            let s = sbox[x];
+            let s2 = gf_mul(s, 2);
+            let s3 = s2 ^ s;
+            let word = u32::from_be_bytes([s2, s, s, s3]);
+            te[0][x] = word;
+            te[1][x] = word.rotate_right(8);
+            te[2][x] = word.rotate_right(16);
+            te[3][x] = word.rotate_right(24);
+        }
+        Tables { sbox, inv_sbox, te }
     })
 }
 
@@ -78,6 +102,9 @@ fn tables() -> &'static Tables {
 #[derive(Clone)]
 pub struct Aes128 {
     round_keys: [[u8; 16]; NR + 1],
+    /// The same schedule as big-endian column words, so the table-driven
+    /// rounds XOR whole words instead of bytes.
+    round_words: [[u32; 4]; NR + 1],
 }
 
 impl std::fmt::Debug for Aes128 {
@@ -112,16 +139,77 @@ impl Aes128 {
             }
         }
         let mut round_keys = [[0u8; 16]; NR + 1];
+        let mut round_words = [[0u32; 4]; NR + 1];
         for (r, rk) in round_keys.iter_mut().enumerate() {
             for c in 0..4 {
                 rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+                round_words[r][c] = u32::from_be_bytes(w[4 * r + c]);
             }
         }
-        Aes128 { round_keys }
+        Aes128 {
+            round_keys,
+            round_words,
+        }
     }
 
-    /// Encrypts one 16-byte block in place.
+    /// Encrypts one 16-byte block in place (table-driven fast path).
+    ///
+    /// The state is held as four big-endian column words; each round is 16
+    /// T-table lookups and the final round applies the S-box alone. Verified
+    /// byte-for-byte against [`Aes128::encrypt_block_scalar`] by property
+    /// tests and against the FIPS-197 / NIST vectors.
+    #[inline]
     pub fn encrypt_block(&self, block: &mut [u8; 16]) {
+        let t = tables();
+        let rk = &self.round_words;
+        let mut s0 = u32::from_be_bytes([block[0], block[1], block[2], block[3]]) ^ rk[0][0];
+        let mut s1 = u32::from_be_bytes([block[4], block[5], block[6], block[7]]) ^ rk[0][1];
+        let mut s2 = u32::from_be_bytes([block[8], block[9], block[10], block[11]]) ^ rk[0][2];
+        let mut s3 = u32::from_be_bytes([block[12], block[13], block[14], block[15]]) ^ rk[0][3];
+        for round in rk.iter().take(NR).skip(1) {
+            // ShiftRows moves row r of output column c from input column
+            // (c + r) mod 4, hence the rotating source words per table.
+            let t0 = t.te[0][(s0 >> 24) as usize]
+                ^ t.te[1][((s1 >> 16) & 0xff) as usize]
+                ^ t.te[2][((s2 >> 8) & 0xff) as usize]
+                ^ t.te[3][(s3 & 0xff) as usize]
+                ^ round[0];
+            let t1 = t.te[0][(s1 >> 24) as usize]
+                ^ t.te[1][((s2 >> 16) & 0xff) as usize]
+                ^ t.te[2][((s3 >> 8) & 0xff) as usize]
+                ^ t.te[3][(s0 & 0xff) as usize]
+                ^ round[1];
+            let t2 = t.te[0][(s2 >> 24) as usize]
+                ^ t.te[1][((s3 >> 16) & 0xff) as usize]
+                ^ t.te[2][((s0 >> 8) & 0xff) as usize]
+                ^ t.te[3][(s1 & 0xff) as usize]
+                ^ round[2];
+            let t3 = t.te[0][(s3 >> 24) as usize]
+                ^ t.te[1][((s0 >> 16) & 0xff) as usize]
+                ^ t.te[2][((s1 >> 8) & 0xff) as usize]
+                ^ t.te[3][(s2 & 0xff) as usize]
+                ^ round[3];
+            s0 = t0;
+            s1 = t1;
+            s2 = t2;
+            s3 = t3;
+        }
+        // Final round: SubBytes + ShiftRows + AddRoundKey, no MixColumns.
+        let sb = |b: u32| u32::from(t.sbox[(b & 0xff) as usize]);
+        let o0 = (sb(s0 >> 24) << 24 | sb(s1 >> 16) << 16 | sb(s2 >> 8) << 8 | sb(s3)) ^ rk[NR][0];
+        let o1 = (sb(s1 >> 24) << 24 | sb(s2 >> 16) << 16 | sb(s3 >> 8) << 8 | sb(s0)) ^ rk[NR][1];
+        let o2 = (sb(s2 >> 24) << 24 | sb(s3 >> 16) << 16 | sb(s0 >> 8) << 8 | sb(s1)) ^ rk[NR][2];
+        let o3 = (sb(s3 >> 24) << 24 | sb(s0 >> 16) << 16 | sb(s1 >> 8) << 8 | sb(s2)) ^ rk[NR][3];
+        block[0..4].copy_from_slice(&o0.to_be_bytes());
+        block[4..8].copy_from_slice(&o1.to_be_bytes());
+        block[8..12].copy_from_slice(&o2.to_be_bytes());
+        block[12..16].copy_from_slice(&o3.to_be_bytes());
+    }
+
+    /// Encrypts one 16-byte block in place with the byte-wise reference
+    /// rounds. Kept as the equivalence baseline for the table-driven path;
+    /// exposed through [`crate::reference`].
+    pub(crate) fn encrypt_block_scalar(&self, block: &mut [u8; 16]) {
         let t = tables();
         add_round_key(block, &self.round_keys[0]);
         for round in 1..NR {
@@ -154,19 +242,60 @@ impl Aes128 {
     /// block; the same call decrypts.
     ///
     /// The counter is incremented over the full 128 bits, big-endian.
+    /// Keystream blocks are generated [`CTR_BATCH`] at a time and XORed in as
+    /// whole words.
     pub fn ctr_xor(&self, counter0: &[u8; 16], buf: &mut [u8]) {
         let mut counter = *counter0;
-        for chunk in buf.chunks_mut(16) {
-            let mut keystream = counter;
-            self.encrypt_block(&mut keystream);
-            for (b, k) in chunk.iter_mut().zip(keystream.iter()) {
-                *b ^= k;
-            }
+        ctr_stream(self, buf, move || {
+            let block = counter;
             increment_be(&mut counter);
+            block
+        });
+    }
+}
+
+/// Keystream blocks generated per batch before XORing into the message.
+pub(crate) const CTR_BATCH: usize = 8;
+
+/// Shared CTR engine: `next_counter` yields successive counter blocks (the
+/// increment rule differs between raw CTR and GCM's 32-bit GCTR), and the
+/// keystream is produced in batches of [`CTR_BATCH`] encryptions then XORed
+/// into `buf` word-wise.
+#[inline]
+pub(crate) fn ctr_stream(aes: &Aes128, buf: &mut [u8], mut next_counter: impl FnMut() -> [u8; 16]) {
+    let mut ks = [0u8; 16 * CTR_BATCH];
+    let mut chunks = buf.chunks_exact_mut(16 * CTR_BATCH);
+    for chunk in &mut chunks {
+        for block in ks.chunks_exact_mut(16) {
+            block.copy_from_slice(&next_counter());
+            aes.encrypt_block(block.try_into().expect("16-byte keystream block"));
+        }
+        xor_words(chunk, &ks);
+    }
+    let tail = chunks.into_remainder();
+    for chunk in tail.chunks_mut(16) {
+        let mut keystream = next_counter();
+        aes.encrypt_block(&mut keystream);
+        for (b, k) in chunk.iter_mut().zip(keystream.iter()) {
+            *b ^= k;
         }
     }
 }
 
+/// XORs `src` into `dst` sixteen bytes (one `u128`) at a time.
+/// `dst.len()` must equal `src.len()` and be a multiple of 16.
+#[inline]
+pub(crate) fn xor_words(dst: &mut [u8], src: &[u8]) {
+    debug_assert_eq!(dst.len(), src.len());
+    debug_assert_eq!(dst.len() % 16, 0);
+    for (d, s) in dst.chunks_exact_mut(16).zip(src.chunks_exact(16)) {
+        let x = u128::from_ne_bytes(d.as_ref().try_into().expect("16-byte lane"))
+            ^ u128::from_ne_bytes(s.try_into().expect("16-byte lane"));
+        d.copy_from_slice(&x.to_ne_bytes());
+    }
+}
+
+#[inline]
 fn increment_be(counter: &mut [u8; 16]) {
     for byte in counter.iter_mut().rev() {
         *byte = byte.wrapping_add(1);
@@ -319,6 +448,23 @@ mod tests {
         increment_be(&mut c);
         assert_eq!(c[15], 0);
         assert_eq!(c[14], 1);
+    }
+
+    #[test]
+    fn table_path_matches_scalar_path() {
+        let aes = Aes128::new(&[0x5au8; 16]);
+        let mut block = [0u8; 16];
+        for trial in 0..64u8 {
+            for (i, b) in block.iter_mut().enumerate() {
+                *b = b.wrapping_mul(31).wrapping_add(trial ^ i as u8);
+            }
+            let mut fast = block;
+            let mut scalar = block;
+            aes.encrypt_block(&mut fast);
+            aes.encrypt_block_scalar(&mut scalar);
+            assert_eq!(fast, scalar, "trial {trial}");
+            block = fast;
+        }
     }
 
     #[test]

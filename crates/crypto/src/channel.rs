@@ -388,7 +388,12 @@ impl<T: Transport> SecureChannel<T> {
     pub fn send(&mut self, plaintext: &[u8]) -> Result<(), CryptoError> {
         let nonce = nonce_from_seq(self.send_domain, self.send_seq);
         self.send_seq += 1;
-        let sealed = self.send_cipher.seal(&nonce, plaintext, &self.transcript);
+        // Single exactly-sized allocation: copy the plaintext in, seal the
+        // buffer in place, let the tag land in the reserved suffix.
+        let mut sealed = Vec::with_capacity(plaintext.len() + crate::gcm::TAG_LEN);
+        sealed.extend_from_slice(plaintext);
+        self.send_cipher
+            .seal_in_place(&nonce, &mut sealed, &self.transcript);
         self.transport.send_frame(sealed)
     }
 
@@ -399,11 +404,14 @@ impl<T: Transport> SecureChannel<T> {
     /// [`CryptoError::AuthenticationFailed`] on tampered or replayed records;
     /// [`CryptoError::TransportClosed`] if the peer is gone.
     pub fn recv(&mut self) -> Result<Vec<u8>, CryptoError> {
-        let sealed = self.transport.recv_frame()?;
+        // The transport hands us an owned frame, so decrypting it in place
+        // is zero-copy: the ciphertext buffer becomes the plaintext buffer.
+        let mut sealed = self.transport.recv_frame()?;
         let nonce = nonce_from_seq(self.recv_domain, self.recv_seq);
-        let plaintext = self.recv_cipher.open(&nonce, &sealed, &self.transcript)?;
+        self.recv_cipher
+            .open_in_place(&nonce, &mut sealed, &self.transcript)?;
         self.recv_seq += 1;
-        Ok(plaintext)
+        Ok(sealed)
     }
 
     /// The peer's authenticated static public key.

@@ -1,6 +1,21 @@
 //! AES-128-GCM authenticated encryption (NIST SP 800-38D).
+//!
+//! GHASH runs windowed (Shoup's 8-bit table method, one table per byte
+//! position): each cipher precomputes 16 tables of 256 multiples of its hash
+//! key `H`, so one 16-byte block costs 16 *independent* table lookups XORed
+//! together — no serial reduction chain — instead of the textbook
+//! 128-iteration shift/XOR loop. The naive multiply survives as
+//! [`crate::reference::gf128_mul`] and the two are property-tested for
+//! equivalence. Table lookups are *not* constant-time; see DESIGN.md for why
+//! that is acceptable in this simulator.
+//!
+//! Sealing is zero-copy at the core: [`AesGcm::seal_in_place_detached`] and
+//! [`AesGcm::open_in_place_detached`] transform a caller-owned buffer, and
+//! the allocating [`AesGcm::seal`]/[`AesGcm::open`] are thin wrappers.
 
-use crate::aes::Aes128;
+use std::sync::OnceLock;
+
+use crate::aes::{ctr_stream, Aes128};
 use crate::CryptoError;
 
 /// Length in bytes of the GCM authentication tag.
@@ -21,7 +36,11 @@ pub const NONCE_LEN: usize = 12;
 #[derive(Clone)]
 pub struct AesGcm {
     aes: Aes128,
-    h: u128,
+    /// Per-byte-position window tables: `tables[j][b]` is the product of the
+    /// field element whose byte `j` (big-endian) is `b` with the hash key
+    /// `H`, in GCM's reflected bit order. A block's GHASH multiply is then
+    /// the XOR of 16 independent lookups. Boxed: 64 KiB per cipher instance.
+    tables: Box<[[u128; 256]; 16]>,
 }
 
 impl std::fmt::Debug for AesGcm {
@@ -30,21 +49,67 @@ impl std::fmt::Debug for AesGcm {
     }
 }
 
-fn gf128_mul(x: u128, y: u128) -> u128 {
-    const R: u128 = 0xe1 << 120;
-    let mut z = 0u128;
-    let mut v = y;
-    for i in 0..128 {
-        if (x >> (127 - i)) & 1 == 1 {
-            z ^= v;
+/// The GCM reduction polynomial bit pattern, already reflected: x^128 =
+/// x^7 + x^2 + x + 1 lands in the top byte when bit 0 is the highest power.
+const R: u128 = 0xe1 << 120;
+
+/// Multiplies a field element by x (one bit shift toward the low end in
+/// GCM's reflected order), folding the dropped bit back with `R`.
+#[inline]
+fn gf_shift1(v: u128) -> u128 {
+    let carry = v & 1;
+    let shifted = v >> 1;
+    if carry == 1 {
+        shifted ^ R
+    } else {
+        shifted
+    }
+}
+
+/// H-independent reduction table: `rtab[b]` is `b` (as the *low* byte of a
+/// field element) multiplied by x^8, i.e. what falls out when a product is
+/// shifted down one byte. Shared by every cipher instance.
+fn rtab() -> &'static [u128; 256] {
+    static RTAB: OnceLock<[u128; 256]> = OnceLock::new();
+    RTAB.get_or_init(|| {
+        let mut rtab = [0u128; 256];
+        for (b, entry) in rtab.iter_mut().enumerate() {
+            let mut v = b as u128;
+            for _ in 0..8 {
+                v = gf_shift1(v);
+            }
+            *entry = v;
         }
-        let lsb = v & 1;
-        v >>= 1;
-        if lsb == 1 {
-            v ^= R;
+        rtab
+    })
+}
+
+/// Builds the per-byte-position window tables. Table 0 holds the 256 `H`
+/// multiples for the top byte — powers of x by repeated halving from
+/// `table[0x80] = H`, composites by XOR — and each following table is the
+/// previous one multiplied by x^8 (one byte-shift down, via [`rtab`]).
+fn window_tables(h: u128) -> Box<[[u128; 256]; 16]> {
+    let rtab = rtab();
+    let mut tables = Box::new([[0u128; 256]; 16]);
+    let top = &mut tables[0];
+    top[0x80] = h;
+    let mut bit = 0x40usize;
+    while bit > 0 {
+        top[bit] = gf_shift1(top[bit << 1]);
+        bit >>= 1;
+    }
+    for i in [2usize, 4, 8, 16, 32, 64, 128] {
+        for j in 1..i {
+            top[i + j] = top[i] ^ top[j];
         }
     }
-    z
+    for j in 1..16 {
+        for b in 0..256 {
+            let v = tables[j - 1][b];
+            tables[j][b] = (v >> 8) ^ rtab[(v & 0xff) as usize];
+        }
+    }
+    tables
 }
 
 fn block_to_u128(block: &[u8]) -> u128 {
@@ -62,20 +127,37 @@ impl AesGcm {
         aes.encrypt_block(&mut h_block);
         AesGcm {
             aes,
-            h: u128::from_be_bytes(h_block),
+            tables: window_tables(u128::from_be_bytes(h_block)),
         }
     }
 
-    fn ghash(&self, aad: &[u8], ciphertext: &[u8]) -> [u8; 16] {
+    /// Multiplies `y` by the hash key `H`: one lookup per byte of `y` in
+    /// that byte position's table, all independent, XORed together.
+    #[inline]
+    fn mul_h(&self, y: u128) -> u128 {
+        let bytes = y.to_be_bytes();
+        let mut z = 0u128;
+        for (table, &b) in self.tables.iter().zip(bytes.iter()) {
+            z ^= table[b as usize];
+        }
+        z
+    }
+
+    /// The GHASH of `aad || ciphertext || lengths` under this cipher's hash
+    /// key. Exposed for the crypto microbenchmark and equivalence tests; the
+    /// AEAD entry points are [`AesGcm::seal`]/[`AesGcm::open`] and their
+    /// in-place variants.
+    #[must_use]
+    pub fn ghash(&self, aad: &[u8], ciphertext: &[u8]) -> [u8; 16] {
         let mut y = 0u128;
         for chunk in aad.chunks(16) {
-            y = gf128_mul(y ^ block_to_u128(chunk), self.h);
+            y = self.mul_h(y ^ block_to_u128(chunk));
         }
         for chunk in ciphertext.chunks(16) {
-            y = gf128_mul(y ^ block_to_u128(chunk), self.h);
+            y = self.mul_h(y ^ block_to_u128(chunk));
         }
         let lengths = ((aad.len() as u128 * 8) << 64) | (ciphertext.len() as u128 * 8);
-        y = gf128_mul(y ^ lengths, self.h);
+        y = self.mul_h(y ^ lengths);
         y.to_be_bytes()
     }
 
@@ -84,15 +166,11 @@ impl AesGcm {
     fn gctr(&self, j0: &[u8; 16], buf: &mut [u8]) {
         let mut counter = u32::from_be_bytes(j0[12..16].try_into().expect("ctr"));
         let mut block = *j0;
-        for chunk in buf.chunks_mut(16) {
+        ctr_stream(&self.aes, buf, move || {
             counter = counter.wrapping_add(1);
             block[12..16].copy_from_slice(&counter.to_be_bytes());
-            let mut keystream = block;
-            self.aes.encrypt_block(&mut keystream);
-            for (b, k) in chunk.iter_mut().zip(keystream.iter()) {
-                *b ^= k;
-            }
-        }
+            block
+        });
     }
 
     fn j0(nonce: &[u8; NONCE_LEN]) -> [u8; 16] {
@@ -102,24 +180,105 @@ impl AesGcm {
         j0
     }
 
-    /// Encrypts `plaintext` and returns `ciphertext || tag`.
-    #[must_use]
-    pub fn seal(&self, nonce: &[u8; NONCE_LEN], plaintext: &[u8], aad: &[u8]) -> Vec<u8> {
-        let j0 = Self::j0(nonce);
-        let mut out = plaintext.to_vec();
-        self.gctr(&j0, &mut out);
-        let s = self.ghash(aad, &out);
-        let mut tag = j0;
+    /// Computes the tag for `ciphertext` under `aad`: `E(J0) ^ GHASH`.
+    fn tag(&self, j0: &[u8; 16], aad: &[u8], ciphertext: &[u8]) -> [u8; TAG_LEN] {
+        let s = self.ghash(aad, ciphertext);
+        let mut tag = *j0;
         self.aes.encrypt_block(&mut tag);
         for (t, s) in tag.iter_mut().zip(s.iter()) {
             *t ^= s;
         }
-        out.extend_from_slice(&tag);
+        tag
+    }
+
+    /// Encrypts `buf` in place and returns the detached authentication tag.
+    ///
+    /// Zero-copy core of [`AesGcm::seal`]: the caller owns the buffer and
+    /// decides where the tag goes.
+    #[must_use]
+    pub fn seal_in_place_detached(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        buf: &mut [u8],
+        aad: &[u8],
+    ) -> [u8; TAG_LEN] {
+        let j0 = Self::j0(nonce);
+        self.gctr(&j0, buf);
+        self.tag(&j0, aad, buf)
+    }
+
+    /// Verifies the detached `tag` over the ciphertext in `buf`, then
+    /// decrypts `buf` in place.
+    ///
+    /// # Errors
+    ///
+    /// [`CryptoError::AuthenticationFailed`] if the tag does not verify; the
+    /// buffer is left encrypted (no plaintext is released).
+    pub fn open_in_place_detached(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        buf: &mut [u8],
+        tag: &[u8; TAG_LEN],
+        aad: &[u8],
+    ) -> Result<(), CryptoError> {
+        let j0 = Self::j0(nonce);
+        let expect = self.tag(&j0, aad, buf);
+        if !crate::ct_eq(&expect, tag) {
+            return Err(CryptoError::AuthenticationFailed);
+        }
+        self.gctr(&j0, buf);
+        Ok(())
+    }
+
+    /// Encrypts the contents of `buf` in place and appends the 16-byte tag,
+    /// so `buf` ends up holding `ciphertext || tag` — the same layout
+    /// [`AesGcm::seal`] returns, without the extra allocation.
+    pub fn seal_in_place(&self, nonce: &[u8; NONCE_LEN], buf: &mut Vec<u8>, aad: &[u8]) {
+        let tag = self.seal_in_place_detached(nonce, buf, aad);
+        buf.extend_from_slice(&tag);
+    }
+
+    /// Verifies and decrypts `buf` (holding `ciphertext || tag`) in place,
+    /// truncating the tag so `buf` ends up holding the plaintext.
+    ///
+    /// # Errors
+    ///
+    /// [`CryptoError::AuthenticationFailed`] if the input is shorter than a
+    /// tag or the tag does not verify; `buf` is left unmodified in that case.
+    pub fn open_in_place(
+        &self,
+        nonce: &[u8; NONCE_LEN],
+        buf: &mut Vec<u8>,
+        aad: &[u8],
+    ) -> Result<(), CryptoError> {
+        if buf.len() < TAG_LEN {
+            return Err(CryptoError::AuthenticationFailed);
+        }
+        let split = buf.len() - TAG_LEN;
+        let (ciphertext, tag) = buf.split_at_mut(split);
+        let tag: [u8; TAG_LEN] = (&*tag).try_into().expect("tag suffix");
+        self.open_in_place_detached(nonce, ciphertext, &tag, aad)?;
+        buf.truncate(split);
+        Ok(())
+    }
+
+    /// Encrypts `plaintext` and returns `ciphertext || tag`.
+    ///
+    /// Thin wrapper over [`AesGcm::seal_in_place`] that pays one allocation
+    /// for the output buffer.
+    #[must_use]
+    pub fn seal(&self, nonce: &[u8; NONCE_LEN], plaintext: &[u8], aad: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(plaintext.len() + TAG_LEN);
+        out.extend_from_slice(plaintext);
+        self.seal_in_place(nonce, &mut out, aad);
         out
     }
 
     /// Decrypts `sealed` (as produced by [`AesGcm::seal`]) and returns the
     /// plaintext.
+    ///
+    /// Thin wrapper over [`AesGcm::open_in_place_detached`] that pays one
+    /// allocation for the output buffer.
     ///
     /// # Errors
     ///
@@ -135,18 +294,9 @@ impl AesGcm {
             return Err(CryptoError::AuthenticationFailed);
         }
         let (ciphertext, tag) = sealed.split_at(sealed.len() - TAG_LEN);
-        let j0 = Self::j0(nonce);
-        let s = self.ghash(aad, ciphertext);
-        let mut expect = j0;
-        self.aes.encrypt_block(&mut expect);
-        for (t, s) in expect.iter_mut().zip(s.iter()) {
-            *t ^= s;
-        }
-        if !crate::ct_eq(&expect, tag) {
-            return Err(CryptoError::AuthenticationFailed);
-        }
+        let tag: [u8; TAG_LEN] = tag.try_into().expect("tag suffix");
         let mut out = ciphertext.to_vec();
-        self.gctr(&j0, &mut out);
+        self.open_in_place_detached(nonce, &mut out, &tag, aad)?;
         Ok(out)
     }
 }
@@ -262,6 +412,56 @@ mod tests {
         }
         assert!(cipher.open(&[6u8; 12], &sealed, b"aad").is_err());
         assert!(cipher.open(&nonce, &sealed[..8], b"aad").is_err());
+    }
+
+    #[test]
+    fn in_place_matches_allocating_api() {
+        let cipher = AesGcm::new(&[0x42u8; 16]);
+        let nonce = [9u8; 12];
+        for len in [0usize, 1, 15, 16, 17, 100, 1000] {
+            let plain: Vec<u8> = (0..len).map(|i| i as u8).collect();
+            let sealed = cipher.seal(&nonce, &plain, b"aad");
+
+            let mut buf = plain.clone();
+            cipher.seal_in_place(&nonce, &mut buf, b"aad");
+            assert_eq!(buf, sealed, "seal_in_place, length {len}");
+
+            cipher.open_in_place(&nonce, &mut buf, b"aad").unwrap();
+            assert_eq!(buf, plain, "open_in_place, length {len}");
+        }
+    }
+
+    #[test]
+    fn open_in_place_leaves_buffer_on_failure() {
+        let cipher = AesGcm::new(&[0x42u8; 16]);
+        let nonce = [9u8; 12];
+        let mut buf = b"payload".to_vec();
+        cipher.seal_in_place(&nonce, &mut buf, b"aad");
+        let sealed = buf.clone();
+        assert_eq!(
+            cipher.open_in_place(&nonce, &mut buf, b"wrong aad"),
+            Err(CryptoError::AuthenticationFailed)
+        );
+        assert_eq!(buf, sealed, "failed open must not alter the buffer");
+        let mut short = vec![0u8; TAG_LEN - 1];
+        assert!(cipher.open_in_place(&nonce, &mut short, b"aad").is_err());
+    }
+
+    #[test]
+    fn detached_tag_roundtrip() {
+        let cipher = AesGcm::new(&[7u8; 16]);
+        let nonce = [1u8; 12];
+        let mut buf = *b"0123456789abcdef_tail";
+        let tag = cipher.seal_in_place_detached(&nonce, &mut buf, b"");
+        assert_ne!(&buf, b"0123456789abcdef_tail");
+        cipher
+            .open_in_place_detached(&nonce, &mut buf, &tag, b"")
+            .unwrap();
+        assert_eq!(&buf, b"0123456789abcdef_tail");
+        let bad = [0u8; TAG_LEN];
+        assert!(cipher
+            .open_in_place_detached(&nonce, &mut buf, &bad, b"")
+            .is_err());
     }
 
     #[test]

@@ -37,6 +37,7 @@ pub mod aes;
 pub mod channel;
 pub mod gcm;
 pub mod hmac;
+pub mod reference;
 pub mod sha256;
 pub mod wire;
 pub mod x25519;

@@ -1,7 +1,7 @@
 //! The enclave-resident ordered KV store.
 
 use parking_lot::Mutex;
-use securecloud_crypto::gcm::{AesGcm, NONCE_LEN};
+use securecloud_crypto::gcm::{AesGcm, NONCE_LEN, TAG_LEN};
 use securecloud_crypto::wire::Wire;
 use securecloud_crypto::CryptoError;
 use securecloud_sgx::mem::MemorySim;
@@ -246,14 +246,21 @@ impl SecureKv {
         previous.map(|e| e.value)
     }
 
-    /// Point lookup.
+    /// Point lookup, returning an owned copy of the value.
     pub fn get(&mut self, mem: &mut MemorySim, key: &[u8]) -> Option<Vec<u8>> {
+        self.get_ref(mem, key).map(<[u8]>::to_vec)
+    }
+
+    /// Point lookup without copying the value out. Charges exactly the same
+    /// simulated memory accesses as [`SecureKv::get`]; callers that only
+    /// inspect (or conditionally copy) the value avoid the allocation.
+    pub fn get_ref(&mut self, mem: &mut MemorySim, key: &[u8]) -> Option<&[u8]> {
         self.metrics.gets.inc();
         // B-tree descent: log(n) comparisons.
         mem.charge_ops(2 + (self.map.len().max(2) as f64).log2() as u64);
         let entry = self.map.get(key)?;
         mem.touch(entry.offset, entry.footprint as usize);
-        Some(entry.value.clone())
+        Some(&entry.value)
     }
 
     /// Removes `key`, returning its value.
@@ -300,15 +307,29 @@ impl SecureKv {
         counters: &CounterService,
         counter_name: &str,
     ) -> Snapshot {
-        let pairs: Vec<Pair> = self
-            .map
-            .iter()
-            .map(|(k, e)| (k.clone(), e.value.clone()))
-            .collect();
-        let body = (self.version, pairs).to_wire();
+        // One exactly-shaped buffer: nonce, then the wire body encoded
+        // straight from the map (no intermediate Vec<Pair> clone), sealed in
+        // place, tag appended. The layout must stay byte-identical to
+        // `(self.version, pairs).to_wire()` — `restore` decodes it as
+        // `(u64, Vec<Pair>)`.
         let nonce: [u8; NONCE_LEN] = securecloud_crypto::random_array();
-        let mut sealed = nonce.to_vec();
-        sealed.extend_from_slice(&AesGcm::new(key).seal(&nonce, &body, b"securecloud kv snapshot"));
+        let mut sealed =
+            Vec::with_capacity(NONCE_LEN + 12 + self.bytes as usize + 8 * self.map.len() + TAG_LEN);
+        sealed.extend_from_slice(&nonce);
+        self.version.encode(&mut sealed);
+        (self.map.len() as u32).encode(&mut sealed);
+        for (k, e) in &self.map {
+            (k.len() as u32).encode(&mut sealed);
+            sealed.extend_from_slice(k);
+            (e.value.len() as u32).encode(&mut sealed);
+            sealed.extend_from_slice(&e.value);
+        }
+        let tag = AesGcm::new(key).seal_in_place_detached(
+            &nonce,
+            &mut sealed[NONCE_LEN..],
+            b"securecloud kv snapshot",
+        );
+        sealed.extend_from_slice(&tag);
         // Record the snapshot version in the trusted counter (monotone, so
         // a lagging replica cannot regress a sibling's newer record).
         counters.advance_to(counter_name, self.version);
@@ -421,6 +442,48 @@ mod tests {
         assert_eq!(restored.get(&mut m, b"y"), Some(b"2".to_vec()));
         assert_eq!(restored.len(), 2);
         assert_eq!(restored.version(), snapshot.version);
+    }
+
+    #[test]
+    fn snapshot_body_layout_matches_wire_tuple() {
+        // `snapshot` hand-encodes the body straight from the map; pin it to
+        // the generic `(u64, Vec<Pair>)` wire layout `restore` decodes.
+        let mut m = mem();
+        let counters = CounterService::new();
+        let key = [3u8; 16];
+        let mut kv = SecureKv::new();
+        kv.put(&mut m, b"zeta", b"26");
+        kv.put(&mut m, b"alpha", b"1");
+        kv.put(&mut m, b"", b"empty key");
+        kv.put(&mut m, b"mid", b"");
+        let snapshot = kv.snapshot(&key, &counters, "layout");
+        let (nonce, body) = snapshot.sealed.split_at(NONCE_LEN);
+        let nonce: [u8; NONCE_LEN] = nonce.try_into().unwrap();
+        let plain = AesGcm::new(&key)
+            .open(&nonce, body, b"securecloud kv snapshot")
+            .unwrap();
+        let pairs: Vec<Pair> = kv
+            .map
+            .iter()
+            .map(|(k, e)| (k.clone(), e.value.clone()))
+            .collect();
+        assert_eq!(plain, (kv.version, pairs).to_wire());
+    }
+
+    #[test]
+    fn get_ref_charges_like_get() {
+        let mut kv = SecureKv::new();
+        let mut mem_a = mem();
+        let mut mem_b = mem();
+        kv.put(&mut mem_a, b"k", &vec![9u8; 512]);
+        let mut kv_b = SecureKv::new();
+        kv_b.put(&mut mem_b, b"k", &vec![9u8; 512]);
+        let a0 = mem_a.cycles();
+        let b0 = mem_b.cycles();
+        assert_eq!(kv.get(&mut mem_a, b"k").as_deref(), Some(&[9u8; 512][..]));
+        assert_eq!(kv_b.get_ref(&mut mem_b, b"k"), Some(&[9u8; 512][..]));
+        assert_eq!(mem_a.cycles() - a0, mem_b.cycles() - b0);
+        assert_eq!(kv.stats().gets, kv_b.stats().gets);
     }
 
     #[test]

@@ -68,6 +68,21 @@ impl Replica {
                 source,
             })
     }
+
+    /// Performs the read without copying the value out: charges exactly the
+    /// same simulated memory accesses as [`Replica::get`], for quorum reads
+    /// that only need this replica's vote, not another copy of its value.
+    fn touch(&mut self, key: &[u8]) -> Result<(), ReplicaError> {
+        let kv = &mut self.kv;
+        self.enclave
+            .ecall(|mem| {
+                kv.get_ref(mem, key);
+            })
+            .map_err(|source| ReplicaError::Sgx {
+                replica: self.id,
+                source,
+            })
+    }
 }
 
 /// Per-group metric handles; standalone when no telemetry is attached.
@@ -296,9 +311,13 @@ impl ShardGroup {
         let mut freshest: Option<(u64, Option<Vec<u8>>)> = None;
         for replica in self.slots.iter_mut().flatten().take(read_quorum) {
             let version = replica.kv.version();
-            let value = replica.get(key)?;
             if freshest.as_ref().is_none_or(|(v, _)| version > *v) {
+                let value = replica.get(key)?;
                 freshest = Some((version, value));
+            } else {
+                // This replica cannot win the freshness race; read it for
+                // the quorum (same simulated cost) without copying its value.
+                replica.touch(key)?;
             }
         }
         self.metrics.get_cycles.observe(self.cycles() - before);

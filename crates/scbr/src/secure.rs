@@ -11,7 +11,7 @@ use crate::engine::MatchEngine;
 use crate::index::PosetIndex;
 use crate::types::{Publication, SubId, Subscription};
 use crate::ScbrError;
-use securecloud_crypto::gcm::{nonce_from_seq, AesGcm, NONCE_LEN};
+use securecloud_crypto::gcm::{nonce_from_seq, AesGcm, NONCE_LEN, TAG_LEN};
 use securecloud_crypto::hmac::hkdf;
 use securecloud_crypto::wire::Wire;
 use securecloud_crypto::x25519::{self, PublicKey, SecretKey};
@@ -187,8 +187,17 @@ impl SecureRouter {
                 .expect("owner registered at subscribe time");
             let nonce = nonce_from_seq(DOMAIN_TO_CLIENT, owner_state.send_seq);
             owner_state.send_seq += 1;
-            let mut framed = nonce.to_vec();
-            framed.extend_from_slice(&owner_state.key.seal(&nonce, &plain, b"scbr-notify"));
+            // One exactly-sized frame per notification: nonce, plaintext
+            // sealed in place, tag appended.
+            let mut framed = Vec::with_capacity(NONCE_LEN + plain.len() + TAG_LEN);
+            framed.extend_from_slice(&nonce);
+            framed.extend_from_slice(&plain);
+            let tag = owner_state.key.seal_in_place_detached(
+                &nonce,
+                &mut framed[NONCE_LEN..],
+                b"scbr-notify",
+            );
+            framed.extend_from_slice(&tag);
             self.enclave
                 .memory()
                 .charge_cycles(plain.len() as u64 * AEAD_CYCLES_PER_BYTE);
@@ -259,7 +268,10 @@ impl RouterClient {
     /// [`ScbrError::ExchangeIncomplete`] before [`Self::complete_exchange`].
     pub fn seal_subscription(&mut self, sub: &Subscription) -> Result<Vec<u8>, ScbrError> {
         let nonce = nonce_from_seq(DOMAIN_TO_ROUTER, self.send_seq);
-        let sealed = self.cipher()?.seal(&nonce, &sub.to_wire(), b"scbr-sub");
+        // Seal the wire encoding in place rather than copying it.
+        let mut sealed = sub.to_wire();
+        self.cipher()?
+            .seal_in_place(&nonce, &mut sealed, b"scbr-sub");
         self.send_seq += 1;
         Ok(sealed)
     }
@@ -271,9 +283,10 @@ impl RouterClient {
     /// [`ScbrError::ExchangeIncomplete`] before [`Self::complete_exchange`].
     pub fn seal_publication(&mut self, publication: &Publication) -> Result<Vec<u8>, ScbrError> {
         let nonce = nonce_from_seq(DOMAIN_TO_ROUTER, self.send_seq);
-        let sealed = self
-            .cipher()?
-            .seal(&nonce, &publication.to_wire(), b"scbr-pub");
+        // Seal the wire encoding in place rather than copying it.
+        let mut sealed = publication.to_wire();
+        self.cipher()?
+            .seal_in_place(&nonce, &mut sealed, b"scbr-pub");
         self.send_seq += 1;
         Ok(sealed)
     }

@@ -167,6 +167,26 @@ impl Telemetry {
         export::prometheus_text(&self.registry)
     }
 
+    /// Folds another telemetry bundle into this one.
+    ///
+    /// Designed for fan-out/fan-in runs: each worker records into a private
+    /// bundle, and the coordinator absorbs the bundles **in a fixed order**
+    /// (e.g. sweep-point index). Events are appended in the other bundle's
+    /// emission order with their timestamps offset by this bundle's current
+    /// virtual time; metrics merge per [`Registry::merge_from`]; the clock
+    /// advances past the other bundle's end. Absorbing the same bundles in
+    /// the same order therefore yields byte-identical exports regardless of
+    /// how many workers produced them.
+    pub fn absorb(&self, other: &Telemetry) {
+        let base = self.clock.now_ms();
+        for mut event in other.trace_events() {
+            event.ts_ms += base;
+            self.events.push(event);
+        }
+        self.registry.merge_from(other.registry());
+        self.clock.set_at_least_ms(base + other.clock.now_ms());
+    }
+
     /// Writes the full per-run report (`snapshot.prom`, `trace.jsonl`,
     /// `trace.chrome.json`) into `dir`, creating it if needed.
     ///
@@ -277,6 +297,75 @@ mod tests {
         assert_eq!((events[1].phase, events[1].ts_ms), (Phase::Instant, 25));
         assert_eq!((events[2].phase, events[2].ts_ms), (Phase::End, 25));
         assert_eq!(events[2].name, "work");
+    }
+
+    #[test]
+    fn absorb_merges_metrics_events_and_clock() {
+        let main = Telemetry::new();
+        main.counter("securecloud_ops_total").add(3);
+        main.clock().set_at_least_ms(5);
+        main.event("test", "before", vec![]);
+
+        let worker = Telemetry::new();
+        worker.counter("securecloud_ops_total").add(4);
+        worker.gauge("securecloud_depth").set(7);
+        worker.histogram("securecloud_lat_ms").observe(100);
+        worker.clock().set_at_least_ms(2);
+        worker.event("test", "inner", vec![]);
+
+        main.absorb(&worker);
+
+        assert_eq!(main.counter("securecloud_ops_total").value(), 7);
+        assert_eq!(main.gauge("securecloud_depth").value(), 7);
+        assert_eq!(main.histogram("securecloud_lat_ms").count(), 1);
+        let events = main.trace_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!((events[1].name.as_str(), events[1].ts_ms), ("inner", 7));
+        assert_eq!(main.clock().now_ms(), 7);
+    }
+
+    #[test]
+    fn absorb_replays_adoption_with_last_adopter_wins() {
+        let main = Telemetry::new();
+        let stale = Counter::new();
+        stale.add(1);
+        main.registry()
+            .adopt_counter("securecloud_engine_total", &[], &stale);
+
+        let worker = Telemetry::new();
+        let fresh = Counter::new();
+        fresh.add(9);
+        worker
+            .registry()
+            .adopt_counter("securecloud_engine_total", &[], &fresh);
+
+        main.absorb(&worker);
+        let snapshot = main.registry().snapshot();
+        let (_, metric) = &snapshot[0];
+        match metric {
+            Metric::Counter(c) => assert_eq!(c.value(), 9),
+            other => panic!("expected counter, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn absorb_order_determines_output_identically_across_runs() {
+        let build_worker = |n: u64| {
+            let t = Telemetry::new();
+            t.counter("securecloud_ops_total").add(n);
+            t.event("test", &format!("point-{n}"), vec![]);
+            t
+        };
+        let render = |workers: &[Telemetry]| {
+            let main = Telemetry::new();
+            for w in workers {
+                main.absorb(w);
+            }
+            (main.prometheus(), main.trace_jsonl())
+        };
+        let a = render(&[build_worker(1), build_worker(2), build_worker(3)]);
+        let b = render(&[build_worker(1), build_worker(2), build_worker(3)]);
+        assert_eq!(a, b);
     }
 
     #[test]

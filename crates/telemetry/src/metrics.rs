@@ -181,6 +181,21 @@ impl Histogram {
         }
         out
     }
+
+    /// Folds another histogram's observations into this one: bucket-wise
+    /// addition, exactly as if every observation had been recorded on a
+    /// shared handle. Used by [`Registry::merge_from`].
+    pub fn merge_from(&self, other: &Histogram) {
+        for (bucket, count) in self.inner.buckets.iter().zip(other.bucket_counts()) {
+            bucket.fetch_add(count, Ordering::Relaxed);
+        }
+        self.inner.count.fetch_add(other.count(), Ordering::Relaxed);
+        let sum = other.sum();
+        let prev = self.inner.sum.fetch_add(sum, Ordering::Relaxed);
+        if prev.checked_add(sum).is_none() {
+            self.inner.sum.store(u64::MAX, Ordering::Relaxed);
+        }
+    }
 }
 
 /// A metric's identity in the registry: name plus sorted label pairs.
@@ -224,6 +239,9 @@ pub enum Metric {
 #[derive(Debug, Default)]
 pub struct Registry {
     metrics: Mutex<BTreeMap<MetricKey, Metric>>,
+    /// Keys registered via the adopt-style constructors. [`Registry::merge_from`]
+    /// replays their last-adopter-wins semantics instead of aggregating.
+    adopted: Mutex<std::collections::BTreeSet<MetricKey>>,
 }
 
 impl Registry {
@@ -292,6 +310,10 @@ impl Registry {
         let mut metrics = self.metrics.lock().expect("registry poisoned");
         // Last adopter wins the export slot. Instances that want to
         // aggregate should use the get-or-create constructors instead.
+        self.adopted
+            .lock()
+            .expect("registry poisoned")
+            .insert(key.clone());
         metrics.insert(key, metric);
     }
 
@@ -319,6 +341,58 @@ impl Registry {
             .iter()
             .map(|(k, m)| (k.clone(), m.clone()))
             .collect()
+    }
+
+    /// Folds another registry's metrics into this one, preserving each
+    /// registration style's semantics:
+    ///
+    /// - keys the other registry **adopted** replace the slot here (and stay
+    ///   marked adopted), mirroring the live last-adopter-wins behaviour;
+    /// - get-or-create keys aggregate: counters add, gauges take the other's
+    ///   value (set-style, last writer wins), histograms merge bucket-wise;
+    /// - keys absent here share the other's handle directly.
+    ///
+    /// Merging registries in a fixed order therefore produces the same
+    /// snapshot as if every metric had been recorded on one shared registry
+    /// in that order.
+    ///
+    /// # Panics
+    /// Panics if a key is registered with different metric types in the two
+    /// registries, matching the get-or-create constructors.
+    pub fn merge_from(&self, other: &Registry) {
+        let other_metrics = other.metrics.lock().expect("registry poisoned");
+        let other_adopted = other.adopted.lock().expect("registry poisoned");
+        let mut metrics = self.metrics.lock().expect("registry poisoned");
+        let mut adopted = self.adopted.lock().expect("registry poisoned");
+        for (key, theirs) in other_metrics.iter() {
+            if other_adopted.contains(key) {
+                adopted.insert(key.clone());
+                metrics.insert(key.clone(), theirs.clone());
+                continue;
+            }
+            match metrics.entry(key.clone()) {
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    slot.insert(theirs.clone());
+                }
+                std::collections::btree_map::Entry::Occupied(slot) => match (slot.get(), theirs) {
+                    (Metric::Counter(ours), Metric::Counter(theirs)) => {
+                        ours.add(theirs.value());
+                    }
+                    (Metric::Gauge(ours), Metric::Gauge(theirs)) => {
+                        ours.set(theirs.value());
+                    }
+                    (Metric::Histogram(ours), Metric::Histogram(theirs)) => {
+                        ours.merge_from(theirs);
+                    }
+                    (ours, theirs) => {
+                        panic!(
+                            "metric {} merged as mismatched types {ours:?} vs {theirs:?}",
+                            key.name
+                        )
+                    }
+                },
+            }
+        }
     }
 }
 
