@@ -5,19 +5,21 @@
 //! Usage: `cargo run --release -p securecloud-bench --bin repro -- [exp] [--smoke] [--jobs N]`
 //! where `exp` is one of `fig3`, `cache`, `fig3opt`, `genpack`, `ablation`,
 //! `genpack_sweep`, `syscall`, `syscall_window`, `container`, `index`,
-//! `orchestration`, `replication`, `crypto`, or `all` (default). `--smoke`
-//! runs reduced workloads (CI-sized) with the same code paths. `--jobs N`
-//! fans the fig3 and replication sweeps across N worker threads (default:
-//! available parallelism; `--jobs 1` forces serial) — results and
-//! telemetry are byte-identical for any job count.
+//! `orchestration`, `replication`, `crypto`, `messaging`, or `all`
+//! (default). `--smoke` runs reduced workloads (CI-sized) with the same
+//! code paths. `--jobs N` fans the fig3, replication, and messaging sweeps
+//! across N worker threads (default: available parallelism; `--jobs 1`
+//! forces serial) — results and telemetry are byte-identical for any job
+//! count.
 //!
 //! Every run leaves a telemetry report (Prometheus snapshot, JSONL trace,
 //! chrome trace) under `target/telemetry/`; `crypto` additionally writes
-//! `target/telemetry/BENCH_crypto.json`.
+//! `target/telemetry/BENCH_crypto.json` and `messaging` writes
+//! `target/telemetry/BENCH_messaging.json`.
 
 use securecloud_bench::{
-    container, cryptobench, fig3, genpack_exp, indexcmp, orchestration_exp, pool, replication,
-    syscalls,
+    container, cryptobench, fig3, genpack_exp, indexcmp, messaging, orchestration_exp, pool,
+    replication, syscalls,
 };
 use securecloud_telemetry::Telemetry;
 use std::path::Path;
@@ -84,6 +86,9 @@ fn main() {
     }
     if all || which == "crypto" {
         run_crypto(smoke);
+    }
+    if all || which == "messaging" {
+        run_messaging(smoke, jobs, &telemetry);
     }
     match telemetry.write_report(Path::new("target/telemetry")) {
         Ok(report) => println!(
@@ -392,6 +397,37 @@ fn run_crypto(smoke: bool) {
     match report.write_json(path) {
         Ok(()) => println!("\ncrypto bench report: {}\n", path.display()),
         Err(err) => eprintln!("\nwarning: crypto bench report not written: {err}\n"),
+    }
+}
+
+fn run_messaging(smoke: bool, jobs: usize, telemetry: &Telemetry) {
+    println!("== E11: batched messaging on the SCBR sealed path ==");
+    println!("(one AEAD frame + one ECALL/OCALL pair per batch amortizes the");
+    println!(" enclave transition and nonce/GHASH setup across N publications)\n");
+    let config = if smoke {
+        messaging::MessagingConfig::smoke()
+    } else {
+        messaging::MessagingConfig::full()
+    };
+    let report = messaging::sweep_jobs(&config, jobs, Some(telemetry));
+    println!("messages per point: {}\n", report.messages);
+    println!(
+        "{:>6} {:>10} {:>12} {:>9} {:>9}",
+        "batch", "payload B", "msgs/s", "p99 us", "speedup"
+    );
+    for point in &report.points {
+        let speedup = report
+            .speedup(point.payload_bytes, point.batch)
+            .unwrap_or(1.0);
+        println!(
+            "{:>6} {:>10} {:>12.0} {:>9} {:>8.1}x",
+            point.batch, point.payload_bytes, point.msgs_per_s, point.p99_us, speedup
+        );
+    }
+    let path = Path::new("target/telemetry/BENCH_messaging.json");
+    match report.write_json(path) {
+        Ok(()) => println!("\nmessaging bench report: {}\n", path.display()),
+        Err(err) => eprintln!("\nwarning: messaging bench report not written: {err}\n"),
     }
 }
 

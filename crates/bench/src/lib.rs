@@ -1,6 +1,6 @@
 //! The SecureCloud benchmark harness.
 //!
-//! One module per experiment in DESIGN.md's index (E1–E10), plus the
+//! One module per experiment in DESIGN.md's index (E1–E11), plus the
 //! ordered worker [`pool`] the sweeps fan out on. Each module exposes a
 //! runner returning structured results; the `repro` binary prints them as
 //! the tables recorded in EXPERIMENTS.md, and the Criterion benches in
@@ -17,6 +17,7 @@ pub mod cryptobench;
 pub mod fig3;
 pub mod genpack_exp;
 pub mod indexcmp;
+pub mod messaging;
 pub mod orchestration_exp;
 pub mod pool;
 pub mod replication;

@@ -1,0 +1,363 @@
+//! E11: batched messaging on the SCBR sealed path.
+//!
+//! Measures what batching buys on the secure router: a batch of N
+//! publications arrives as **one** AEAD frame, is opened and matched
+//! inside **one** ECALL/OCALL pair, and fans out one sealed notification
+//! frame per subscriber — versus N single publishes, each paying its own
+//! enclave transition, its own nonce schedule, and its own GHASH setup.
+//!
+//! Durations are simulated cycles from [`CostModel::sgx_v1`], so every
+//! point is deterministic and hardware-independent; the per-batch publish
+//! latency feeds an ordinary telemetry histogram, and the reported p99 is
+//! that histogram's 99th-percentile bucket bound.
+
+use securecloud_scbr::secure::{RouterClient, SecureRouter};
+use securecloud_scbr::types::{Op, Predicate, Publication, Subscription, Value};
+use securecloud_sgx::costs::CostModel;
+use securecloud_sgx::enclave::{EnclaveConfig, Platform};
+use securecloud_telemetry::{Histogram, Telemetry};
+use std::io;
+use std::path::Path;
+
+/// Sizing knobs for the messaging sweep.
+#[derive(Debug, Clone)]
+pub struct MessagingConfig {
+    /// Publications per sealed frame; must include 1 (the single-message
+    /// baseline every other batch size is compared against).
+    pub batch_sizes: Vec<usize>,
+    /// Approximate attribute-payload size per publication, bytes.
+    pub payload_bytes: Vec<usize>,
+    /// Publications per sweep point.
+    pub messages: usize,
+}
+
+impl MessagingConfig {
+    /// Full-size run.
+    #[must_use]
+    pub fn full() -> Self {
+        MessagingConfig {
+            batch_sizes: vec![1, 8, 64],
+            payload_bytes: vec![64, 512, 4096],
+            messages: 1024,
+        }
+    }
+
+    /// CI-sized run: same batch shape (the 64-vs-1 speedup must still be
+    /// visible), fewer messages and payload sizes.
+    #[must_use]
+    pub fn smoke() -> Self {
+        MessagingConfig {
+            batch_sizes: vec![1, 8, 64],
+            payload_bytes: vec![64, 512],
+            messages: 128,
+        }
+    }
+}
+
+/// One (batch size, payload size) cell of the sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MessagingPoint {
+    /// Publications per sealed frame (1 = the single-publish path).
+    pub batch: usize,
+    /// Approximate attribute-payload size per publication, bytes.
+    pub payload_bytes: usize,
+    /// Publications pushed through the router.
+    pub messages: usize,
+    /// Publications delivered to the subscriber (must equal `messages`).
+    pub delivered: u64,
+    /// Simulated router throughput, messages per second.
+    pub msgs_per_s: f64,
+    /// 99th-percentile per-frame publish latency (histogram bucket upper
+    /// bound), simulated microseconds.
+    pub p99_us: u64,
+}
+
+/// Smallest histogram bucket bound covering the 99th percentile.
+fn p99_upper_bound(histogram: &Histogram) -> u64 {
+    let total = histogram.count();
+    if total == 0 {
+        return 0;
+    }
+    let rank = (total * 99).div_ceil(100).max(1);
+    let mut cumulative = 0u64;
+    for (index, count) in histogram.bucket_counts().iter().enumerate() {
+        cumulative += count;
+        if cumulative >= rank {
+            return Histogram::bucket_upper_bound(index);
+        }
+    }
+    u64::MAX
+}
+
+/// A deterministic, incompressible-ish attribute blob of roughly `bytes`.
+fn blob(bytes: usize) -> String {
+    (0..bytes)
+        .map(|i| char::from(b'a' + (i.wrapping_mul(31) % 26) as u8))
+        .collect()
+}
+
+fn run_point(
+    batch: usize,
+    payload_bytes: usize,
+    messages: usize,
+    telemetry: Option<&Telemetry>,
+) -> MessagingPoint {
+    assert!(batch >= 1, "batch size must be at least 1");
+    let costs = CostModel::sgx_v1();
+    let platform = Platform::new();
+    let enclave = platform
+        .launch(EnclaveConfig::new("scbr-bench", b"router code"))
+        .expect("fresh platform launches");
+    let mut router = SecureRouter::new(enclave, Some("topic"));
+    let mut subscriber = RouterClient::new();
+    let mut publisher = RouterClient::new();
+    let sub_client = router.register(&subscriber.public_key());
+    let pub_client = router.register(&publisher.public_key());
+    subscriber.complete_exchange(&router.public_key());
+    publisher.complete_exchange(&router.public_key());
+    let sealed = subscriber
+        .seal_subscription(&Subscription::new(vec![Predicate::new(
+            "topic",
+            Op::Eq,
+            Value::Int(1),
+        )]))
+        .expect("exchange completed");
+    router
+        .subscribe_sealed(sub_client, &sealed)
+        .expect("fresh sequence");
+
+    let body = blob(payload_bytes);
+    let publications: Vec<Publication> = (0..messages)
+        .map(|i| {
+            Publication::new()
+                .with("topic", Value::Int(1))
+                .with("seq", Value::Int(i as i64))
+                .with("body", Value::Str(body.clone()))
+        })
+        .collect();
+
+    let batch_label = batch.to_string();
+    let payload_label = payload_bytes.to_string();
+    let latency = match telemetry {
+        Some(t) => t.histogram_with(
+            "securecloud_bench_messaging_publish_us",
+            &[("batch", &batch_label), ("payload_bytes", &payload_label)],
+        ),
+        None => Histogram::new(),
+    };
+
+    let mut delivered = 0u64;
+    let started = router.enclave_mut().memory().cycles();
+    for chunk in publications.chunks(batch) {
+        let before = router.enclave_mut().memory().cycles();
+        if batch == 1 {
+            let sealed = publisher
+                .seal_publication(&chunk[0])
+                .expect("exchange completed");
+            let notifications = router
+                .publish_sealed(pub_client, &sealed)
+                .expect("sequenced publish");
+            for (_, framed) in notifications {
+                subscriber
+                    .open_notification(&framed)
+                    .expect("authentic notification");
+                delivered += 1;
+            }
+        } else {
+            let sealed = publisher
+                .seal_publication_batch(chunk)
+                .expect("exchange completed");
+            let notifications = router
+                .publish_sealed_batch(pub_client, &sealed)
+                .expect("sequenced publish");
+            for (_, framed) in notifications {
+                delivered += subscriber
+                    .open_notification_batch(&framed)
+                    .expect("authentic notification")
+                    .len() as u64;
+            }
+        }
+        let frame_cycles = router.enclave_mut().memory().cycles() - before;
+        latency.observe((frame_cycles as f64 / (costs.cpu_ghz * 1e3)) as u64);
+    }
+    let total_cycles = router.enclave_mut().memory().cycles() - started;
+    let secs = (total_cycles as f64 / (costs.cpu_ghz * 1e9)).max(1e-12);
+
+    MessagingPoint {
+        batch,
+        payload_bytes,
+        messages,
+        delivered,
+        msgs_per_s: messages as f64 / secs,
+        p99_us: p99_upper_bound(&latency),
+    }
+}
+
+/// Runs the sweep, fanning points across `jobs` worker threads. Results
+/// and telemetry are byte-identical for any job count: each point runs on
+/// a private telemetry bundle, absorbed into `telemetry` in point order.
+#[must_use]
+pub fn sweep_jobs(
+    config: &MessagingConfig,
+    jobs: usize,
+    telemetry: Option<&Telemetry>,
+) -> MessagingReport {
+    let cells: Vec<(usize, usize)> = config
+        .payload_bytes
+        .iter()
+        .flat_map(|&payload| {
+            config
+                .batch_sizes
+                .iter()
+                .map(move |&batch| (batch, payload))
+        })
+        .collect();
+    let messages = config.messages;
+    let instrument = telemetry.is_some();
+    let results = crate::pool::run_ordered(cells, jobs, move |(batch, payload)| {
+        let local = instrument.then(Telemetry::new);
+        let point = run_point(batch, payload, messages, local.as_ref());
+        (point, local)
+    });
+    let points = results
+        .into_iter()
+        .map(|(point, local)| {
+            if let (Some(shared), Some(local)) = (telemetry, local) {
+                shared.absorb(&local);
+            }
+            point
+        })
+        .collect();
+    MessagingReport { messages, points }
+}
+
+/// The whole sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MessagingReport {
+    /// Publications per point.
+    pub messages: usize,
+    /// One point per (payload, batch) cell, payload-major.
+    pub points: Vec<MessagingPoint>,
+}
+
+impl MessagingReport {
+    /// Throughput of `batch` relative to the single-publish baseline at
+    /// the same payload size.
+    #[must_use]
+    pub fn speedup(&self, payload_bytes: usize, batch: usize) -> Option<f64> {
+        let rate = |b: usize| {
+            self.points
+                .iter()
+                .find(|p| p.payload_bytes == payload_bytes && p.batch == b)
+                .map(|p| p.msgs_per_s)
+        };
+        Some(rate(batch)? / rate(1)?)
+    }
+
+    /// The report as a JSON document (hand-rolled — the workspace carries
+    /// no serde).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"bench\": \"messaging\",\n");
+        out.push_str(&format!("  \"messages\": {},\n", self.messages));
+        out.push_str("  \"results\": [\n");
+        for (i, p) in self.points.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"batch\": {}, \"payload_bytes\": {}, \"msgs_per_s\": {:.0}, \"p99_us\": {}",
+                p.batch, p.payload_bytes, p.msgs_per_s, p.p99_us
+            ));
+            if let Some(speedup) = self.speedup(p.payload_bytes, p.batch) {
+                out.push_str(&format!(", \"speedup_vs_single\": {speedup:.2}"));
+            }
+            out.push('}');
+            if i + 1 < self.points.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes the JSON report to `path`, creating parent directories.
+    ///
+    /// # Errors
+    /// Propagates any filesystem error.
+    pub fn write_json(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.to_json())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> MessagingConfig {
+        MessagingConfig {
+            batch_sizes: vec![1, 8, 64],
+            payload_bytes: vec![64],
+            messages: 128,
+        }
+    }
+
+    #[test]
+    fn batching_amortizes_transitions_at_least_threefold() {
+        let report = sweep_jobs(&tiny(), 1, None);
+        for point in &report.points {
+            assert_eq!(
+                point.delivered, point.messages as u64,
+                "batch {} dropped deliveries",
+                point.batch
+            );
+            assert!(point.msgs_per_s > 0.0);
+        }
+        let speedup = report.speedup(64, 64).expect("both points present");
+        assert!(
+            speedup >= 3.0,
+            "batch 64 must amortize to >= 3x the single path, got {speedup:.2}x"
+        );
+    }
+
+    #[test]
+    fn sweep_is_deterministic_across_job_counts() {
+        let serial = sweep_jobs(&tiny(), 1, None);
+        let parallel = sweep_jobs(&tiny(), 4, None);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn report_serialises_with_speedups() {
+        let report = sweep_jobs(
+            &MessagingConfig {
+                batch_sizes: vec![1, 8],
+                payload_bytes: vec![64],
+                messages: 32,
+            },
+            1,
+            None,
+        );
+        let json = report.to_json();
+        assert!(json.contains("\"bench\": \"messaging\""));
+        assert!(json.contains("\"batch\": 8"));
+        assert!(json.contains("\"speedup_vs_single\""));
+        assert!(json.ends_with("}\n"));
+    }
+
+    #[test]
+    fn p99_comes_from_histogram_buckets() {
+        let h = Histogram::new();
+        for _ in 0..99 {
+            h.observe(10);
+        }
+        h.observe(1_000_000);
+        // 99th percentile lands in the bucket holding the 10s.
+        assert_eq!(p99_upper_bound(&h), Histogram::bucket_upper_bound(4));
+        assert_eq!(p99_upper_bound(&Histogram::new()), 0);
+    }
+}

@@ -3,7 +3,7 @@
 //! byte-identical point vectors *and* byte-identical telemetry exports for
 //! any `--jobs` value.
 
-use securecloud_bench::{fig3, replication};
+use securecloud_bench::{fig3, messaging, replication};
 use securecloud_telemetry::Telemetry;
 
 /// Tiny Figure 3 sweep (debug-build sized): serial and 4-way parallel runs
@@ -39,6 +39,36 @@ fn fig3_sweep_without_telemetry_is_identical_across_job_counts() {
     let serial = fig3::sweep_jobs(&[1, 2], 2, 1, None);
     let parallel = fig3::sweep_jobs(&[1, 2], 2, 3, None);
     assert_eq!(serial, parallel);
+}
+
+/// Messaging sweep (E11): serial and parallel runs must agree point-for-
+/// point and leave byte-identical telemetry (the latency histograms are
+/// absorbed into the shared bundle in point order, not completion order).
+#[test]
+fn messaging_sweep_is_identical_across_job_counts() {
+    let config = messaging::MessagingConfig {
+        batch_sizes: vec![1, 8],
+        payload_bytes: vec![64, 256],
+        messages: 32,
+    };
+
+    let run = |jobs: usize| {
+        let telemetry = Telemetry::new();
+        let report = messaging::sweep_jobs(&config, jobs, Some(&telemetry));
+        (report, telemetry.prometheus(), telemetry.trace_jsonl())
+    };
+
+    let (serial_report, serial_prom, serial_trace) = run(1);
+    let (parallel_report, parallel_prom, parallel_trace) = run(4);
+
+    assert_eq!(serial_report, parallel_report, "reports diverge");
+    assert_eq!(serial_prom, parallel_prom, "metrics snapshots diverge");
+    assert_eq!(serial_trace, parallel_trace, "trace exports diverge");
+    assert_eq!(serial_report.points.len(), 4);
+    assert!(
+        serial_prom.contains("securecloud_bench_messaging_publish_us"),
+        "latency histogram missing from snapshot"
+    );
 }
 
 /// Replication grid: serial and parallel runs must agree cell-for-cell, in

@@ -21,7 +21,7 @@ use crate::ContainerError;
 use parking_lot::RwLock;
 use securecloud_crypto::channel::memory_pair;
 use securecloud_faults::{DetRng, FaultInjector};
-use securecloud_scone::hostos::{HostOs, MemHost, Syscall, SyscallRet};
+use securecloud_scone::hostos::{FaultyHost, HostOs, MemHost, Syscall, SyscallRet};
 use securecloud_scone::runtime::SconeRuntime;
 use securecloud_scone::scf::ConfigService;
 use securecloud_sgx::enclave::{EnclaveConfig, Platform};
@@ -256,8 +256,13 @@ impl Engine {
         self.jitter_rng = DetRng::new(seed);
     }
 
-    /// Attaches a fault injector; the engine records supervision events
-    /// (aborts, restarts, quarantines) into its trace.
+    /// Attaches a fault injector. The engine records supervision events
+    /// (aborts, restarts, quarantines) into its trace, and every secure
+    /// runtime bootstrapped *after* this call reaches its host through a
+    /// [`FaultyHost`], so armed [`FaultKind::SyscallFail`] faults surface
+    /// as shield-layer host violations.
+    ///
+    /// [`FaultKind::SyscallFail`]: securecloud_faults::FaultKind::SyscallFail
     pub fn set_fault_injector(&mut self, injector: Arc<FaultInjector>) {
         self.injector = Some(injector);
     }
@@ -330,6 +335,7 @@ impl Engine {
                 &image,
                 &host,
                 self.telemetry.as_ref(),
+                self.injector.as_ref(),
             )?)
         } else {
             None
@@ -365,6 +371,7 @@ impl Engine {
         image: &Image,
         host: &Arc<MemHost>,
         telemetry: Option<&Arc<Telemetry>>,
+        injector: Option<&Arc<FaultInjector>>,
     ) -> Result<SconeRuntime, ContainerError> {
         let span = telemetry.map(|t| {
             t.counter("securecloud_containers_bootstraps_total").inc();
@@ -387,13 +394,14 @@ impl Engine {
         let service = Arc::clone(config_service);
         let service_key = service.read().public_key();
         let server = std::thread::spawn(move || service.read().serve_one(server_t));
-        let runtime = SconeRuntime::bootstrap(
-            enclave,
-            client_t,
-            service_key,
-            host.clone() as Arc<dyn HostOs>,
-            &sealed_protection,
-        );
+        // With an injector attached, the runtime's syscalls pass through a
+        // FaultyHost so armed SyscallFail faults hit the shield layer.
+        let host_os: Arc<dyn HostOs> = match injector {
+            Some(injector) => Arc::new(FaultyHost::new(Arc::clone(host), Arc::clone(injector))),
+            None => host.clone() as Arc<dyn HostOs>,
+        };
+        let runtime =
+            SconeRuntime::bootstrap(enclave, client_t, service_key, host_os, &sealed_protection);
         let served = server.join().expect("config service thread");
         drop(span);
         match runtime {
@@ -564,6 +572,7 @@ impl Engine {
                 &image,
                 &host,
                 self.telemetry.as_ref(),
+                self.injector.as_ref(),
             )?)
         } else {
             None

@@ -213,8 +213,19 @@ impl SecureCloud {
                 FaultKind::ServicePanic { service } => {
                     self.host.inject_panic_next(service);
                 }
-                // Consumed by the injector (arms forced syscall failures).
-                FaultKind::SyscallFail { .. } => {}
+                FaultKind::SyscallFail { count } => {
+                    // The injector has armed `count` forced failures; every
+                    // secure runtime bootstrapped after the injector was
+                    // attached reaches its host through a FaultyHost, so
+                    // the next syscalls fail at the SCONE shield layer as
+                    // host violations. Record the arming so traces show
+                    // when the flaky window opened.
+                    self.telemetry.event(
+                        "faults",
+                        "syscall_failures_armed",
+                        vec![("count", count.to_string())],
+                    );
+                }
                 // The facade owns no broker overlay; returned to the caller.
                 FaultKind::BrokerFail { .. } => {}
                 FaultKind::ReplicaKill { .. } => {
@@ -354,6 +365,13 @@ impl SecureCloud {
     /// The event-bus service host.
     pub fn services_mut(&mut self) -> &mut ServiceHost {
         &mut self.host
+    }
+
+    /// Sets how many bus messages each service may consume per delivery
+    /// step (fetched as one lease batch; delivery semantics are unchanged).
+    /// See [`ServiceHost::set_delivery_batch`].
+    pub fn set_delivery_batch(&mut self, batch: usize) {
+        self.host.set_delivery_batch(batch);
     }
 
     /// Pumps bus deliveries until quiet; returns messages processed.

@@ -397,6 +397,52 @@ impl<T: Transport> SecureChannel<T> {
         self.transport.send_frame(sealed)
     }
 
+    /// Encrypts and sends a batch of messages as **one** sealed record: the
+    /// messages are length-prefix framed together (wire `Vec<Vec<u8>>`
+    /// layout) and the concatenation is sealed once — one sequence number,
+    /// one nonce, one GHASH/tag pass — so a batch of N costs a single seal
+    /// instead of N. The peer must receive it with
+    /// [`SecureChannel::recv_batch`]; batch and single records may be
+    /// interleaved freely since each consumes exactly one sequence number.
+    ///
+    /// # Errors
+    ///
+    /// [`CryptoError::TransportClosed`] if the peer is gone.
+    pub fn send_batch(&mut self, messages: &[Vec<u8>]) -> Result<(), CryptoError> {
+        let nonce = nonce_from_seq(self.send_domain, self.send_seq);
+        self.send_seq += 1;
+        let framed: usize = messages.iter().map(|m| 4 + m.len()).sum();
+        let mut sealed = Vec::with_capacity(4 + framed + crate::gcm::TAG_LEN);
+        (messages.len() as u32).encode(&mut sealed);
+        for message in messages {
+            (message.len() as u32).encode(&mut sealed);
+            sealed.extend_from_slice(message);
+        }
+        self.send_cipher
+            .seal_in_place(&nonce, &mut sealed, &self.transcript);
+        self.transport.send_frame(sealed)
+    }
+
+    /// Receives one batch record sent by [`SecureChannel::send_batch`] and
+    /// returns its messages in order. The record is opened in place (one
+    /// tag check for the whole batch) before the individual messages are
+    /// split out.
+    ///
+    /// # Errors
+    ///
+    /// [`CryptoError::AuthenticationFailed`] on tampered or replayed
+    /// records; [`CryptoError::Malformed`] if the authenticated plaintext
+    /// is not a well-formed batch; [`CryptoError::TransportClosed`] if the
+    /// peer is gone.
+    pub fn recv_batch(&mut self) -> Result<Vec<Vec<u8>>, CryptoError> {
+        let mut sealed = self.transport.recv_frame()?;
+        let nonce = nonce_from_seq(self.recv_domain, self.recv_seq);
+        self.recv_cipher
+            .open_in_place(&nonce, &mut sealed, &self.transcript)?;
+        self.recv_seq += 1;
+        Vec::<Vec<u8>>::from_wire(&sealed)
+    }
+
     /// Receives and decrypts one message.
     ///
     /// # Errors
@@ -470,6 +516,51 @@ mod tests {
         for i in 0..100u32 {
             assert_eq!(server.recv().unwrap(), i.to_le_bytes());
         }
+    }
+
+    #[test]
+    fn batch_roundtrip_interleaves_with_singles() {
+        let (client, server) = pair_with(ChannelConfig::default(), ChannelConfig::default());
+        let mut client = client.unwrap();
+        let mut server = server.unwrap();
+        let batch: Vec<Vec<u8>> = (0..16u8).map(|i| vec![i; i as usize + 1]).collect();
+        client.send_batch(&batch).unwrap();
+        assert_eq!(server.recv_batch().unwrap(), batch);
+        // One batch record consumed exactly one sequence number: plain
+        // send/recv keeps working either side of it.
+        client.send(b"after").unwrap();
+        assert_eq!(server.recv().unwrap(), b"after");
+        server.send_batch(&[b"reply".to_vec()]).unwrap();
+        assert_eq!(server.send_seq, 1);
+        assert_eq!(client.recv_batch().unwrap(), vec![b"reply".to_vec()]);
+        // Empty batches and empty messages are legal frames.
+        client.send_batch(&[]).unwrap();
+        assert_eq!(client.send_seq, 3);
+        assert!(server.recv_batch().unwrap().is_empty());
+        client.send_batch(&[Vec::new(), b"x".to_vec()]).unwrap();
+        assert_eq!(
+            server.recv_batch().unwrap(),
+            vec![Vec::new(), b"x".to_vec()]
+        );
+    }
+
+    #[test]
+    fn tampered_batch_rejected() {
+        let (client, server) = pair_with(ChannelConfig::default(), ChannelConfig::default());
+        let mut client = client.unwrap();
+        let server = server.unwrap();
+        client.send_batch(&[b"a".to_vec(), b"b".to_vec()]).unwrap();
+        let mut frame = server.transport.recv_frame().unwrap();
+        frame[1] ^= 0x80;
+        server.transport.tx.send(frame).ok(); // reinject toward client; open directly instead
+        let nonce = nonce_from_seq(server.recv_domain, server.recv_seq);
+        client.send_batch(&[b"c".to_vec()]).unwrap();
+        let mut frame2 = server.transport.recv_frame().unwrap();
+        frame2[0] ^= 1;
+        assert!(server
+            .recv_cipher
+            .open(&nonce, &frame2, &server.transcript)
+            .is_err());
     }
 
     #[test]

@@ -24,6 +24,7 @@ use securecloud_faults::{FaultInjector, MessageFate};
 use securecloud_scbr::types::{Publication, Subscription};
 use securecloud_telemetry::{Counter, Gauge, Histogram, Telemetry};
 use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt;
 use std::sync::Arc;
 
 /// Bus-assigned message identifier.
@@ -52,6 +53,42 @@ pub struct Message {
     pub published_at_ms: u64,
 }
 
+/// Why a publication (or batch) was refused admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PublishError {
+    /// Admitting the publication would push a matching subscriber's queue
+    /// past its configured depth limit. Nothing was enqueued — admission is
+    /// all-or-nothing, so the publisher can retry the whole batch after
+    /// draining.
+    Backpressure {
+        /// The subscriber whose queue is full.
+        subscriber: SubscriberId,
+        /// Its current queue depth.
+        depth: usize,
+        /// The configured limit it would exceed.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for PublishError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PublishError::Backpressure {
+                subscriber,
+                depth,
+                limit,
+            } => write!(
+                f,
+                "backpressure: subscriber s{} queue depth {depth} would exceed limit {limit}",
+                subscriber.0
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PublishError {}
+
 /// Bus statistics snapshot. All counters saturate at `u64::MAX` — a
 /// runaway counter pegs rather than wrapping back to small values.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -71,6 +108,8 @@ pub struct BusStats {
     pub dead_lettered: u64,
     /// Negative acknowledgements received.
     pub nacked: u64,
+    /// Publications (or whole batches) refused for backpressure.
+    pub backpressured: u64,
 }
 
 /// The bus's live metric handles. These are the single source of truth:
@@ -85,6 +124,7 @@ struct BusMetrics {
     dropped: Counter,
     dead_lettered: Counter,
     nacked: Counter,
+    backpressured: Counter,
     dead_letter_depth: Gauge,
     publish_to_ack_ms: Histogram,
 }
@@ -103,6 +143,11 @@ impl BusMetrics {
             &self.dead_lettered,
         );
         registry.adopt_counter("securecloud_bus_nacked_total", &[], &self.nacked);
+        registry.adopt_counter(
+            "securecloud_bus_backpressured_total",
+            &[],
+            &self.backpressured,
+        );
         registry.adopt_gauge(
             "securecloud_bus_dead_letter_depth",
             &[],
@@ -133,6 +178,8 @@ struct SubscriberState {
     filter: Option<Subscription>,
     queue: VecDeque<Message>,
     leased: BTreeMap<MessageId, (Message, u64)>, // message, lease expiry
+    /// Per-subscriber queue-depth cap; overrides the bus-wide default.
+    queue_limit: Option<usize>,
 }
 
 /// The event bus connecting micro-services (paper Figure 1).
@@ -146,6 +193,9 @@ pub struct EventBus {
     next_message: u64,
     metrics: BusMetrics,
     max_attempts: Option<u32>,
+    /// Bus-wide default queue-depth limit enforced by the `try_publish` /
+    /// `publish_batch` admission path. `None` = unbounded.
+    queue_limit: Option<usize>,
     dead: Vec<DeadLetter>,
     injector: Option<Arc<FaultInjector>>,
     telemetry: Option<Arc<Telemetry>>,
@@ -164,6 +214,7 @@ impl EventBus {
             next_message: 1,
             metrics: BusMetrics::default(),
             max_attempts: None,
+            queue_limit: None,
             dead: Vec::new(),
             injector: None,
             telemetry: None,
@@ -192,6 +243,30 @@ impl EventBus {
         self.injector = Some(injector);
     }
 
+    /// Sets the bus-wide default queue-depth limit enforced by the
+    /// admission-controlled publish paths ([`EventBus::try_publish`],
+    /// [`EventBus::publish_batch`]). `None` (the default) admits everything.
+    /// The legacy [`EventBus::publish`] bypasses admission control.
+    pub fn set_queue_limit(&mut self, limit: Option<usize>) {
+        self.queue_limit = limit;
+    }
+
+    /// Overrides the queue-depth limit for one subscriber (takes precedence
+    /// over the bus-wide default). Returns whether the subscriber exists.
+    pub fn set_subscriber_queue_limit(
+        &mut self,
+        subscriber: SubscriberId,
+        limit: Option<usize>,
+    ) -> bool {
+        match self.subscribers.get_mut(&subscriber) {
+            Some(state) => {
+                state.queue_limit = limit;
+                true
+            }
+            None => false,
+        }
+    }
+
     /// The dead-letter queue, in parking order.
     #[must_use]
     pub fn dead_letters(&self) -> &[DeadLetter] {
@@ -202,6 +277,36 @@ impl EventBus {
     pub fn take_dead_letters(&mut self) -> Vec<DeadLetter> {
         self.metrics.dead_letter_depth.set(0);
         std::mem::take(&mut self.dead)
+    }
+
+    /// Parks a message in the dead-letter queue, with metrics and a trace
+    /// event.
+    fn dead_letter(
+        subscriber: SubscriberId,
+        message: Message,
+        metrics: &BusMetrics,
+        dead: &mut Vec<DeadLetter>,
+        telemetry: Option<&Telemetry>,
+        reason: &'static str,
+    ) {
+        metrics.dead_lettered.inc();
+        metrics.dead_letter_depth.add(1);
+        if let Some(t) = telemetry {
+            t.event(
+                "eventbus",
+                "dead_letter",
+                vec![
+                    ("message", format!("m{}", message.id.0)),
+                    ("subscriber", format!("s{}", subscriber.0)),
+                    ("reason", reason.to_string()),
+                ],
+            );
+        }
+        dead.push(DeadLetter {
+            subscriber,
+            message,
+            reason,
+        });
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -216,24 +321,7 @@ impl EventBus {
         reason: &'static str,
     ) {
         if max_attempts.is_some_and(|max| message.attempt >= max) {
-            metrics.dead_lettered.inc();
-            metrics.dead_letter_depth.add(1);
-            if let Some(t) = telemetry {
-                t.event(
-                    "eventbus",
-                    "dead_letter",
-                    vec![
-                        ("message", format!("m{}", message.id.0)),
-                        ("subscriber", format!("s{}", subscriber.0)),
-                        ("reason", reason.to_string()),
-                    ],
-                );
-            }
-            dead.push(DeadLetter {
-                subscriber,
-                message,
-                reason,
-            });
+            Self::dead_letter(subscriber, message, metrics, dead, telemetry, reason);
         } else {
             metrics.redelivered.inc();
             // Requeue at the back: a message the consumer keeps rejecting
@@ -259,6 +347,7 @@ impl EventBus {
             dropped: self.metrics.dropped.value(),
             dead_lettered: self.metrics.dead_lettered.value(),
             nacked: self.metrics.nacked.value(),
+            backpressured: self.metrics.backpressured.value(),
         }
     }
 
@@ -274,6 +363,7 @@ impl EventBus {
                 filter,
                 queue: VecDeque::new(),
                 leased: BTreeMap::new(),
+                queue_limit: None,
             },
         );
         self.by_topic.entry(topic.to_string()).or_default().push(id);
@@ -291,7 +381,90 @@ impl EventBus {
 
     /// Publishes to `topic`, fanning out to every subscriber whose filter
     /// accepts `attributes`. Returns the message id.
+    ///
+    /// This legacy path bypasses queue-depth admission control and never
+    /// fails; use [`EventBus::try_publish`] or [`EventBus::publish_batch`]
+    /// to get typed backpressure instead.
     pub fn publish(&mut self, topic: &str, payload: Vec<u8>, attributes: Publication) -> MessageId {
+        self.enqueue(topic, payload, attributes)
+    }
+
+    /// Publishes to `topic` with admission control: if any matching
+    /// subscriber's queue is at its depth limit, nothing is enqueued and a
+    /// typed [`PublishError::Backpressure`] is returned.
+    ///
+    /// # Errors
+    /// [`PublishError::Backpressure`] when a matching subscriber has no room.
+    pub fn try_publish(
+        &mut self,
+        topic: &str,
+        payload: Vec<u8>,
+        attributes: Publication,
+    ) -> Result<MessageId, PublishError> {
+        self.admit(topic, &[&attributes])?;
+        Ok(self.enqueue(topic, payload, attributes))
+    }
+
+    /// Publishes a batch of `(payload, attributes)` pairs to `topic` with
+    /// all-or-nothing admission: either every message is enqueued (ids
+    /// returned in batch order, assigned consecutively) or — if admitting
+    /// the whole batch would push any matching subscriber past its
+    /// queue-depth limit — nothing is, and the publisher gets a typed
+    /// backpressure error to retry after draining.
+    ///
+    /// Once admitted, a batch of N is observably identical to N
+    /// [`EventBus::publish`] calls: same fan-out, same per-message
+    /// published/dropped accounting, same ordering.
+    ///
+    /// # Errors
+    /// [`PublishError::Backpressure`] when a matching subscriber cannot
+    /// absorb its share of the batch.
+    pub fn publish_batch(
+        &mut self,
+        topic: &str,
+        batch: Vec<(Vec<u8>, Publication)>,
+    ) -> Result<Vec<MessageId>, PublishError> {
+        let attrs: Vec<&Publication> = batch.iter().map(|(_, a)| a).collect();
+        self.admit(topic, &attrs)?;
+        Ok(batch
+            .into_iter()
+            .map(|(payload, attributes)| self.enqueue(topic, payload, attributes))
+            .collect())
+    }
+
+    /// Checks that every matching subscriber can absorb its share of a
+    /// batch with the given attribute sets, against its queue-depth limit
+    /// (per-subscriber override, else the bus-wide default). Charges the
+    /// backpressure counter on refusal.
+    fn admit(&self, topic: &str, batch: &[&Publication]) -> Result<(), PublishError> {
+        let Some(sub_ids) = self.by_topic.get(topic) else {
+            return Ok(());
+        };
+        for &sub_id in sub_ids {
+            let Some(state) = self.subscribers.get(&sub_id) else {
+                continue;
+            };
+            let Some(limit) = state.queue_limit.or(self.queue_limit) else {
+                continue;
+            };
+            let incoming = batch
+                .iter()
+                .filter(|attrs| state.filter.as_ref().is_none_or(|f| f.matches(attrs)))
+                .count();
+            if incoming > 0 && state.queue.len() + incoming > limit {
+                self.metrics.backpressured.inc();
+                return Err(PublishError::Backpressure {
+                    subscriber: sub_id,
+                    depth: state.queue.len(),
+                    limit,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The shared fan-out path behind every publish flavour.
+    fn enqueue(&mut self, topic: &str, payload: Vec<u8>, attributes: Publication) -> MessageId {
         let id = MessageId(self.next_message);
         self.next_message += 1;
         self.metrics.published.inc();
@@ -356,6 +529,34 @@ impl EventBus {
         Some(message)
     }
 
+    /// Fetches up to `max` messages for `subscriber` in one call, leasing
+    /// each exactly as [`EventBus::fetch`] would. Returns fewer than `max`
+    /// when the queue drains first. Injected fates still apply per message
+    /// (a lost delivery occupies a slot of the batch but is not returned —
+    /// its lease expiry redelivers it later), so the loop always terminates
+    /// after at most `max` fetch attempts.
+    pub fn fetch_batch(&mut self, subscriber: SubscriberId, max: usize) -> Vec<Message> {
+        let mut out = Vec::new();
+        for _ in 0..max {
+            if self.backlog(subscriber) == 0 {
+                break;
+            }
+            if let Some(message) = self.fetch(subscriber) {
+                out.push(message);
+            }
+        }
+        out
+    }
+
+    /// Acknowledges a batch of leased messages; returns how many were
+    /// actually leased (each ack is identical to [`EventBus::ack`]).
+    pub fn ack_batch(&mut self, subscriber: SubscriberId, messages: &[MessageId]) -> usize {
+        messages
+            .iter()
+            .filter(|&&id| self.ack(subscriber, id))
+            .count()
+    }
+
     /// Acknowledges a leased message; returns whether it was leased.
     pub fn ack(&mut self, subscriber: SubscriberId, message: MessageId) -> bool {
         let now_ms = self.now_ms;
@@ -401,9 +602,15 @@ impl EventBus {
     }
 
     /// Advances virtual time; expired leases are requeued for redelivery
-    /// (or dead-lettered once the retry budget is spent). Redelivery goes
-    /// to the back of the queue, so it may reorder relative to fresh
-    /// messages (at-least-once, not FIFO-exactly-once).
+    /// (or dead-lettered once the retry budget is spent).
+    ///
+    /// Redelivered messages are merged back into the queue in **original
+    /// publish order** (ascending [`MessageId`] — ids are assigned
+    /// monotonically at publish time): an expired message slots in ahead of
+    /// every later-published message still waiting, so a crashed consumer's
+    /// batch does not jump behind messages published after it. Only an
+    /// explicit nack sends a message to the back of the queue
+    /// (anti-starvation for poison messages).
     pub fn advance(&mut self, ms: u64) {
         self.now_ms += ms;
         let now = self.now_ms;
@@ -418,19 +625,42 @@ impl EventBus {
                 .filter(|(_, (_, expiry))| *expiry <= now)
                 .map(|(&id, _)| id)
                 .collect();
+            if expired.is_empty() {
+                continue;
+            }
+            // `expired` is in ascending id order (BTreeMap iteration), which
+            // is publish order; keep that order through the partition below.
+            let mut redeliver: Vec<Message> = Vec::new();
             for id in expired {
                 let (message, _) = state.leased.remove(&id).expect("listed above");
-                Self::park_or_requeue(
-                    state,
-                    sub_id,
-                    message,
-                    max_attempts,
-                    &self.metrics,
-                    &mut self.dead,
-                    self.telemetry.as_deref(),
-                    "lease-expired",
-                );
+                if max_attempts.is_some_and(|max| message.attempt >= max) {
+                    Self::dead_letter(
+                        sub_id,
+                        message,
+                        &self.metrics,
+                        &mut self.dead,
+                        self.telemetry.as_deref(),
+                        "lease-expired",
+                    );
+                } else {
+                    self.metrics.redelivered.inc();
+                    redeliver.push(message);
+                }
             }
+            if redeliver.is_empty() {
+                continue;
+            }
+            // Stable merge by ascending id: each redelivered message goes in
+            // front of the first queued message published after it.
+            let waiting = std::mem::take(&mut state.queue);
+            let mut redeliver = redeliver.into_iter().peekable();
+            for queued in waiting {
+                while redeliver.peek().is_some_and(|m| m.id < queued.id) {
+                    state.queue.push_back(redeliver.next().expect("peeked"));
+                }
+                state.queue.push_back(queued);
+            }
+            state.queue.extend(redeliver);
         }
     }
 
@@ -607,6 +837,183 @@ mod tests {
         let m = bus.fetch(s).unwrap();
         assert_eq!(m.attempt, 2);
         assert!(bus.ack(s, m.id));
+    }
+
+    #[test]
+    fn expired_redelivery_keeps_publish_order() {
+        // Regression: interleave fetch / expire / fetch. m1 is fetched and
+        // its lease expires while m2, m3 (published before the crash) and
+        // m4 (published after) are still waiting. Redelivery must slot m1
+        // back in front of them — the old push_back requeue yielded
+        // m2, m3, m4, m1.
+        let mut bus = EventBus::new(100);
+        let s = bus.subscribe("t", None);
+        bus.publish("t", b"m1".to_vec(), Publication::new());
+        bus.publish("t", b"m2".to_vec(), Publication::new());
+        bus.publish("t", b"m3".to_vec(), Publication::new());
+        let m1 = bus.fetch(s).unwrap();
+        assert_eq!(m1.payload, b"m1");
+        bus.publish("t", b"m4".to_vec(), Publication::new());
+        bus.advance(100); // m1's lease expires
+        let mut order: Vec<Vec<u8>> = Vec::new();
+        while let Some(m) = bus.fetch(s) {
+            bus.ack(s, m.id);
+            order.push(m.payload);
+        }
+        assert_eq!(
+            order,
+            vec![
+                b"m1".to_vec(),
+                b"m2".to_vec(),
+                b"m3".to_vec(),
+                b"m4".to_vec()
+            ],
+            "expired lease redelivers in original publish order"
+        );
+    }
+
+    #[test]
+    fn expired_batch_merges_between_waiting_messages() {
+        // A leased batch (m1, m3) expires while m2 was never fetched and m4
+        // arrived later: the merged queue is m1, m2, m3, m4.
+        let mut bus = EventBus::new(100);
+        let s = bus.subscribe("t", None);
+        bus.publish("t", b"m1".to_vec(), Publication::new());
+        bus.publish("t", b"m2".to_vec(), Publication::new());
+        bus.publish("t", b"m3".to_vec(), Publication::new());
+        let m1 = bus.fetch(s).unwrap();
+        let m2 = bus.fetch(s).unwrap();
+        let m3 = bus.fetch(s).unwrap();
+        assert_eq!((&m1.payload[..], &m3.payload[..]), (&b"m1"[..], &b"m3"[..]));
+        bus.ack(s, m2.id); // only the middle one was processed
+        bus.publish("t", b"m4".to_vec(), Publication::new());
+        bus.advance(100);
+        let mut order: Vec<Vec<u8>> = Vec::new();
+        while let Some(m) = bus.fetch(s) {
+            bus.ack(s, m.id);
+            order.push(m.payload);
+        }
+        assert_eq!(
+            order,
+            vec![b"m1".to_vec(), b"m3".to_vec(), b"m4".to_vec()],
+            "expired batch keeps relative publish order around fresh messages"
+        );
+    }
+
+    #[test]
+    fn publish_batch_matches_n_single_publishes() {
+        // Same inputs through publish_batch and N publishes: identical
+        // fan-out, ids, delivery order, and stats.
+        let filter = Subscription::new(vec![Predicate::new("severity", Op::Ge, Value::Int(3))]);
+        let inputs: Vec<(Vec<u8>, Publication)> =
+            (0..6).map(|i| (vec![i as u8], attrs("pq", i))).collect();
+
+        let mut single = EventBus::new(1000);
+        let s1 = single.subscribe("t", Some(filter.clone()));
+        let mut single_ids = Vec::new();
+        for (payload, attributes) in inputs.clone() {
+            single_ids.push(single.publish("t", payload, attributes));
+        }
+
+        let mut batched = EventBus::new(1000);
+        let s2 = batched.subscribe("t", Some(filter));
+        let batch_ids = batched.publish_batch("t", inputs).unwrap();
+
+        assert_eq!(single_ids, batch_ids);
+        assert_eq!(single.stats(), batched.stats());
+        assert_eq!(single.backlog(s1), batched.backlog(s2));
+        loop {
+            let a = single.fetch(s1);
+            let b = batched.fetch(s2);
+            assert_eq!(a, b);
+            let Some(m) = a else { break };
+            assert_eq!(single.ack(s1, m.id), batched.ack(s2, m.id));
+        }
+        assert_eq!(single.stats(), batched.stats());
+    }
+
+    #[test]
+    fn fetch_batch_leases_and_ack_batch_settles() {
+        let mut bus = EventBus::new(1000);
+        let s = bus.subscribe("t", None);
+        for i in 0..5u8 {
+            bus.publish("t", vec![i], Publication::new());
+        }
+        let first = bus.fetch_batch(s, 3);
+        assert_eq!(first.len(), 3);
+        assert_eq!(bus.backlog(s), 2);
+        let ids: Vec<MessageId> = first.iter().map(|m| m.id).collect();
+        assert_eq!(bus.ack_batch(s, &ids), 3);
+        assert_eq!(bus.ack_batch(s, &ids), 0, "double ack rejected");
+        let rest = bus.fetch_batch(s, 10);
+        assert_eq!(rest.len(), 2, "short batch when the queue drains");
+        assert_eq!(bus.stats().delivered, 5);
+    }
+
+    #[test]
+    fn backpressure_refuses_whole_batch() {
+        let mut bus = EventBus::new(1000);
+        bus.set_queue_limit(Some(4));
+        let s = bus.subscribe("t", None);
+        bus.publish("t", b"seed".to_vec(), Publication::new());
+        let batch: Vec<(Vec<u8>, Publication)> =
+            (0..4).map(|i| (vec![i], Publication::new())).collect();
+        let err = bus.publish_batch("t", batch.clone()).unwrap_err();
+        assert_eq!(
+            err,
+            PublishError::Backpressure {
+                subscriber: s,
+                depth: 1,
+                limit: 4
+            }
+        );
+        assert_eq!(bus.backlog(s), 1, "all-or-nothing: nothing was enqueued");
+        assert_eq!(bus.stats().published, 1, "refused batch not counted");
+        assert_eq!(bus.stats().backpressured, 1);
+        assert!(err.to_string().contains("backpressure"));
+        // Drain one message and the same batch fits exactly.
+        let m = bus.fetch(s).unwrap();
+        bus.ack(s, m.id);
+        assert_eq!(bus.publish_batch("t", batch).unwrap().len(), 4);
+        assert_eq!(bus.backlog(s), 4);
+    }
+
+    #[test]
+    fn try_publish_enforces_per_subscriber_override() {
+        let mut bus = EventBus::new(1000);
+        bus.set_queue_limit(Some(10));
+        let tight = bus.subscribe("t", None);
+        let roomy = bus.subscribe("t", None);
+        assert!(bus.set_subscriber_queue_limit(tight, Some(1)));
+        assert!(!bus.set_subscriber_queue_limit(SubscriberId(99), Some(1)));
+        bus.try_publish("t", b"a".to_vec(), Publication::new())
+            .unwrap();
+        let err = bus
+            .try_publish("t", b"b".to_vec(), Publication::new())
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            PublishError::Backpressure {
+                subscriber,
+                depth: 1,
+                limit: 1
+            } if subscriber == tight
+        ));
+        assert_eq!(bus.backlog(roomy), 1, "refusal enqueues to no one");
+        // A filtered-out subscriber at its limit never backpressures.
+        let mut filtered_bus = EventBus::new(1000);
+        let filtered = filtered_bus.subscribe(
+            "t",
+            Some(Subscription::new(vec![Predicate::new(
+                "severity",
+                Op::Ge,
+                Value::Int(4),
+            )])),
+        );
+        filtered_bus.set_subscriber_queue_limit(filtered, Some(0));
+        filtered_bus
+            .try_publish("t", b"minor".to_vec(), attrs("pq", 1))
+            .unwrap();
     }
 
     #[test]

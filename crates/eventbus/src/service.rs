@@ -55,6 +55,9 @@ pub struct ServiceHost {
     bus: EventBus,
     services: Vec<Registered>,
     quarantine_after: u32,
+    /// Messages fetched per subscription per [`ServiceHost::step`] (1 = the
+    /// classic one-at-a-time pump; larger values opt into batch delivery).
+    delivery_batch: usize,
     injector: Option<Arc<FaultInjector>>,
     telemetry: Option<Arc<Telemetry>>,
 }
@@ -75,9 +78,25 @@ impl ServiceHost {
             bus: EventBus::new(lease_ms),
             services: Vec::new(),
             quarantine_after: DEFAULT_QUARANTINE_AFTER,
+            delivery_batch: 1,
             injector: None,
             telemetry: None,
         }
+    }
+
+    /// Opts services into batch delivery: each [`ServiceHost::step`]
+    /// fetches up to `batch` messages per subscription (clamped to at
+    /// least one) instead of a single message. Per-message ack/nack/panic
+    /// semantics are unchanged — a batch is simply the same messages with
+    /// fewer pump iterations.
+    pub fn set_delivery_batch(&mut self, batch: usize) {
+        self.delivery_batch = batch.max(1);
+    }
+
+    /// The current batch-delivery size (1 = classic single delivery).
+    #[must_use]
+    pub fn delivery_batch(&self) -> usize {
+        self.delivery_batch
     }
 
     /// Attaches shared telemetry to the host and its bus: handler panics
@@ -161,85 +180,97 @@ impl ServiceHost {
         &self.bus
     }
 
-    /// Delivers at most one message to every subscription of every
-    /// non-quarantined service; returns the number of messages processed
-    /// (including attempts whose handler panicked).
+    /// Delivers up to [`ServiceHost::delivery_batch`] messages (default 1)
+    /// to every subscription of every non-quarantined service; returns the
+    /// number of messages processed (including attempts whose handler
+    /// panicked).
     ///
     /// A message is acked only if its handler returns normally; a panic is
     /// caught, the message nacked (redelivery or dead-letter per the bus's
-    /// retry budget), and the handler's emitted events discarded.
+    /// retry budget), and the handler's emitted events discarded. If a
+    /// service trips quarantine mid-batch, the rest of its batch is nacked
+    /// back to the queue immediately rather than waiting out the lease.
     pub fn step(&mut self) -> usize {
         let mut processed = 0;
         let mut outbox = Vec::new();
+        let batch_size = self.delivery_batch;
         for registered in &mut self.services {
             if registered.quarantined {
                 continue;
             }
             for &sub_id in &registered.subscriber_ids {
-                let Some(message) = self.bus.fetch(sub_id) else {
-                    continue;
-                };
-                processed += 1;
-                let mut ctx = ServiceCtx::default();
-                let force_panic = std::mem::take(&mut registered.panic_next);
-                let service = &mut registered.service;
-                let outcome = catch_unwind(AssertUnwindSafe(|| {
-                    if force_panic {
-                        panic!("injected service panic");
-                    }
-                    service.handle(&message, &mut ctx);
-                }));
-                match outcome {
-                    Ok(()) => {
-                        registered.consecutive_panics = 0;
-                        self.bus.ack(sub_id, message.id);
-                        outbox.append(&mut ctx.outbox);
-                    }
-                    Err(_) => {
-                        registered.consecutive_panics += 1;
-                        self.bus.nack(sub_id, message.id);
-                        let name = registered.service.name();
-                        if let Some(injector) = &self.injector {
-                            injector.record(format!(
-                                "service {name} panicked on m{} attempt {}",
-                                message.id.0, message.attempt
-                            ));
+                let mut batch = self.bus.fetch_batch(sub_id, batch_size).into_iter();
+                for message in batch.by_ref() {
+                    processed += 1;
+                    let mut ctx = ServiceCtx::default();
+                    let force_panic = std::mem::take(&mut registered.panic_next);
+                    let service = &mut registered.service;
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        if force_panic {
+                            panic!("injected service panic");
                         }
-                        if let Some(t) = &self.telemetry {
-                            t.counter_with(
-                                "securecloud_service_panics_total",
-                                &[("service", name)],
-                            )
-                            .inc();
-                            t.event(
-                                "eventbus",
-                                "service_panic",
-                                vec![
-                                    ("service", name.to_string()),
-                                    ("message", format!("m{}", message.id.0)),
-                                    ("attempt", message.attempt.to_string()),
-                                ],
-                            );
+                        service.handle(&message, &mut ctx);
+                    }));
+                    match outcome {
+                        Ok(()) => {
+                            registered.consecutive_panics = 0;
+                            self.bus.ack(sub_id, message.id);
+                            outbox.append(&mut ctx.outbox);
                         }
-                        if registered.consecutive_panics >= self.quarantine_after {
-                            registered.quarantined = true;
+                        Err(_) => {
+                            registered.consecutive_panics += 1;
+                            self.bus.nack(sub_id, message.id);
+                            let name = registered.service.name();
                             if let Some(injector) = &self.injector {
-                                injector.record(format!("service {name} quarantined"));
+                                injector.record(format!(
+                                    "service {name} panicked on m{} attempt {}",
+                                    message.id.0, message.attempt
+                                ));
                             }
                             if let Some(t) = &self.telemetry {
                                 t.counter_with(
-                                    "securecloud_service_quarantines_total",
+                                    "securecloud_service_panics_total",
                                     &[("service", name)],
                                 )
                                 .inc();
                                 t.event(
                                     "eventbus",
-                                    "service_quarantined",
-                                    vec![("service", name.to_string())],
+                                    "service_panic",
+                                    vec![
+                                        ("service", name.to_string()),
+                                        ("message", format!("m{}", message.id.0)),
+                                        ("attempt", message.attempt.to_string()),
+                                    ],
                                 );
+                            }
+                            if registered.consecutive_panics >= self.quarantine_after {
+                                registered.quarantined = true;
+                                if let Some(injector) = &self.injector {
+                                    injector.record(format!("service {name} quarantined"));
+                                }
+                                if let Some(t) = &self.telemetry {
+                                    t.counter_with(
+                                        "securecloud_service_quarantines_total",
+                                        &[("service", name)],
+                                    )
+                                    .inc();
+                                    t.event(
+                                        "eventbus",
+                                        "service_quarantined",
+                                        vec![("service", name.to_string())],
+                                    );
+                                }
                             }
                         }
                     }
+                    if registered.quarantined {
+                        break;
+                    }
+                }
+                // A quarantine tripped mid-batch: hand the unprocessed rest
+                // of the batch straight back to the queue.
+                for rest in batch {
+                    self.bus.nack(sub_id, rest.id);
                 }
             }
         }
@@ -346,6 +377,36 @@ mod tests {
             .publish("readings", 60u64.to_le_bytes().to_vec(), Publication::new());
         host.run_until_quiet(10);
         assert_eq!(seen.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn batch_delivery_is_observably_single_delivery() {
+        // The same workload at batch sizes 1, 8, 64 processes the same
+        // messages with the same terminal stats — batching only collapses
+        // pump iterations.
+        let run = |batch: usize| {
+            let mut host = ServiceHost::new(1000);
+            let seen = Arc::new(AtomicU64::new(0));
+            host.set_delivery_batch(batch);
+            assert_eq!(host.delivery_batch(), batch.max(1));
+            host.register(Box::new(Doubler));
+            host.register(Box::new(Counter {
+                seen: seen.clone(),
+                filter: None,
+                topic: "doubled".into(),
+            }));
+            for i in 0..10u64 {
+                host.bus_mut()
+                    .publish("readings", i.to_le_bytes().to_vec(), Publication::new());
+            }
+            let processed = host.run_until_quiet(100);
+            (processed, seen.load(Ordering::Relaxed), host.bus().stats())
+        };
+        let single = run(1);
+        assert_eq!(single.1, 10);
+        for batch in [8usize, 64] {
+            assert_eq!(run(batch), single, "batch size {batch} diverged");
+        }
     }
 
     #[test]

@@ -45,6 +45,7 @@ pub mod workload;
 
 use secure::ClientId;
 use securecloud_crypto::CryptoError;
+use securecloud_sgx::SgxError;
 use std::error::Error as StdError;
 use std::fmt;
 
@@ -58,6 +59,8 @@ pub enum ScbrError {
     ExchangeIncomplete,
     /// Decryption/authentication failure (tampering or replay).
     Crypto(CryptoError),
+    /// The router's enclave refused the call (destroyed/aborted).
+    Enclave(SgxError),
 }
 
 impl fmt::Display for ScbrError {
@@ -66,6 +69,7 @@ impl fmt::Display for ScbrError {
             ScbrError::UnknownClient(id) => write!(f, "unknown client {}", id.0),
             ScbrError::ExchangeIncomplete => write!(f, "key exchange not completed"),
             ScbrError::Crypto(e) => write!(f, "cryptographic failure: {e}"),
+            ScbrError::Enclave(e) => write!(f, "enclave failure: {e}"),
         }
     }
 }
@@ -74,6 +78,7 @@ impl StdError for ScbrError {
     fn source(&self) -> Option<&(dyn StdError + 'static)> {
         match self {
             ScbrError::Crypto(e) => Some(e),
+            ScbrError::Enclave(e) => Some(e),
             _ => None,
         }
     }
@@ -82,6 +87,12 @@ impl StdError for ScbrError {
 impl From<CryptoError> for ScbrError {
     fn from(e: CryptoError) -> Self {
         ScbrError::Crypto(e)
+    }
+}
+
+impl From<SgxError> for ScbrError {
+    fn from(e: SgxError) -> Self {
+        ScbrError::Enclave(e)
     }
 }
 

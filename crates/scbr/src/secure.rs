@@ -16,7 +16,7 @@ use securecloud_crypto::hmac::hkdf;
 use securecloud_crypto::wire::Wire;
 use securecloud_crypto::x25519::{self, PublicKey, SecretKey};
 use securecloud_sgx::enclave::Enclave;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// Router-assigned client identifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -154,9 +154,14 @@ impl SecureRouter {
     /// returns one sealed notification per matching subscription, encrypted
     /// for the owning subscriber.
     ///
+    /// Decryption and matching run inside one enclave transition, so every
+    /// single-message publish pays a full ECALL/OCALL pair (compare
+    /// [`Self::publish_sealed_batch`], which amortizes that over a batch).
+    ///
     /// # Errors
     ///
-    /// [`ScbrError::UnknownClient`], [`ScbrError::Crypto`].
+    /// [`ScbrError::UnknownClient`], [`ScbrError::Crypto`],
+    /// [`ScbrError::Enclave`].
     pub fn publish_sealed(
         &mut self,
         client: ClientId,
@@ -174,9 +179,12 @@ impl SecureRouter {
         state.recv_seq += 1;
         let publication = Publication::from_wire(&plain).map_err(ScbrError::Crypto)?;
 
-        let mem = self.enclave.memory();
-        mem.charge_cycles(sealed.len() as u64 * AEAD_CYCLES_PER_BYTE);
-        let matches = self.engine.publish(mem, &publication);
+        let aead_cost = sealed.len() as u64 * AEAD_CYCLES_PER_BYTE;
+        let engine = &mut self.engine;
+        let matches = self.enclave.ecall(|mem| {
+            mem.charge_cycles(aead_cost);
+            engine.publish(mem, &publication)
+        })?;
 
         let mut notifications = Vec::with_capacity(matches.len());
         for sub_id in matches {
@@ -202,6 +210,93 @@ impl SecureRouter {
                 .memory()
                 .charge_cycles(plain.len() as u64 * AEAD_CYCLES_PER_BYTE);
             notifications.push((sub_id, framed));
+        }
+        Ok(notifications)
+    }
+
+    /// Processes a sealed *batch* of publications from `client`.
+    ///
+    /// The whole batch arrives as one AEAD frame (one nonce, one tag — see
+    /// [`RouterClient::seal_publication_batch`]), is opened and matched
+    /// inside a *single* enclave transition, and the matched publications
+    /// are fanned out as one sealed notification frame per subscriber:
+    /// the returned pairs are `(owner, frame)` where each frame carries
+    /// every publication that matched one of that owner's subscriptions,
+    /// in batch order. Compared to N calls to [`Self::publish_sealed`],
+    /// this charges one ECALL/OCALL pair instead of N and one GHASH
+    /// setup per frame instead of per message.
+    ///
+    /// # Errors
+    ///
+    /// [`ScbrError::UnknownClient`], [`ScbrError::Crypto`],
+    /// [`ScbrError::Enclave`].
+    pub fn publish_sealed_batch(
+        &mut self,
+        client: ClientId,
+        sealed: &[u8],
+    ) -> Result<Vec<(ClientId, Vec<u8>)>, ScbrError> {
+        let state = self
+            .clients
+            .get_mut(&client)
+            .ok_or(ScbrError::UnknownClient(client))?;
+        let nonce = nonce_from_seq(DOMAIN_TO_ROUTER, state.recv_seq);
+        let plain = state
+            .key
+            .open(&nonce, sealed, b"scbr-pub-batch")
+            .map_err(ScbrError::Crypto)?;
+        state.recv_seq += 1;
+        let publications = Vec::<Publication>::from_wire(&plain).map_err(ScbrError::Crypto)?;
+
+        // One enclave transition for the whole batch: the AEAD open charge
+        // and every match run inside a single ECALL/OCALL pair.
+        let aead_cost = sealed.len() as u64 * AEAD_CYCLES_PER_BYTE;
+        let engine = &mut self.engine;
+        let matches_per_publication = self.enclave.ecall(|mem| {
+            mem.charge_cycles(aead_cost);
+            publications
+                .iter()
+                .map(|publication| engine.publish(mem, publication))
+                .collect::<Vec<_>>()
+        })?;
+
+        // Group matched publications per owning subscriber, preserving batch
+        // order within each owner; BTreeMap keeps the fan-out order
+        // deterministic. A publication matching two subscriptions of the
+        // same owner is delivered twice, exactly like the single path.
+        let mut per_owner: BTreeMap<u64, Vec<&Publication>> = BTreeMap::new();
+        for (publication, matches) in publications.iter().zip(&matches_per_publication) {
+            for sub_id in matches {
+                let owner = self.owners[sub_id];
+                per_owner.entry(owner.0).or_default().push(publication);
+            }
+        }
+
+        let mut notifications = Vec::with_capacity(per_owner.len());
+        for (owner_raw, matched) in per_owner {
+            let owner = ClientId(owner_raw);
+            let owner_state = self
+                .clients
+                .get_mut(&owner)
+                .expect("owner registered at subscribe time");
+            let nonce = nonce_from_seq(DOMAIN_TO_CLIENT, owner_state.send_seq);
+            owner_state.send_seq += 1;
+            let mut framed = Vec::new();
+            framed.extend_from_slice(&nonce);
+            (matched.len() as u32).encode(&mut framed);
+            for publication in &matched {
+                publication.encode(&mut framed);
+            }
+            let tag = owner_state.key.seal_in_place_detached(
+                &nonce,
+                &mut framed[NONCE_LEN..],
+                b"scbr-notify-batch",
+            );
+            let body_len = framed.len() - NONCE_LEN;
+            framed.extend_from_slice(&tag);
+            self.enclave
+                .memory()
+                .charge_cycles(body_len as u64 * AEAD_CYCLES_PER_BYTE);
+            notifications.push((owner, framed));
         }
         Ok(notifications)
     }
@@ -289,6 +384,60 @@ impl RouterClient {
             .seal_in_place(&nonce, &mut sealed, b"scbr-pub");
         self.send_seq += 1;
         Ok(sealed)
+    }
+
+    /// Seals a batch of publications into a single AEAD frame for the
+    /// router: one nonce, one sequence number, and one tag for the whole
+    /// batch, so a batch of N costs one seal instead of N.
+    ///
+    /// # Errors
+    ///
+    /// [`ScbrError::ExchangeIncomplete`] before [`Self::complete_exchange`].
+    pub fn seal_publication_batch(
+        &mut self,
+        publications: &[Publication],
+    ) -> Result<Vec<u8>, ScbrError> {
+        let nonce = nonce_from_seq(DOMAIN_TO_ROUTER, self.send_seq);
+        // Wire-compatible with `Vec<Publication>`: count, then each item.
+        let mut sealed = Vec::new();
+        (publications.len() as u32).encode(&mut sealed);
+        for publication in publications {
+            publication.encode(&mut sealed);
+        }
+        self.cipher()?
+            .seal_in_place(&nonce, &mut sealed, b"scbr-pub-batch");
+        self.send_seq += 1;
+        Ok(sealed)
+    }
+
+    /// Opens a batched notification frame from the router, returning the
+    /// matched publications in batch order.
+    ///
+    /// # Errors
+    ///
+    /// [`ScbrError::Crypto`] on tampering or replay.
+    pub fn open_notification_batch(
+        &mut self,
+        framed: &[u8],
+    ) -> Result<Vec<Publication>, ScbrError> {
+        if framed.len() < NONCE_LEN {
+            return Err(ScbrError::Crypto(
+                securecloud_crypto::CryptoError::AuthenticationFailed,
+            ));
+        }
+        let (nonce, body) = framed.split_at(NONCE_LEN);
+        let expected = nonce_from_seq(DOMAIN_TO_CLIENT, self.recv_seq);
+        if !securecloud_crypto::ct_eq(nonce, &expected) {
+            return Err(ScbrError::Crypto(
+                securecloud_crypto::CryptoError::AuthenticationFailed,
+            ));
+        }
+        let plain = self
+            .cipher()?
+            .open(&expected, body, b"scbr-notify-batch")
+            .map_err(ScbrError::Crypto)?;
+        self.recv_seq += 1;
+        Vec::<Publication>::from_wire(&plain).map_err(ScbrError::Crypto)
     }
 
     /// Opens a notification from the router.
@@ -440,5 +589,170 @@ mod tests {
         let notifications = router.publish_sealed(alice_id, &sealed_pub).unwrap();
         assert!(bob.open_notification(&notifications[0].1).is_err());
         assert!(alice.open_notification(&notifications[0].1).is_ok());
+    }
+
+    #[test]
+    fn batch_publish_fans_out_per_owner() {
+        let mut router = router();
+        let mut alice = RouterClient::new();
+        let mut bob = RouterClient::new();
+        let mut publisher = RouterClient::new();
+        let alice_id = router.register(&alice.public_key());
+        let bob_id = router.register(&bob.public_key());
+        let pub_id = router.register(&publisher.public_key());
+        alice.complete_exchange(&router.public_key());
+        bob.complete_exchange(&router.public_key());
+        publisher.complete_exchange(&router.public_key());
+
+        // Alice wants v >= 10 on topic 1; Bob wants v >= 100 on topic 1.
+        let sealed = alice.seal_subscription(&sub(1, 10)).unwrap();
+        router.subscribe_sealed(alice_id, &sealed).unwrap();
+        let sealed = bob.seal_subscription(&sub(1, 100)).unwrap();
+        router.subscribe_sealed(bob_id, &sealed).unwrap();
+
+        let batch = vec![
+            publication(1, 50),  // alice only
+            publication(1, 500), // alice and bob
+            publication(2, 999), // nobody (wrong topic)
+        ];
+        let sealed = publisher.seal_publication_batch(&batch).unwrap();
+        let notifications = router.publish_sealed_batch(pub_id, &sealed).unwrap();
+
+        // One frame per subscriber with matches, owners in id order.
+        assert_eq!(notifications.len(), 2);
+        assert_eq!(notifications[0].0, alice_id);
+        assert_eq!(notifications[1].0, bob_id);
+        let for_alice = alice.open_notification_batch(&notifications[0].1).unwrap();
+        assert_eq!(for_alice, vec![publication(1, 50), publication(1, 500)]);
+        let for_bob = bob.open_notification_batch(&notifications[1].1).unwrap();
+        assert_eq!(for_bob, vec![publication(1, 500)]);
+    }
+
+    #[test]
+    fn batch_matching_equals_single_matching() {
+        // The same publications produce the same per-owner deliveries
+        // whether published one at a time or as a batch.
+        let mut batch_router = router();
+        let mut single_router = router();
+        let publications: Vec<Publication> = (0..16).map(|v| publication(1, v * 20)).collect();
+
+        let mut deliveries_single: Vec<Publication> = Vec::new();
+        let mut deliveries_batch: Vec<Publication> = Vec::new();
+
+        for (router, deliveries, batched) in [
+            (&mut batch_router, &mut deliveries_batch, true),
+            (&mut single_router, &mut deliveries_single, false),
+        ] {
+            let mut subscriber = RouterClient::new();
+            let mut publisher = RouterClient::new();
+            let sub_id = router.register(&subscriber.public_key());
+            let pub_id = router.register(&publisher.public_key());
+            subscriber.complete_exchange(&router.public_key());
+            publisher.complete_exchange(&router.public_key());
+            let sealed = subscriber.seal_subscription(&sub(1, 100)).unwrap();
+            router.subscribe_sealed(sub_id, &sealed).unwrap();
+
+            if batched {
+                let sealed = publisher.seal_publication_batch(&publications).unwrap();
+                for (_, framed) in router.publish_sealed_batch(pub_id, &sealed).unwrap() {
+                    deliveries.extend(subscriber.open_notification_batch(&framed).unwrap());
+                }
+            } else {
+                for p in &publications {
+                    let sealed = publisher.seal_publication(p).unwrap();
+                    for (_, framed) in router.publish_sealed(pub_id, &sealed).unwrap() {
+                        deliveries.push(subscriber.open_notification(&framed).unwrap());
+                    }
+                }
+            }
+        }
+        assert!(!deliveries_single.is_empty());
+        assert_eq!(deliveries_batch, deliveries_single);
+    }
+
+    #[test]
+    fn batch_amortizes_enclave_transitions() {
+        // A 16-publication batch pays one ECALL/OCALL pair; 16 singles pay
+        // 16. The simulated transition cycles must reflect that.
+        let mut batch_router = router();
+        let mut single_router = router();
+        let publications: Vec<Publication> = (0..16).map(|v| publication(1, v)).collect();
+        let mut costs = Vec::new();
+
+        for (router, batched) in [(&mut batch_router, true), (&mut single_router, false)] {
+            let mut publisher = RouterClient::new();
+            let pub_id = router.register(&publisher.public_key());
+            publisher.complete_exchange(&router.public_key());
+            let before = router.enclave_mut().memory().cycles();
+            if batched {
+                let sealed = publisher.seal_publication_batch(&publications).unwrap();
+                router.publish_sealed_batch(pub_id, &sealed).unwrap();
+            } else {
+                for p in &publications {
+                    let sealed = publisher.seal_publication(p).unwrap();
+                    router.publish_sealed(pub_id, &sealed).unwrap();
+                }
+            }
+            costs.push(router.enclave_mut().memory().cycles() - before);
+        }
+        let (batch_cost, single_cost) = (costs[0], costs[1]);
+        assert!(
+            batch_cost * 2 < single_cost,
+            "batch {batch_cost} vs singles {single_cost}"
+        );
+    }
+
+    #[test]
+    fn tampered_or_replayed_batch_rejected() {
+        let mut router = router();
+        let batch = vec![publication(1, 1), publication(1, 2)];
+
+        // Tampering: a failed open does not advance the router's expected
+        // sequence, so each negative case gets its own (now desynced) client.
+        let mut mallory = RouterClient::new();
+        let mallory_id = router.register(&mallory.public_key());
+        mallory.complete_exchange(&router.public_key());
+        let mut sealed = mallory.seal_publication_batch(&batch).unwrap();
+        sealed[0] ^= 1;
+        assert!(matches!(
+            router.publish_sealed_batch(mallory_id, &sealed),
+            Err(ScbrError::Crypto(_))
+        ));
+
+        // Cross-format confusion: a single-message frame is not accepted
+        // by the batch path (the AADs differ).
+        let mut trudy = RouterClient::new();
+        let trudy_id = router.register(&trudy.public_key());
+        trudy.complete_exchange(&router.public_key());
+        let single = trudy.seal_publication(&publication(1, 3)).unwrap();
+        assert!(matches!(
+            router.publish_sealed_batch(trudy_id, &single),
+            Err(ScbrError::Crypto(_))
+        ));
+
+        // Replay: an accepted batch cannot be accepted twice.
+        let mut publisher = RouterClient::new();
+        let pub_id = router.register(&publisher.public_key());
+        publisher.complete_exchange(&router.public_key());
+        let sealed = publisher.seal_publication_batch(&batch).unwrap();
+        router.publish_sealed_batch(pub_id, &sealed).unwrap();
+        assert!(matches!(
+            router.publish_sealed_batch(pub_id, &sealed),
+            Err(ScbrError::Crypto(_))
+        ));
+    }
+
+    #[test]
+    fn destroyed_enclave_surfaces_enclave_error() {
+        let mut router = router();
+        let mut publisher = RouterClient::new();
+        let pub_id = router.register(&publisher.public_key());
+        publisher.complete_exchange(&router.public_key());
+        router.enclave_mut().destroy();
+        let sealed = publisher.seal_publication(&publication(1, 1)).unwrap();
+        assert!(matches!(
+            router.publish_sealed(pub_id, &sealed),
+            Err(ScbrError::Enclave(_))
+        ));
     }
 }

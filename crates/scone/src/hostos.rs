@@ -101,6 +101,12 @@ pub trait HostOs: Send + Sync {
     fn execute(&self, call: &Syscall) -> SyscallRet;
 }
 
+impl<H: HostOs + ?Sized> HostOs for Arc<H> {
+    fn execute(&self, call: &Syscall) -> SyscallRet {
+        (**self).execute(call)
+    }
+}
+
 type FileRef = Arc<Mutex<Vec<u8>>>;
 
 #[derive(Debug, Default)]

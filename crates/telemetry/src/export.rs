@@ -241,6 +241,27 @@ securecloud_latency_ms_count{kind=\"ack\"} 4
     }
 
     #[test]
+    fn prometheus_le_bounds_cover_u64_extremes() {
+        // Zero observations must render under le="0" (bucket 0) and
+        // u64::MAX under its exact final-bucket bound — not shifted into a
+        // neighbouring bucket or collapsed into +Inf only.
+        let r = Registry::new();
+        let h = r.histogram("securecloud_extreme_ms");
+        h.observe(0);
+        h.observe(u64::MAX);
+        let text = prometheus_text(&r);
+        let expected = "\
+# TYPE securecloud_extreme_ms histogram
+securecloud_extreme_ms_bucket{le=\"0\"} 1
+securecloud_extreme_ms_bucket{le=\"18446744073709551615\"} 2
+securecloud_extreme_ms_bucket{le=\"+Inf\"} 2
+securecloud_extreme_ms_sum 18446744073709551615
+securecloud_extreme_ms_count 2
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
     fn jsonl_golden() {
         let text = trace_jsonl(&sample_events());
         let expected = "\

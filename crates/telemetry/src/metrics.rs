@@ -25,6 +25,22 @@ use std::sync::{Arc, Mutex};
 /// zero). 64-bit values need 65 buckets.
 pub const HISTOGRAM_BUCKETS: usize = 65;
 
+/// Adds `delta` to `target` with saturating semantics: the stored value
+/// never wraps, not even transiently. A compare-exchange loop recomputes
+/// `saturating_add` against the freshest value, so a concurrent reader can
+/// only ever observe monotonically increasing values capped at `u64::MAX`
+/// (a plain `fetch_add` + clamp briefly exposes the wrapped value).
+fn saturating_fetch_add(target: &AtomicU64, delta: u64) {
+    let mut current = target.load(Ordering::Relaxed);
+    loop {
+        let next = current.saturating_add(delta);
+        match target.compare_exchange_weak(current, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(observed) => current = observed,
+        }
+    }
+}
+
 /// A monotonically increasing counter. Increments saturate at `u64::MAX`
 /// instead of wrapping, so a runaway counter reads as "pegged", never as a
 /// small number again.
@@ -45,15 +61,10 @@ impl Counter {
         self.add(1);
     }
 
-    /// Increments by `delta`, saturating at `u64::MAX`.
+    /// Increments by `delta`, saturating at `u64::MAX`. Readers never see a
+    /// wrapped value, even mid-race.
     pub fn add(&self, delta: u64) {
-        let prev = self.value.fetch_add(delta, Ordering::Relaxed);
-        if prev.checked_add(delta).is_none() {
-            // The addition wrapped; clamp to the ceiling. Concurrent
-            // increments may briefly observe the wrapped value, but every
-            // subsequent read sees the saturated one.
-            self.value.store(u64::MAX, Ordering::Relaxed);
-        }
+        saturating_fetch_add(&self.value, delta);
     }
 
     /// Current value.
@@ -150,14 +161,12 @@ impl Histogram {
         }
     }
 
-    /// Records one observation.
+    /// Records one observation. The running sum saturates at `u64::MAX`
+    /// without ever exposing a wrapped intermediate to concurrent readers.
     pub fn observe(&self, value: u64) {
         self.inner.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
         self.inner.count.fetch_add(1, Ordering::Relaxed);
-        let prev = self.inner.sum.fetch_add(value, Ordering::Relaxed);
-        if prev.checked_add(value).is_none() {
-            self.inner.sum.store(u64::MAX, Ordering::Relaxed);
-        }
+        saturating_fetch_add(&self.inner.sum, value);
     }
 
     /// Total number of observations.
@@ -190,11 +199,7 @@ impl Histogram {
             bucket.fetch_add(count, Ordering::Relaxed);
         }
         self.inner.count.fetch_add(other.count(), Ordering::Relaxed);
-        let sum = other.sum();
-        let prev = self.inner.sum.fetch_add(sum, Ordering::Relaxed);
-        if prev.checked_add(sum).is_none() {
-            self.inner.sum.store(u64::MAX, Ordering::Relaxed);
-        }
+        saturating_fetch_add(&self.inner.sum, other.sum());
     }
 }
 
@@ -411,6 +416,58 @@ mod tests {
     }
 
     #[test]
+    fn counter_saturation_never_exposes_wrapped_value() {
+        // Hammer a near-ceiling counter from several threads; every
+        // intermediate read must be >= the starting value (the old
+        // fetch_add + clamp pattern could transiently expose a tiny
+        // wrapped value to a concurrent reader).
+        let c = Counter::new();
+        let start = u64::MAX - 16;
+        c.add(start);
+        let done = Arc::new(AtomicU64::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let c = c.clone();
+                let done = Arc::clone(&done);
+                scope.spawn(move || {
+                    for _ in 0..1_000 {
+                        c.add(7);
+                    }
+                    done.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+            while done.load(Ordering::Relaxed) < 4 {
+                assert!(c.value() >= start, "reader observed a wrapped counter");
+            }
+        });
+        assert_eq!(c.value(), u64::MAX);
+    }
+
+    #[test]
+    fn histogram_sum_saturates_without_wrapping() {
+        let h = Histogram::new();
+        h.observe(u64::MAX - 1);
+        h.observe(5);
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.count(), 2);
+        h.observe(1);
+        assert_eq!(h.sum(), u64::MAX);
+    }
+
+    #[test]
+    fn merge_from_saturates_sum() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        a.observe(u64::MAX - 1);
+        b.observe(u64::MAX - 1);
+        a.merge_from(&b);
+        assert_eq!(a.sum(), u64::MAX);
+        assert_eq!(a.count(), 2);
+        // Bucket counts still add exactly.
+        assert_eq!(a.bucket_counts()[64], 2);
+    }
+
+    #[test]
     fn gauge_tracks_depth() {
         let g = Gauge::new();
         g.add(3);
@@ -418,6 +475,30 @@ mod tests {
         assert_eq!(g.value(), 2);
         g.set(-7);
         assert_eq!(g.value(), -7);
+    }
+
+    #[test]
+    fn histogram_bucket_edge_cases_pinned() {
+        // The two extremes of the u64 range are load-bearing for exporters:
+        // zero must land in bucket 0 (upper bound "0") and u64::MAX in the
+        // final bucket 64 (upper bound u64::MAX), with merge_from keeping
+        // both in place.
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_upper_bound(0), 0);
+        assert_eq!(Histogram::bucket_upper_bound(64), u64::MAX);
+        // Out-of-range indices clamp to the final bound rather than shifting.
+        assert_eq!(Histogram::bucket_upper_bound(65), u64::MAX);
+        let h = Histogram::new();
+        h.observe(0);
+        h.observe(u64::MAX);
+        let merged = Histogram::new();
+        merged.merge_from(&h);
+        let buckets = merged.bucket_counts();
+        assert_eq!(buckets[0], 1);
+        assert_eq!(buckets[64], 1);
+        assert_eq!(merged.count(), 2);
+        assert_eq!(merged.sum(), u64::MAX);
     }
 
     #[test]

@@ -529,6 +529,59 @@ fn same_seed_gives_byte_identical_failover_telemetry() {
 }
 
 #[test]
+fn armed_syscall_failures_hit_the_shield_layer() {
+    // Regression: `SyscallFail` used to be dropped on the floor by
+    // `SecureCloud::advance` — the injector armed itself, but no container
+    // host ever consulted it, so shielded runtimes never saw the fault.
+    // With the injector attached before the container starts, its runtime
+    // talks to the host through a FaultyHost and the armed failure
+    // surfaces as a shield-layer error.
+    let mut cloud = SecureCloud::new();
+    let plan = FaultPlan::new().at(100, FaultKind::SyscallFail { count: 1 });
+    let injector = Arc::new(FaultInjector::with_plan(0xFA17, plan));
+    cloud.set_fault_injector(Arc::clone(&injector));
+
+    let built = SecureImageBuilder::new("spool-gw", "v1", b"spool gateway code")
+        .protect_file("/data/keys", b"spool-master-key")
+        .build()
+        .unwrap();
+    let image = cloud.deploy_image(built);
+    let container = cloud.run_container(image).unwrap();
+
+    // Before the fault fires, shielded reads work.
+    let read = |cloud: &mut SecureCloud| {
+        cloud
+            .with_runtime(container, |rt| rt.read_file("/data/keys", 0, 64))
+            .unwrap()
+    };
+    assert_eq!(read(&mut cloud).unwrap(), b"spool-master-key");
+
+    let events = cloud.advance(150);
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e.kind, FaultKind::SyscallFail { count: 1 })),
+        "the planned fault fired"
+    );
+
+    // The armed failure hits the very next host syscall the runtime makes,
+    // and the shield layer refuses the read instead of masking it.
+    assert!(
+        read(&mut cloud).is_err(),
+        "armed syscall failure must surface through the shielded runtime"
+    );
+    // The window closed: the following read succeeds again.
+    assert_eq!(read(&mut cloud).unwrap(), b"spool-master-key");
+
+    // The arming is recorded in both traces.
+    assert!(trace_has(&injector.trace(), "fire syscall-fail x1"));
+    assert!(cloud
+        .telemetry()
+        .trace_jsonl()
+        .contains("syscall_failures_armed"));
+}
+
+#[test]
 fn same_seed_gives_identical_traces() {
     let (first, second) = with_silent_panics(|| (run_scenario(0x5EED), run_scenario(0x5EED)));
     assert!(!first.trace.is_empty());

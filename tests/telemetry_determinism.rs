@@ -167,6 +167,94 @@ fn equal_seeds_give_byte_identical_traces() {
     );
 }
 
+/// One seeded run with a fixed per-step delivery batch size; the fault
+/// plan is deterministic (no probabilistic loss/duplication, whose RNG
+/// draw order would legitimately depend on delivery interleaving).
+fn run_batched_scenario(seed: u64, batch: usize) -> (String, String, String) {
+    let mut cloud = SecureCloud::new();
+    cloud.engine_mut().set_supervision_seed(seed);
+    cloud.set_delivery_batch(batch);
+
+    let built = SecureImageBuilder::new("meter-gw", "v1", b"meter gateway code")
+        .protect_file("/data/keys", b"meter-fleet-master-key")
+        .build()
+        .unwrap();
+    let image = cloud.deploy_image(built);
+    let container = cloud
+        .engine_mut()
+        .run_supervised(
+            image,
+            SupervisionConfig {
+                policy: RestartPolicy::OnFailure,
+                backoff_base_ms: 100,
+                backoff_cap_ms: 2_000,
+                jitter_ms: 25,
+                max_restarts: 5,
+            },
+        )
+        .unwrap();
+
+    let plan = FaultPlan::new()
+        .at(
+            500,
+            FaultKind::EnclaveAbort {
+                container: container.0,
+            },
+        )
+        .at(
+            900,
+            FaultKind::ServicePanic {
+                service: "sink".into(),
+            },
+        );
+    cloud.set_fault_injector(Arc::new(FaultInjector::with_plan(seed, plan)));
+    cloud.register_service(Box::new(Sink));
+
+    let mut next_reading = 0u64;
+    for _ in 0..12 {
+        for _ in 0..5 {
+            cloud.services_mut().bus_mut().publish(
+                "grid/readings",
+                next_reading.to_le_bytes().to_vec(),
+                Publication::new(),
+            );
+            next_reading += 1;
+        }
+        cloud.run_services(512);
+        cloud.advance(250);
+    }
+
+    let telemetry = cloud.telemetry();
+    (
+        telemetry.trace_jsonl(),
+        telemetry.prometheus(),
+        telemetry.chrome_trace_json(),
+    )
+}
+
+#[test]
+fn delivery_batch_size_does_not_change_telemetry() {
+    // Batch delivery is an optimization, not a semantic change: the same
+    // seeded run with per-step batches of 1, 8, and 64 must leave every
+    // telemetry artifact byte-identical.
+    let (jsonl_1, prom_1, chrome_1) = with_silent_panics(|| run_batched_scenario(0x0B47C, 1));
+    assert!(!jsonl_1.is_empty(), "scenario produced no trace events");
+    for batch in [8, 64] {
+        let (jsonl, prom, chrome) = with_silent_panics(|| run_batched_scenario(0x0B47C, batch));
+        assert_eq!(jsonl_1.as_bytes(), jsonl.as_bytes(), "jsonl, batch {batch}");
+        assert_eq!(
+            prom_1.as_bytes(),
+            prom.as_bytes(),
+            "prometheus, batch {batch}"
+        );
+        assert_eq!(
+            chrome_1.as_bytes(),
+            chrome.as_bytes(),
+            "chrome, batch {batch}"
+        );
+    }
+}
+
 #[test]
 fn chaos_run_records_metrics_from_every_layer() {
     let (jsonl, snapshot, _) = with_silent_panics(|| run_scenario(0xC0FFEE));
