@@ -5,21 +5,22 @@
 //! Usage: `cargo run --release -p securecloud-bench --bin repro -- [exp] [--smoke] [--jobs N]`
 //! where `exp` is one of `fig3`, `cache`, `fig3opt`, `genpack`, `ablation`,
 //! `genpack_sweep`, `syscall`, `syscall_window`, `container`, `index`,
-//! `orchestration`, `replication`, `crypto`, `messaging`, or `all`
-//! (default). `--smoke` runs reduced workloads (CI-sized) with the same
-//! code paths. `--jobs N` fans the fig3, replication, and messaging sweeps
-//! across N worker threads (default: available parallelism; `--jobs 1`
-//! forces serial) — results and telemetry are byte-identical for any job
-//! count.
+//! `orchestration`, `replication`, `crypto`, `messaging`, `cluster`, or
+//! `all` (default). `--smoke` runs reduced workloads (CI-sized) with the
+//! same code paths. `--jobs N` fans the fig3, replication, messaging, and
+//! cluster sweeps across N worker threads (default: available parallelism;
+//! `--jobs 1` forces serial) — results and telemetry are byte-identical
+//! for any job count.
 //!
 //! Every run leaves a telemetry report (Prometheus snapshot, JSONL trace,
 //! chrome trace) under `target/telemetry/`; `crypto` additionally writes
-//! `target/telemetry/BENCH_crypto.json` and `messaging` writes
-//! `target/telemetry/BENCH_messaging.json`.
+//! `target/telemetry/BENCH_crypto.json`, `messaging` writes
+//! `target/telemetry/BENCH_messaging.json`, and `cluster` writes
+//! `target/telemetry/BENCH_cluster.json`.
 
 use securecloud_bench::{
-    container, cryptobench, fig3, genpack_exp, indexcmp, messaging, orchestration_exp, pool,
-    replication, syscalls,
+    cluster_exp, container, cryptobench, fig3, genpack_exp, indexcmp, messaging, orchestration_exp,
+    pool, replication, syscalls,
 };
 use securecloud_telemetry::Telemetry;
 use std::path::Path;
@@ -89,6 +90,9 @@ fn main() {
     }
     if all || which == "messaging" {
         run_messaging(smoke, jobs, &telemetry);
+    }
+    if all || which == "cluster" {
+        run_cluster(smoke, jobs);
     }
     match telemetry.write_report(Path::new("target/telemetry")) {
         Ok(report) => println!(
@@ -428,6 +432,58 @@ fn run_messaging(smoke: bool, jobs: usize, telemetry: &Telemetry) {
     match report.write_json(path) {
         Ok(()) => println!("\nmessaging bench report: {}\n", path.display()),
         Err(err) => eprintln!("\nwarning: messaging bench report not written: {err}\n"),
+    }
+}
+
+fn run_cluster(smoke: bool, jobs: usize) {
+    println!("== E12: elastic cluster controller under a seeded fault schedule ==");
+    println!("(load ramp forces scale-ups; the schedule kills the replicas they");
+    println!(" admit, stalls one, partitions a group — zero acked writes lost,");
+    println!(" no epoch rollback, byte-identical decisions at any --jobs)\n");
+    let config = if smoke {
+        cluster_exp::ClusterConfig::smoke()
+    } else {
+        cluster_exp::ClusterConfig::full()
+    };
+    println!(
+        "{} tick(s) x {} ms virtual per cell\n",
+        config.ticks, config.tick_ms
+    );
+    println!(
+        "{:>10} {:>7} {:>6} {:>6} {:>5} {:>7} {:>6} {:>6} {:>5} {:>9} {:>18}",
+        "seed",
+        "wr/tick",
+        "acked",
+        "reject",
+        "ups",
+        "downs",
+        "kills",
+        "repl",
+        "live",
+        "decisions",
+        "trace fnv"
+    );
+    let report = cluster_exp::sweep_jobs(&config, jobs);
+    for point in &report.points {
+        println!(
+            "{:>10x} {:>7} {:>6} {:>6} {:>5} {:>7} {:>6} {:>6} {:>5} {:>9} {:>18x}",
+            point.seed,
+            point.writes_per_tick,
+            point.acked,
+            point.rejected,
+            point.scale_ups,
+            point.scale_downs,
+            point.replicas_killed,
+            point.replicas_replaced,
+            point.final_live,
+            point.decisions,
+            cluster_exp::trace_fnv(&point.decision_trace)
+        );
+    }
+    let path = Path::new("target/telemetry/BENCH_cluster.json");
+    match report.write_json(path) {
+        Ok(()) => println!("\ncluster bench report: {}\n", path.display()),
+        Err(err) => eprintln!("\nwarning: cluster bench report not written: {err}\n"),
     }
 }
 

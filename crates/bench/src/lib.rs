@@ -1,6 +1,6 @@
 //! The SecureCloud benchmark harness.
 //!
-//! One module per experiment in DESIGN.md's index (E1–E11), plus the
+//! One module per experiment in DESIGN.md's index (E1–E12), plus the
 //! ordered worker [`pool`] the sweeps fan out on. Each module exposes a
 //! runner returning structured results; the `repro` binary prints them as
 //! the tables recorded in EXPERIMENTS.md, and the Criterion benches in
@@ -12,6 +12,7 @@
 //! real wall-clock of the cryptographic build pipeline, E10 real
 //! wall-clock crypto kernel throughput).
 
+pub mod cluster_exp;
 pub mod container;
 pub mod cryptobench;
 pub mod fig3;

@@ -72,23 +72,6 @@ pub struct MessagingPoint {
     pub p99_us: u64,
 }
 
-/// Smallest histogram bucket bound covering the 99th percentile.
-fn p99_upper_bound(histogram: &Histogram) -> u64 {
-    let total = histogram.count();
-    if total == 0 {
-        return 0;
-    }
-    let rank = (total * 99).div_ceil(100).max(1);
-    let mut cumulative = 0u64;
-    for (index, count) in histogram.bucket_counts().iter().enumerate() {
-        cumulative += count;
-        if cumulative >= rank {
-            return Histogram::bucket_upper_bound(index);
-        }
-    }
-    u64::MAX
-}
-
 /// A deterministic, incompressible-ish attribute blob of roughly `bytes`.
 fn blob(bytes: usize) -> String {
     (0..bytes)
@@ -189,7 +172,7 @@ fn run_point(
         messages,
         delivered,
         msgs_per_s: messages as f64 / secs,
-        p99_us: p99_upper_bound(&latency),
+        p99_us: latency.percentile_upper_bound(99),
     }
 }
 
@@ -357,7 +340,10 @@ mod tests {
         }
         h.observe(1_000_000);
         // 99th percentile lands in the bucket holding the 10s.
-        assert_eq!(p99_upper_bound(&h), Histogram::bucket_upper_bound(4));
-        assert_eq!(p99_upper_bound(&Histogram::new()), 0);
+        assert_eq!(
+            h.percentile_upper_bound(99),
+            Histogram::bucket_upper_bound(4)
+        );
+        assert_eq!(Histogram::new().percentile_upper_bound(99), 0);
     }
 }

@@ -3,7 +3,7 @@
 //! byte-identical point vectors *and* byte-identical telemetry exports for
 //! any `--jobs` value.
 
-use securecloud_bench::{fig3, messaging, replication};
+use securecloud_bench::{cluster_exp, fig3, messaging, replication};
 use securecloud_telemetry::Telemetry;
 
 /// Tiny Figure 3 sweep (debug-build sized): serial and 4-way parallel runs
@@ -68,6 +68,41 @@ fn messaging_sweep_is_identical_across_job_counts() {
     assert!(
         serial_prom.contains("securecloud_bench_messaging_publish_us"),
         "latency histogram missing from snapshot"
+    );
+}
+
+/// E12 chaos cells: the controller's decision trace is a pure function of
+/// (seed, policy, virtual clock), so serial and parallel runs must agree
+/// on every point — the full decision trace bytes included, not just the
+/// scalar outcomes.
+#[test]
+fn cluster_decision_traces_are_identical_across_job_counts() {
+    let config = cluster_exp::ClusterConfig {
+        seeds: vec![0xE1A5_0001, 0x5EED_0002],
+        writes_per_tick: vec![4],
+        ticks: 30,
+        tick_ms: 250,
+        overload_ticks: 9,
+    };
+
+    let serial = cluster_exp::sweep_jobs(&config, 1);
+    let parallel = cluster_exp::sweep_jobs(&config, 4);
+
+    assert_eq!(serial, parallel, "cluster chaos cells diverge across jobs");
+    assert_eq!(serial.points.len(), 2);
+    for (first, second) in serial.points.iter().zip(&parallel.points) {
+        assert_eq!(
+            first.decision_trace, second.decision_trace,
+            "seed {:#x}: decision trace bytes diverge",
+            first.seed
+        );
+        assert!(!first.decision_trace.is_empty());
+    }
+    // Different seeds jitter the schedule differently, so their traces
+    // must differ — equal traces would mean the seed is ignored.
+    assert_ne!(
+        serial.points[0].decision_trace,
+        serial.points[1].decision_trace
     );
 }
 

@@ -42,6 +42,7 @@
 //! assert_eq!(plaintext, b"secret");
 //! ```
 
+pub use securecloud_cluster as cluster;
 pub use securecloud_containers as containers;
 pub use securecloud_crypto as crypto;
 pub use securecloud_eventbus as eventbus;
@@ -56,8 +57,9 @@ pub use securecloud_sgx as sgx;
 pub use securecloud_smartgrid as smartgrid;
 pub use securecloud_telemetry as telemetry;
 
+use cluster::{ClusterController, PolicyError, ScalingPolicy};
 use containers::build::BuiltImage;
-use containers::engine::{ContainerId, Engine};
+use containers::engine::{ContainerHealth, ContainerId, Engine, SupervisionConfig};
 use containers::image::ImageId;
 use containers::registry::Registry;
 use containers::ContainerError;
@@ -66,6 +68,7 @@ use eventbus::TopicKeyService;
 use faults::{FaultEvent, FaultInjector, FaultKind};
 use kvstore::CounterService;
 use parking_lot::RwLock;
+use replica::cluster::FaultApplication;
 use replica::{ReplicaConfig, ReplicaError, ReplicatedKv};
 use scone::runtime::SconeRuntime;
 use scone::scf::ConfigService;
@@ -88,6 +91,9 @@ pub struct SecureCloud {
     host: ServiceHost,
     counter_service: CounterService,
     replicated: Vec<ReplicatedKv>,
+    controller: Option<(ReplicatedKvId, ClusterController)>,
+    elastic_image: Option<ImageId>,
+    elastic_fleet: Vec<ContainerId>,
     sim_now_ms: u64,
     injector: Option<Arc<FaultInjector>>,
     telemetry: Arc<Telemetry>,
@@ -141,6 +147,9 @@ impl SecureCloud {
             host,
             counter_service: CounterService::new(),
             replicated: Vec::new(),
+            controller: None,
+            elastic_image: None,
+            elastic_fleet: Vec::new(),
             sim_now_ms: 0,
             injector: None,
             telemetry,
@@ -198,18 +207,20 @@ impl SecureCloud {
         };
         self.engine.advance(ms);
         self.host.bus_mut().advance(ms);
-        if self.injector.is_none() {
-            return events;
-        }
         for event in &events {
             match &event.kind {
-                FaultKind::EnclaveAbort { container } => {
-                    // Unknown ids are a plan/deployment mismatch; the trace
-                    // already records the fired event, so just skip.
-                    let _ = self
+                // Unknown ids are a plan/deployment mismatch: count the
+                // armed-but-unroutable fault instead of dropping it
+                // silently (the fired event is already in the trace).
+                FaultKind::EnclaveAbort { container }
+                    if self
                         .engine
-                        .abort(ContainerId(*container), "injected enclave abort");
+                        .abort(ContainerId(*container), "injected enclave abort")
+                        .is_err() =>
+                {
+                    self.record_unroutable(&event.kind);
                 }
+                FaultKind::EnclaveAbort { .. } => {}
                 FaultKind::ServicePanic { service } => {
                     self.host.inject_panic_next(service);
                 }
@@ -228,19 +239,151 @@ impl SecureCloud {
                 }
                 // The facade owns no broker overlay; returned to the caller.
                 FaultKind::BrokerFail { .. } => {}
-                FaultKind::ReplicaKill { .. } => {
+                FaultKind::ReplicaKill { .. }
+                | FaultKind::ReplicaStall { .. }
+                | FaultKind::NetworkPartition { .. } => {
                     // Every replicated deployment gets a shot at the event;
-                    // the one owning the shard kills the replica and fails
-                    // over to a re-attested replacement. Failover errors
-                    // (e.g. no survivors) are already in the trace.
+                    // the one owning the shard applies it (kill + failover,
+                    // stall fencing, or partition until the heal deadline).
+                    // Failover errors (e.g. no survivors) are already in
+                    // the trace. If no deployment could route the event,
+                    // count it: the target no longer exists.
+                    let mut applied = false;
                     for kv in &mut self.replicated {
-                        let _ = kv.apply_fault(&event.kind);
+                        if let Ok(FaultApplication::Applied) =
+                            kv.apply_fault(&event.kind, self.sim_now_ms)
+                        {
+                            applied = true;
+                        }
+                    }
+                    if !applied {
+                        self.record_unroutable(&event.kind);
                     }
                 }
                 _ => {}
             }
         }
+        // Heal partitions whose deadline passed on the virtual clock.
+        for kv in &mut self.replicated {
+            kv.advance_to(self.sim_now_ms);
+        }
+        // Let the elastic controller observe and act, then reconcile the
+        // bus-facing service fleet it sized.
+        self.tick_controller();
         events
+    }
+
+    /// Counts a fault whose target no longer exists on this platform — an
+    /// observable no-op instead of a panic or a silent drop.
+    fn record_unroutable(&self, kind: &FaultKind) {
+        self.telemetry
+            .counter_with(
+                "securecloud_faults_unroutable_total",
+                &[("kind", kind.name())],
+            )
+            .inc();
+        self.telemetry.event(
+            "faults",
+            "unroutable",
+            vec![("kind", kind.name().to_string())],
+        );
+        if let Some(injector) = &self.injector {
+            injector.record(format!("fault unroutable: {kind}"));
+        }
+    }
+
+    fn tick_controller(&mut self) {
+        let Some((target, controller)) = self.controller.as_mut() else {
+            return;
+        };
+        let Some(kv) = self.replicated.get_mut(target.0) else {
+            return;
+        };
+        let report = controller.tick(self.sim_now_ms, kv);
+        self.reconcile_elastic_fleet(report.desired_service_replicas);
+    }
+
+    /// Converges the elastic service fleet on `desired` replicas.
+    /// Containers in restart backoff count as present — the engine's
+    /// supervisor owns their recovery, and double-provisioning a replica
+    /// that is about to restart is exactly the flapping this avoids.
+    /// Quarantined/failed containers are retired and replaced.
+    fn reconcile_elastic_fleet(&mut self, desired: u32) {
+        let Some(image) = self.elastic_image else {
+            return;
+        };
+        let mut present = Vec::new();
+        for id in std::mem::take(&mut self.elastic_fleet) {
+            match self
+                .engine
+                .container(id)
+                .map(containers::engine::Container::health)
+            {
+                Some(ContainerHealth::Running | ContainerHealth::Backoff) => present.push(id),
+                _ => self.telemetry.event(
+                    "cluster",
+                    "service_replica_retired",
+                    vec![("container", format!("{id:?}"))],
+                ),
+            }
+        }
+        self.elastic_fleet = present;
+        while (self.elastic_fleet.len() as u32) < desired {
+            match self
+                .engine
+                .run_supervised(image, SupervisionConfig::default())
+            {
+                Ok(id) => self.elastic_fleet.push(id),
+                Err(_) => break,
+            }
+        }
+        while (self.elastic_fleet.len() as u32) > desired {
+            let Some(id) = self.elastic_fleet.pop() else {
+                break;
+            };
+            let _ = self.engine.stop(id);
+        }
+    }
+
+    /// Attaches the elastic cluster controller: each [`SecureCloud::advance`]
+    /// it observes the platform telemetry, repairs and scales `target`'s
+    /// shard groups through the attestation-gated membership paths, and
+    /// sizes the elastic service fleet (see
+    /// [`SecureCloud::set_elastic_service_image`]).
+    ///
+    /// # Errors
+    ///
+    /// [`PolicyError`] when the policy fails validation.
+    pub fn attach_cluster_controller(
+        &mut self,
+        target: ReplicatedKvId,
+        policy: ScalingPolicy,
+        servers: usize,
+    ) -> Result<(), PolicyError> {
+        let mut controller = ClusterController::new(policy, &self.telemetry, servers)?;
+        if let Some(injector) = &self.injector {
+            controller.set_fault_injector(Arc::clone(injector));
+        }
+        self.controller = Some((target, controller));
+        Ok(())
+    }
+
+    /// The attached elastic controller, if any.
+    #[must_use]
+    pub fn cluster_controller(&self) -> Option<&ClusterController> {
+        self.controller.as_ref().map(|(_, c)| c)
+    }
+
+    /// Sets the image the controller-managed service fleet runs. New
+    /// replicas start supervised, so abnormal exits restart with backoff.
+    pub fn set_elastic_service_image(&mut self, image: ImageId) {
+        self.elastic_image = Some(image);
+    }
+
+    /// Containers currently in the controller-managed service fleet.
+    #[must_use]
+    pub fn elastic_fleet(&self) -> &[ContainerId] {
+        &self.elastic_fleet
     }
 
     /// The underlying (simulated) SGX platform.
@@ -431,6 +574,135 @@ mod tests {
         assert_eq!(kv.stats().replicas_replaced, 1, "auto-failover ran");
         assert_eq!(kv.get(b"acked").unwrap(), Some(b"before fault".to_vec()));
         assert!(cloud.replicated_kv(ReplicatedKvId(9)).is_none());
+    }
+
+    #[test]
+    fn unroutable_faults_are_counted_not_dropped() {
+        use faults::FaultPlan;
+
+        let mut cloud = SecureCloud::new();
+        // Shard 9 and container 99 never exist: every fault below is armed
+        // against a target that is gone by fire time.
+        let plan = FaultPlan::new()
+            .at(10, FaultKind::ReplicaKill { shard: 9, slot: 0 })
+            .at(20, FaultKind::ReplicaStall { shard: 9, slot: 0 })
+            .at(
+                30,
+                FaultKind::NetworkPartition {
+                    group: 9,
+                    heal_after_ms: 50,
+                },
+            )
+            .at(40, FaultKind::EnclaveAbort { container: 99 });
+        let injector = Arc::new(FaultInjector::with_plan(3, plan));
+        cloud.set_fault_injector(Arc::clone(&injector));
+        cloud
+            .deploy_replicated_kv(ReplicaConfig {
+                shards: 1,
+                ..ReplicaConfig::default()
+            })
+            .unwrap();
+        let events = cloud.advance(100);
+        assert_eq!(events.len(), 4, "all four faults fired");
+        let telemetry = Arc::clone(cloud.telemetry());
+        let count = move |kind: &str| {
+            telemetry
+                .counter_with("securecloud_faults_unroutable_total", &[("kind", kind)])
+                .value()
+        };
+        assert_eq!(count("replica-kill"), 1);
+        assert_eq!(count("replica-stall"), 1);
+        assert_eq!(count("network-partition"), 1);
+        assert_eq!(count("enclave-abort"), 1);
+        assert!(
+            injector
+                .trace()
+                .iter()
+                .filter(|line| line.contains("fault unroutable"))
+                .count()
+                == 4,
+            "unroutable faults recorded in the deterministic trace"
+        );
+        // A routable fault does not touch the counter.
+        let kv_id = ReplicatedKvId(0);
+        let before = count("replica-kill");
+        cloud
+            .replicated_kv_mut(kv_id)
+            .unwrap()
+            .apply_fault(&FaultKind::ReplicaKill { shard: 0, slot: 0 }, 0)
+            .unwrap();
+        assert_eq!(count("replica-kill"), before);
+    }
+
+    #[test]
+    fn stall_and_partition_faults_route_through_advance() {
+        use faults::FaultPlan;
+        use replica::ShardId;
+
+        let mut cloud = SecureCloud::new();
+        let plan = FaultPlan::new()
+            .at(10, FaultKind::ReplicaStall { shard: 0, slot: 1 })
+            .at(
+                20,
+                FaultKind::NetworkPartition {
+                    group: 1,
+                    heal_after_ms: 1_000,
+                },
+            );
+        cloud.set_fault_injector(Arc::new(FaultInjector::with_plan(5, plan)));
+        let id = cloud
+            .deploy_replicated_kv(ReplicaConfig {
+                shards: 2,
+                ..ReplicaConfig::default()
+            })
+            .unwrap();
+        cloud.advance(50);
+        let kv = cloud.replicated_kv(id).unwrap();
+        assert_eq!(kv.stats().replicas_stalled, 1);
+        assert!(kv.group(ShardId(1)).unwrap().is_partitioned());
+        // The heal deadline (t=20 + 1000ms) passes on the virtual clock.
+        cloud.advance(1_000);
+        let kv = cloud.replicated_kv(id).unwrap();
+        assert!(!kv.group(ShardId(1)).unwrap().is_partitioned());
+    }
+
+    #[test]
+    fn attached_controller_repairs_and_sizes_the_service_fleet() {
+        use containers::build::SecureImageBuilder;
+        use faults::FaultPlan;
+
+        let mut cloud = SecureCloud::new();
+        let plan = FaultPlan::new().at(1_500, FaultKind::ReplicaStall { shard: 0, slot: 0 });
+        cloud.set_fault_injector(Arc::new(FaultInjector::with_plan(11, plan)));
+        let id = cloud
+            .deploy_replicated_kv(ReplicaConfig {
+                shards: 1,
+                ..ReplicaConfig::default()
+            })
+            .unwrap();
+        let built = SecureImageBuilder::new("elastic-svc", "v1", b"svc code")
+            .build()
+            .unwrap();
+        let image = cloud.deploy_image(built);
+        cloud.set_elastic_service_image(image);
+        cloud
+            .attach_cluster_controller(id, ScalingPolicy::default(), 8)
+            .unwrap();
+        assert!(cloud.cluster_controller().is_some());
+        for _ in 0..4 {
+            cloud.advance(1_000);
+        }
+        // The stalled replica was killed and replaced by the controller.
+        let kv = cloud.replicated_kv(id).unwrap();
+        assert_eq!(kv.stats().replicas_stalled, 0);
+        assert_eq!(kv.live_replicas(), 3);
+        // The fleet converged on the policy's service floor.
+        assert_eq!(cloud.elastic_fleet().len(), 1);
+        let controller = cloud.cluster_controller().unwrap();
+        assert!(controller
+            .decisions()
+            .iter()
+            .any(|d| d.contains("killed stalled replica s0/r0")));
     }
 
     #[test]

@@ -27,6 +27,15 @@ use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
 use std::sync::Arc;
 
+/// Registry name of the backpressure-refusal counter. Exported so scaling
+/// policies can look up the bus's live handle instead of repeating the
+/// string.
+pub const METRIC_BACKPRESSURED: &str = "securecloud_bus_backpressured_total";
+/// Registry name of the dead-letter-queue depth gauge.
+pub const METRIC_DEAD_LETTER_DEPTH: &str = "securecloud_bus_dead_letter_depth";
+/// Registry name of the publish→ack latency histogram (virtual ms).
+pub const METRIC_PUBLISH_TO_ACK_MS: &str = "securecloud_bus_publish_to_ack_ms";
+
 /// Bus-assigned message identifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct MessageId(pub u64);
@@ -143,21 +152,9 @@ impl BusMetrics {
             &self.dead_lettered,
         );
         registry.adopt_counter("securecloud_bus_nacked_total", &[], &self.nacked);
-        registry.adopt_counter(
-            "securecloud_bus_backpressured_total",
-            &[],
-            &self.backpressured,
-        );
-        registry.adopt_gauge(
-            "securecloud_bus_dead_letter_depth",
-            &[],
-            &self.dead_letter_depth,
-        );
-        registry.adopt_histogram(
-            "securecloud_bus_publish_to_ack_ms",
-            &[],
-            &self.publish_to_ack_ms,
-        );
+        registry.adopt_counter(METRIC_BACKPRESSURED, &[], &self.backpressured);
+        registry.adopt_gauge(METRIC_DEAD_LETTER_DEPTH, &[], &self.dead_letter_depth);
+        registry.adopt_histogram(METRIC_PUBLISH_TO_ACK_MS, &[], &self.publish_to_ack_ms);
     }
 }
 

@@ -90,6 +90,44 @@ pub enum FaultKind {
         /// Replica slot within the group.
         slot: u32,
     },
+    /// Stall one replica: it stays resident but stops applying writes and
+    /// serving reads, so its version lags the group until a controller
+    /// replaces it. A degraded-mode (grey) failure, unlike the crash of
+    /// [`FaultKind::ReplicaKill`].
+    ReplicaStall {
+        /// Shard group index.
+        shard: u32,
+        /// Replica slot within the group.
+        slot: u32,
+    },
+    /// Partition an entire shard group from its clients: quorum operations
+    /// are refused (writes fail *unacknowledged*, so nothing can be lost)
+    /// until the partition heals `heal_after_ms` later on the virtual
+    /// clock.
+    NetworkPartition {
+        /// Shard group index to isolate.
+        group: u32,
+        /// Virtual milliseconds after the fire time at which the
+        /// partition heals.
+        heal_after_ms: u64,
+    },
+}
+
+impl FaultKind {
+    /// A stable, id-free label for the fault family (telemetry label
+    /// values; the [`std::fmt::Display`] form carries target ids).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::EnclaveAbort { .. } => "enclave-abort",
+            FaultKind::ServicePanic { .. } => "service-panic",
+            FaultKind::BrokerFail { .. } => "broker-fail",
+            FaultKind::SyscallFail { .. } => "syscall-fail",
+            FaultKind::ReplicaKill { .. } => "replica-kill",
+            FaultKind::ReplicaStall { .. } => "replica-stall",
+            FaultKind::NetworkPartition { .. } => "network-partition",
+        }
+    }
 }
 
 impl std::fmt::Display for FaultKind {
@@ -101,6 +139,15 @@ impl std::fmt::Display for FaultKind {
             FaultKind::SyscallFail { count } => write!(f, "syscall-fail x{count}"),
             FaultKind::ReplicaKill { shard, slot } => {
                 write!(f, "replica-kill s{shard}/r{slot}")
+            }
+            FaultKind::ReplicaStall { shard, slot } => {
+                write!(f, "replica-stall s{shard}/r{slot}")
+            }
+            FaultKind::NetworkPartition {
+                group,
+                heal_after_ms,
+            } => {
+                write!(f, "network-partition s{group} heal+{heal_after_ms}ms")
             }
         }
     }
@@ -364,6 +411,38 @@ mod tests {
         assert!(injector.syscall_should_fail());
         assert!(injector.syscall_should_fail());
         assert!(!injector.syscall_should_fail());
+    }
+
+    #[test]
+    fn degraded_mode_faults_display_and_schedule() {
+        let plan = FaultPlan::new()
+            .at(700, FaultKind::ReplicaStall { shard: 1, slot: 2 })
+            .at(
+                300,
+                FaultKind::NetworkPartition {
+                    group: 0,
+                    heal_after_ms: 400,
+                },
+            );
+        let injector = FaultInjector::with_plan(3, plan);
+        let due = injector.advance_to(1_000);
+        assert_eq!(due.len(), 2, "both degraded-mode faults fire");
+        let trace = injector.trace();
+        assert!(trace[0].contains("t=300 fire network-partition s0 heal+400ms"));
+        assert!(trace[1].contains("t=700 fire replica-stall s1/r2"));
+        assert_eq!(
+            FaultKind::ReplicaStall { shard: 1, slot: 2 }.name(),
+            "replica-stall"
+        );
+        assert_eq!(
+            FaultKind::NetworkPartition {
+                group: 0,
+                heal_after_ms: 1
+            }
+            .name(),
+            "network-partition"
+        );
+        assert_eq!(FaultKind::SyscallFail { count: 1 }.name(), "syscall-fail");
     }
 
     #[test]

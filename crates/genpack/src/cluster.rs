@@ -89,6 +89,22 @@ pub struct Cluster {
 }
 
 impl Cluster {
+    /// Looks up a server, panicking with the offending [`ServerId`] instead
+    /// of a bare index-out-of-bounds — scheduler bugs surface with context.
+    fn server(&self, id: ServerId) -> &Server {
+        let servers = self.servers.len();
+        self.servers
+            .get(id.0)
+            .unwrap_or_else(|| panic!("server {id:?} out of range ({servers} servers)"))
+    }
+
+    fn server_mut(&mut self, id: ServerId) -> &mut Server {
+        let servers = self.servers.len();
+        self.servers
+            .get_mut(id.0)
+            .unwrap_or_else(|| panic!("server {id:?} out of range ({servers} servers)"))
+    }
+
     /// Creates a cluster of `n` identical servers, all powered on.
     #[must_use]
     pub fn new(n: usize, spec: ServerSpec) -> Self {
@@ -125,19 +141,19 @@ impl Cluster {
     /// The server's hardware profile.
     #[must_use]
     pub fn spec(&self, id: ServerId) -> ServerSpec {
-        self.servers[id.0].spec
+        self.server(id).spec
     }
 
     /// The server's power state.
     #[must_use]
     pub fn power_state(&self, id: ServerId) -> PowerState {
-        self.servers[id.0].state
+        self.server(id).state
     }
 
     /// Jobs currently on `id`.
     #[must_use]
     pub fn jobs_on(&self, id: ServerId) -> Vec<JobId> {
-        self.servers[id.0].jobs.keys().copied().collect()
+        self.server(id).jobs.keys().copied().collect()
     }
 
     /// Where `job` runs, if placed.
@@ -150,13 +166,13 @@ impl Cluster {
     #[must_use]
     pub fn demand(&self, job: JobId) -> Option<Demand> {
         let server = self.placements.get(&job)?;
-        self.servers[server.0].jobs.get(&job).copied()
+        self.server(*server).jobs.get(&job).copied()
     }
 
     /// Remaining CPU (by declared requests) on `id`; 0 for parked servers.
     #[must_use]
     pub fn cpu_free_requested(&self, id: ServerId) -> f64 {
-        let s = &self.servers[id.0];
+        let s = self.server(id);
         if s.state == PowerState::Parked {
             return 0.0;
         }
@@ -166,7 +182,7 @@ impl Cluster {
     /// Remaining CPU by *actual* observed usage (what GenPack packs on).
     #[must_use]
     pub fn cpu_free_actual(&self, id: ServerId) -> f64 {
-        let s = &self.servers[id.0];
+        let s = self.server(id);
         if s.state == PowerState::Parked {
             return 0.0;
         }
@@ -176,7 +192,7 @@ impl Cluster {
     /// Remaining memory on `id`; 0 for parked servers.
     #[must_use]
     pub fn mem_free(&self, id: ServerId) -> u64 {
-        let s = &self.servers[id.0];
+        let s = self.server(id);
         if s.state == PowerState::Parked {
             return 0;
         }
@@ -186,7 +202,7 @@ impl Cluster {
     /// CPU utilisation of `id` by actual usage, clamped to [0, 1+].
     #[must_use]
     pub fn utilisation(&self, id: ServerId) -> f64 {
-        let s = &self.servers[id.0];
+        let s = self.server(id);
         if s.state == PowerState::Parked {
             return 0.0;
         }
@@ -223,11 +239,11 @@ impl Cluster {
             "job {job:?} already placed"
         );
         assert_eq!(
-            self.servers[server.0].state,
+            self.server(server).state,
             PowerState::On,
-            "cannot place on a parked server"
+            "cannot place job {job:?} on parked server {server:?}"
         );
-        self.servers[server.0].jobs.insert(job, demand);
+        self.server_mut(server).jobs.insert(job, demand);
         self.placements.insert(job, server);
     }
 
@@ -235,7 +251,7 @@ impl Cluster {
     #[must_use]
     pub fn remove(&mut self, job: JobId) -> Option<ServerId> {
         let server = self.placements.remove(&job)?;
-        self.servers[server.0].jobs.remove(&job);
+        self.server_mut(server).jobs.remove(&job);
         Some(server)
     }
 
@@ -248,12 +264,14 @@ impl Cluster {
         if source == target {
             return false;
         }
-        let demand = self.servers[source.0].jobs[&job];
+        let Some(demand) = self.server(source).jobs.get(&job).copied() else {
+            return false;
+        };
         if !self.fits(target, demand) {
             return false;
         }
-        self.servers[source.0].jobs.remove(&job);
-        self.servers[target.0].jobs.insert(job, demand);
+        self.server_mut(source).jobs.remove(&job);
+        self.server_mut(target).jobs.insert(job, demand);
         self.placements.insert(job, target);
         true
     }
@@ -268,12 +286,14 @@ impl Cluster {
         if source == target {
             return false;
         }
-        let demand = self.servers[source.0].jobs[&job];
+        let Some(demand) = self.server(source).jobs.get(&job).copied() else {
+            return false;
+        };
         if !self.fits_actual(target, demand) {
             return false;
         }
-        self.servers[source.0].jobs.remove(&job);
-        self.servers[target.0].jobs.insert(job, demand);
+        self.server_mut(source).jobs.remove(&job);
+        self.server_mut(target).jobs.insert(job, demand);
         self.placements.insert(job, target);
         true
     }
@@ -285,21 +305,21 @@ impl Cluster {
     /// Panics if jobs are still placed on it.
     pub fn park(&mut self, id: ServerId) {
         assert!(
-            self.servers[id.0].jobs.is_empty(),
-            "cannot park a busy server"
+            self.server(id).jobs.is_empty(),
+            "cannot park busy server {id:?}"
         );
-        self.servers[id.0].state = PowerState::Parked;
+        self.server_mut(id).state = PowerState::Parked;
     }
 
     /// Powers a parked server back on.
     pub fn wake(&mut self, id: ServerId) {
-        self.servers[id.0].state = PowerState::On;
+        self.server_mut(id).state = PowerState::On;
     }
 
     /// Instantaneous power draw of `id`, in watts.
     #[must_use]
     pub fn server_power(&self, id: ServerId) -> f64 {
-        let s = &self.servers[id.0];
+        let s = self.server(id);
         match s.state {
             PowerState::Parked => 0.0,
             PowerState::On => {
@@ -425,7 +445,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "cannot park a busy server")]
+    #[should_panic(expected = "cannot park busy server ServerId(0)")]
     fn parking_busy_server_panics() {
         let mut cluster = Cluster::new(1, ServerSpec::typical());
         cluster.place(JobId(1), ServerId(0), demand(1.0, 10));

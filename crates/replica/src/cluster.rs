@@ -3,8 +3,14 @@
 //! [`ReplicatedKv`] is what deployments interact with: it owns one
 //! [`ShardGroup`] per shard, routes keys through the consistent-hash
 //! [`ShardMap`], gates membership behind one [`ProvisioningService`], and
-//! translates [`FaultKind::ReplicaKill`] events from the fault injector
-//! into kill + re-attested failover.
+//! translates fault-injector events into recovery actions:
+//! [`FaultKind::ReplicaKill`] becomes kill + re-attested failover,
+//! [`FaultKind::ReplicaStall`] fences a replica out of quorums (grey
+//! failure), and [`FaultKind::NetworkPartition`] cuts a shard group off
+//! from its clients until the heal deadline passes on the virtual clock
+//! ([`ReplicatedKv::advance_to`]). Events whose target no longer exists
+//! report as [`FaultApplication::Unroutable`] so the platform can count
+//! them instead of panicking or dropping them silently.
 
 use crate::group::ShardGroup;
 use crate::provision::ProvisioningService;
@@ -15,6 +21,7 @@ use securecloud_kvstore::CounterService;
 use securecloud_sgx::costs::{CostModel, MemoryGeometry};
 use securecloud_sgx::enclave::{Measurement, Platform};
 use securecloud_telemetry::{Counter, OwnedSpan, Telemetry};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// The code every shard replica runs (its measurement is what the
@@ -119,6 +126,19 @@ impl ReplicaConfig {
     }
 }
 
+/// How a deployment handled one fault-injection event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultApplication {
+    /// The event addressed this deployment and was applied.
+    Applied,
+    /// The event addressed the replica subsystem but its target no longer
+    /// exists here (shard out of range, or a vacant/already-stalled slot)
+    /// — a counted no-op, never a panic or a silent drop.
+    Unroutable,
+    /// The event addresses another subsystem entirely.
+    Ignored,
+}
+
 /// Cluster-wide operation counters (standalone when no telemetry).
 #[derive(Debug)]
 struct ClusterMetrics {
@@ -127,6 +147,10 @@ struct ClusterMetrics {
     quorum_failures: Counter,
     replicas_killed: Counter,
     failovers: Counter,
+    stalls: Counter,
+    partitions: Counter,
+    scale_ups: Counter,
+    scale_downs: Counter,
 }
 
 impl ClusterMetrics {
@@ -138,6 +162,10 @@ impl ClusterMetrics {
                 quorum_failures: t.counter("securecloud_replica_quorum_failures_total"),
                 replicas_killed: t.counter("securecloud_replica_killed_total"),
                 failovers: t.counter("securecloud_replica_failovers_total"),
+                stalls: t.counter("securecloud_replica_stalled_total"),
+                partitions: t.counter("securecloud_replica_partitions_total"),
+                scale_ups: t.counter("securecloud_replica_scale_ups_total"),
+                scale_downs: t.counter("securecloud_replica_scale_downs_total"),
             },
             None => ClusterMetrics {
                 puts: Counter::new(),
@@ -145,6 +173,10 @@ impl ClusterMetrics {
                 quorum_failures: Counter::new(),
                 replicas_killed: Counter::new(),
                 failovers: Counter::new(),
+                stalls: Counter::new(),
+                partitions: Counter::new(),
+                scale_ups: Counter::new(),
+                scale_downs: Counter::new(),
             },
         }
     }
@@ -174,6 +206,12 @@ pub struct ReplicaStats {
     pub replicas_killed: u64,
     /// Replicas re-admitted through failover.
     pub replicas_replaced: u64,
+    /// Replicas currently stalled (resident but fenced out of quorums).
+    pub replicas_stalled: usize,
+    /// Scale-up operations performed (one admitted replica each).
+    pub scale_ups: u64,
+    /// Scale-down operations performed (one drained replica each).
+    pub scale_downs: u64,
     /// Current trusted epoch of each shard group, by shard index.
     pub epochs: Vec<u64>,
 }
@@ -197,6 +235,10 @@ pub struct ReplicatedKv {
     groups: Vec<ShardGroup>,
     provisioning: ProvisioningService,
     write_quorum: u32,
+    /// Virtual-time heal deadline per partitioned shard index; drained by
+    /// [`ReplicatedKv::advance_to`]. `BTreeMap` keeps heal order (and the
+    /// resulting trace) deterministic.
+    partition_heals: BTreeMap<u32, u64>,
     telemetry: Option<Arc<Telemetry>>,
     metrics: ClusterMetrics,
 }
@@ -253,6 +295,7 @@ impl ReplicatedKv {
             groups,
             provisioning,
             write_quorum: config.write_quorum.0,
+            partition_heals: BTreeMap::new(),
             telemetry: telemetry.cloned(),
             metrics: ClusterMetrics::new(telemetry),
         })
@@ -306,7 +349,11 @@ impl ReplicatedKv {
                 vec![("shard", shard.to_string())],
             )
         });
-        let result = self.groups[shard.0 as usize].put(key, value);
+        let result = self
+            .groups
+            .get_mut(shard.0 as usize)
+            .ok_or(ReplicaError::UnknownShard(shard))?
+            .put(key, value);
         match &result {
             Ok(()) => self.metrics.puts.inc(),
             Err(ReplicaError::QuorumLost { .. }) => self.metrics.quorum_failures.inc(),
@@ -333,7 +380,11 @@ impl ReplicatedKv {
                 vec![("shard", shard.to_string())],
             )
         });
-        let result = self.groups[shard.0 as usize].get(key);
+        let result = self
+            .groups
+            .get_mut(shard.0 as usize)
+            .ok_or(ReplicaError::UnknownShard(shard))?
+            .get(key);
         match &result {
             Ok(_) => self.metrics.gets.inc(),
             Err(ReplicaError::QuorumLost { .. }) => self.metrics.quorum_failures.inc(),
@@ -371,27 +422,143 @@ impl ReplicatedKv {
         Ok(replaced)
     }
 
-    /// Applies a fault-injection event to the deployment. Returns `true`
-    /// when the event addressed this subsystem ([`FaultKind::ReplicaKill`]):
-    /// the replica is killed and the group immediately fails over to a
-    /// re-attested replacement. Other fault kinds return `false` untouched.
+    /// Adds one attested replica to `shard`'s group, re-deriving the write
+    /// quorum as the smallest majority of the new size.
     ///
     /// # Errors
     ///
-    /// [`ReplicaError::UnknownShard`] when the event names a shard outside
-    /// this deployment, or failover errors from [`ReplicatedKv::fail_over`].
-    pub fn apply_fault(&mut self, fault: &FaultKind) -> Result<bool, ReplicaError> {
+    /// [`ReplicaError::UnknownShard`] when `shard` is outside this
+    /// deployment, [`ReplicaError::NoSurvivors`] when no responsive replica
+    /// remains to snapshot from, or admission/restore errors from the
+    /// provisioning path.
+    pub fn scale_up(&mut self, shard: ShardId) -> Result<ReplicaId, ReplicaError> {
+        let group = self
+            .groups
+            .get_mut(shard.0 as usize)
+            .ok_or(ReplicaError::UnknownShard(shard))?;
+        let admitted = group.expand(&mut self.provisioning)?;
+        self.metrics.scale_ups.inc();
+        Ok(admitted)
+    }
+
+    /// Drains and decommissions the last replica slot of `shard`'s group,
+    /// shrinking the write quorum to the majority of the new size. Returns
+    /// the drained replica's id (`None` when the retired slot was vacant).
+    ///
+    /// # Errors
+    ///
+    /// [`ReplicaError::UnknownShard`] when `shard` is outside this
+    /// deployment, or [`ReplicaError::DrainRefused`] when removing the slot
+    /// would leave fewer responsive replicas than the post-drain majority —
+    /// the group is left untouched, so no acknowledged write is put at risk.
+    pub fn scale_down(&mut self, shard: ShardId) -> Result<Option<ReplicaId>, ReplicaError> {
+        let group = self
+            .groups
+            .get_mut(shard.0 as usize)
+            .ok_or(ReplicaError::UnknownShard(shard))?;
+        let drained = group.decommission_last()?;
+        self.metrics.scale_downs.inc();
+        Ok(drained)
+    }
+
+    /// Stalls one replica (grey failure): it stays resident but is fenced
+    /// out of every quorum until a kill + failover replaces it. Returns the
+    /// stalled replica's id, or `None` when the shard/slot does not address
+    /// a responsive replica.
+    pub fn stall_replica(&mut self, shard: ShardId, slot: u32) -> Option<ReplicaId> {
+        let group = self.groups.get_mut(shard.0 as usize)?;
+        let stalled = group.stall(slot as usize)?;
+        self.metrics.stalls.inc();
+        Some(stalled)
+    }
+
+    /// Partitions `shard`'s group from its clients until the virtual clock
+    /// reaches `heal_at_ms` (see [`ReplicatedKv::advance_to`]). Overlapping
+    /// partitions extend the existing heal deadline; returns `false` when
+    /// the shard does not exist.
+    pub fn partition_shard(&mut self, shard: ShardId, heal_at_ms: u64) -> bool {
+        let Some(group) = self.groups.get_mut(shard.0 as usize) else {
+            return false;
+        };
+        if group.partition() {
+            self.metrics.partitions.inc();
+        }
+        let heal = self.partition_heals.entry(shard.0).or_insert(0);
+        *heal = (*heal).max(heal_at_ms);
+        true
+    }
+
+    /// Advances the deployment's virtual clock, healing every partition
+    /// whose deadline has passed. Returns how many shards healed.
+    pub fn advance_to(&mut self, now_ms: u64) -> u32 {
+        let due: Vec<u32> = self
+            .partition_heals
+            .iter()
+            .filter(|&(_, &deadline)| deadline <= now_ms)
+            .map(|(&shard, _)| shard)
+            .collect();
+        let mut healed = 0;
+        for shard in due {
+            self.partition_heals.remove(&shard);
+            if let Some(group) = self.groups.get_mut(shard as usize) {
+                if group.heal_partition() {
+                    healed += 1;
+                }
+            }
+        }
+        healed
+    }
+
+    /// Applies a fault-injection event to the deployment at virtual time
+    /// `now_ms`.
+    ///
+    /// * [`FaultKind::ReplicaKill`] — the replica is killed and the group
+    ///   immediately fails over to a re-attested replacement;
+    /// * [`FaultKind::ReplicaStall`] — the replica is fenced out of quorums
+    ///   but stays resident (grey failure);
+    /// * [`FaultKind::NetworkPartition`] — the shard group refuses client
+    ///   quorum operations until `now_ms + heal_after_ms` on the virtual
+    ///   clock.
+    ///
+    /// Replica-family events whose target no longer exists (shard out of
+    /// range, vacant or already-stalled slot) report
+    /// [`FaultApplication::Unroutable`] — a counted no-op. Events for other
+    /// subsystems report [`FaultApplication::Ignored`].
+    ///
+    /// # Errors
+    ///
+    /// Failover errors from [`ReplicatedKv::fail_over`] after a kill.
+    pub fn apply_fault(
+        &mut self,
+        fault: &FaultKind,
+        now_ms: u64,
+    ) -> Result<FaultApplication, ReplicaError> {
         match fault {
             FaultKind::ReplicaKill { shard, slot } => {
-                let shard = ShardId(*shard);
-                if shard.0 as usize >= self.groups.len() {
-                    return Err(ReplicaError::UnknownShard(shard));
+                if self.kill_replica(ShardId(*shard), *slot).is_none() {
+                    return Ok(FaultApplication::Unroutable);
                 }
-                self.kill_replica(shard, *slot);
                 self.fail_over()?;
-                Ok(true)
+                Ok(FaultApplication::Applied)
             }
-            _ => Ok(false),
+            FaultKind::ReplicaStall { shard, slot } => {
+                match self.stall_replica(ShardId(*shard), *slot) {
+                    Some(_) => Ok(FaultApplication::Applied),
+                    None => Ok(FaultApplication::Unroutable),
+                }
+            }
+            FaultKind::NetworkPartition {
+                group,
+                heal_after_ms,
+            } => {
+                let heal_at = now_ms.saturating_add(*heal_after_ms);
+                if self.partition_shard(ShardId(*group), heal_at) {
+                    Ok(FaultApplication::Applied)
+                } else {
+                    Ok(FaultApplication::Unroutable)
+                }
+            }
+            _ => Ok(FaultApplication::Ignored),
         }
     }
 
@@ -411,6 +578,9 @@ impl ReplicatedKv {
             quorum_failures: self.metrics.quorum_failures.value(),
             replicas_killed: self.metrics.replicas_killed.value(),
             replicas_replaced: self.metrics.failovers.value(),
+            replicas_stalled: self.groups.iter().map(|g| g.stalled_replicas().len()).sum(),
+            scale_ups: self.metrics.scale_ups.value(),
+            scale_downs: self.metrics.scale_downs.value(),
             epochs: self.groups.iter().map(ShardGroup::epoch).collect(),
         }
     }
@@ -519,9 +689,9 @@ mod tests {
         kv.put(b"acked", b"survives").unwrap();
         let admitted_before = kv.provisioning().admitted();
         let handled = kv
-            .apply_fault(&FaultKind::ReplicaKill { shard: 0, slot: 1 })
+            .apply_fault(&FaultKind::ReplicaKill { shard: 0, slot: 1 }, 0)
             .unwrap();
-        assert!(handled);
+        assert_eq!(handled, FaultApplication::Applied);
         assert_eq!(kv.live_replicas(), 6, "failover restored the group");
         assert_eq!(kv.provisioning().admitted(), admitted_before + 1);
         assert_eq!(kv.get(b"acked").unwrap(), Some(b"survives".to_vec()));
@@ -533,17 +703,113 @@ mod tests {
     }
 
     #[test]
-    fn foreign_faults_are_ignored_and_unknown_shards_rejected() {
+    fn foreign_faults_are_ignored_and_unroutable_targets_counted() {
         let mut kv = deploy();
         let handled = kv
-            .apply_fault(&FaultKind::ServicePanic {
-                service: "other".into(),
-            })
+            .apply_fault(
+                &FaultKind::ServicePanic {
+                    service: "other".into(),
+                },
+                0,
+            )
             .unwrap();
-        assert!(!handled);
-        let err = kv
-            .apply_fault(&FaultKind::ReplicaKill { shard: 9, slot: 0 })
-            .unwrap_err();
-        assert!(matches!(err, ReplicaError::UnknownShard(ShardId(9))));
+        assert_eq!(handled, FaultApplication::Ignored);
+        // Unknown shard: a counted no-op, not an error or a panic.
+        let unroutable = kv
+            .apply_fault(&FaultKind::ReplicaKill { shard: 9, slot: 0 }, 0)
+            .unwrap();
+        assert_eq!(unroutable, FaultApplication::Unroutable);
+        let unroutable = kv
+            .apply_fault(&FaultKind::ReplicaStall { shard: 0, slot: 7 }, 0)
+            .unwrap();
+        assert_eq!(unroutable, FaultApplication::Unroutable);
+        let unroutable = kv
+            .apply_fault(
+                &FaultKind::NetworkPartition {
+                    group: 9,
+                    heal_after_ms: 10,
+                },
+                0,
+            )
+            .unwrap();
+        assert_eq!(unroutable, FaultApplication::Unroutable);
+        assert_eq!(kv.stats().replicas_killed, 0, "nothing was actually hit");
+    }
+
+    #[test]
+    fn stall_fault_fences_the_replica_until_failover_replaces_it() {
+        let mut kv = deploy();
+        kv.put(b"acked", b"survives").unwrap();
+        let handled = kv
+            .apply_fault(&FaultKind::ReplicaStall { shard: 0, slot: 2 }, 0)
+            .unwrap();
+        assert_eq!(handled, FaultApplication::Applied);
+        assert_eq!(kv.stats().replicas_stalled, 1);
+        // Stalling the same slot again is unroutable: it already left quorum.
+        let again = kv
+            .apply_fault(&FaultKind::ReplicaStall { shard: 0, slot: 2 }, 0)
+            .unwrap();
+        assert_eq!(again, FaultApplication::Unroutable);
+        // Kill + failover retires the stalled replica and restores health.
+        kv.kill_replica(ShardId(0), 2);
+        kv.fail_over().unwrap();
+        assert_eq!(kv.stats().replicas_stalled, 0);
+        assert_eq!(kv.get(b"acked").unwrap(), Some(b"survives".to_vec()));
+    }
+
+    #[test]
+    fn partition_fault_heals_on_the_virtual_clock() {
+        let mut kv = deploy();
+        // Find a key owned by shard 0 so the partition is observable.
+        let key = (0..64u32)
+            .map(|i| format!("probe/{i:03}").into_bytes())
+            .find(|k| kv.shard_of(k) == ShardId(0))
+            .expect("some probe key routes to shard 0");
+        kv.put(&key, b"before").unwrap();
+        let epoch_before = kv.stats().epochs[0];
+        let handled = kv
+            .apply_fault(
+                &FaultKind::NetworkPartition {
+                    group: 0,
+                    heal_after_ms: 500,
+                },
+                1_000,
+            )
+            .unwrap();
+        assert_eq!(handled, FaultApplication::Applied);
+        let err = kv.put(&key, b"during").unwrap_err();
+        assert!(matches!(err, ReplicaError::Partitioned { shard } if shard == ShardId(0)));
+        // Not yet due: still partitioned.
+        assert_eq!(kv.advance_to(1_400), 0);
+        assert!(kv.put(&key, b"during").is_err());
+        // Deadline passed: partition heals, data intact, epoch untouched.
+        assert_eq!(kv.advance_to(1_500), 1);
+        assert_eq!(kv.get(&key).unwrap(), Some(b"before".to_vec()));
+        assert_eq!(kv.stats().epochs[0], epoch_before);
+    }
+
+    #[test]
+    fn scaling_bumps_epochs_and_keeps_majority_quorums() {
+        let mut kv = deploy();
+        kv.put(b"acked", b"survives").unwrap();
+        let admitted = kv.scale_up(ShardId(0)).unwrap();
+        assert_eq!(admitted.shard, ShardId(0));
+        let group = kv.group(ShardId(0)).unwrap();
+        assert_eq!(group.replication_factor(), 4);
+        assert_eq!(group.write_quorum(), 3, "majority of 4");
+        let drained = kv.scale_down(ShardId(0)).unwrap();
+        assert!(drained.is_some());
+        let group = kv.group(ShardId(0)).unwrap();
+        assert_eq!(group.replication_factor(), 3);
+        assert_eq!(group.write_quorum(), 2, "majority of 3");
+        let stats = kv.stats();
+        assert_eq!(stats.scale_ups, 1);
+        assert_eq!(stats.scale_downs, 1);
+        assert_eq!(stats.epochs[0], 3, "two membership changes");
+        assert_eq!(kv.get(b"acked").unwrap(), Some(b"survives".to_vec()));
+        assert!(matches!(
+            kv.scale_up(ShardId(9)),
+            Err(ReplicaError::UnknownShard(ShardId(9)))
+        ));
     }
 }

@@ -44,6 +44,13 @@ struct Replica {
     kv: SecureKv,
     group_key: [u8; 16],
     epoch: u64,
+    /// A stalled replica is resident but degraded: it takes no writes,
+    /// serves no reads, and does not count toward any quorum. Its version
+    /// falls behind (visible on the replication-lag gauge) until a
+    /// controller kills and replaces it. There is deliberately no
+    /// "unstall" path: epochs move on without it, so a silently
+    /// resurrected stalled replica is fenced by the stale-epoch check.
+    stalled: bool,
 }
 
 impl Replica {
@@ -133,6 +140,10 @@ pub struct ShardGroup {
     /// EPC faults charged by replicas that have since been killed.
     retired_epc_faults: u64,
     incarnations: u32,
+    /// While `true` the group is cut off from its clients: quorum
+    /// operations are refused outright, so writes fail *unacknowledged*
+    /// and nothing acknowledged can be lost to the partition.
+    partitioned: bool,
     telemetry: Option<Arc<Telemetry>>,
     injector: Option<Arc<FaultInjector>>,
     metrics: GroupMetrics,
@@ -175,6 +186,7 @@ impl ShardGroup {
             retired_cycles: 0,
             retired_epc_faults: 0,
             incarnations: 0,
+            partitioned: false,
             telemetry: telemetry.cloned(),
             injector: injector.cloned(),
             metrics: GroupMetrics::new(shard, telemetry),
@@ -206,10 +218,47 @@ impl ShardGroup {
         self.slots.len()
     }
 
-    /// Live replicas in the group.
+    /// Live replicas in the group (resident, including stalled ones).
     #[must_use]
     pub fn live(&self) -> usize {
         self.slots.iter().flatten().count()
+    }
+
+    /// Replicas that count toward quorums: live and not stalled.
+    #[must_use]
+    pub fn responsive(&self) -> usize {
+        self.slots.iter().flatten().filter(|r| !r.stalled).count()
+    }
+
+    /// Ids of every resident replica in slot order, stalled ones included
+    /// (they still occupy a slot and placement capacity until killed).
+    #[must_use]
+    pub fn live_replica_ids(&self) -> Vec<ReplicaId> {
+        self.slots.iter().flatten().map(|r| r.id).collect()
+    }
+
+    /// Ids of the currently stalled replicas, in slot order.
+    #[must_use]
+    pub fn stalled_replicas(&self) -> Vec<ReplicaId> {
+        self.slots
+            .iter()
+            .flatten()
+            .filter(|r| r.stalled)
+            .map(|r| r.id)
+            .collect()
+    }
+
+    /// The current write quorum (maintained as the smallest majority of
+    /// the group size across scale-up/scale-down).
+    #[must_use]
+    pub fn write_quorum(&self) -> usize {
+        self.write_quorum
+    }
+
+    /// Whether the group is currently partitioned from its clients.
+    #[must_use]
+    pub fn is_partitioned(&self) -> bool {
+        self.partitioned
     }
 
     /// Whether any slot is vacant (a replica was killed and not replaced).
@@ -265,17 +314,20 @@ impl ShardGroup {
     /// * [`ReplicaError::StaleEpoch`] — a replica missed a membership
     ///   change (defensive; the group keeps epochs in lockstep).
     pub fn put(&mut self, key: &[u8], value: &[u8]) -> Result<(), ReplicaError> {
-        let live = self.live();
-        if live < self.write_quorum {
+        if self.partitioned {
+            return Err(ReplicaError::Partitioned { shard: self.shard });
+        }
+        let responsive = self.responsive();
+        if responsive < self.write_quorum {
             return Err(ReplicaError::QuorumLost {
                 shard: self.shard,
                 needed: self.write_quorum,
-                live,
+                live: responsive,
             });
         }
         let epoch = self.epoch();
         let before = self.cycles();
-        for replica in self.slots.iter_mut().flatten() {
+        for replica in self.slots.iter_mut().flatten().filter(|r| !r.stalled) {
             if replica.epoch != epoch {
                 return Err(ReplicaError::StaleEpoch {
                     replica: replica.id,
@@ -298,18 +350,27 @@ impl ShardGroup {
     /// [`ReplicaError::QuorumLost`] — fewer live replicas than the read
     /// quorum.
     pub fn get(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>, ReplicaError> {
+        if self.partitioned {
+            return Err(ReplicaError::Partitioned { shard: self.shard });
+        }
         let read_quorum = self.slots.len() - self.write_quorum + 1;
-        let live = self.live();
-        if live < read_quorum {
+        let responsive = self.responsive();
+        if responsive < read_quorum {
             return Err(ReplicaError::QuorumLost {
                 shard: self.shard,
                 needed: read_quorum,
-                live,
+                live: responsive,
             });
         }
         let before = self.cycles();
         let mut freshest: Option<(u64, Option<Vec<u8>>)> = None;
-        for replica in self.slots.iter_mut().flatten().take(read_quorum) {
+        for replica in self
+            .slots
+            .iter_mut()
+            .flatten()
+            .filter(|r| !r.stalled)
+            .take(read_quorum)
+        {
             let version = replica.kv.version();
             if freshest.as_ref().is_none_or(|(v, _)| version > *v) {
                 let value = replica.get(key)?;
@@ -342,6 +403,191 @@ impl ShardGroup {
         }
         self.update_replication_lag();
         Some(replica.id)
+    }
+
+    /// Stalls the replica in `slot`: it stays resident but stops taking
+    /// writes, serving reads, or counting toward quorums. Returns the
+    /// stalled replica's id, or `None` if the slot is vacant, out of
+    /// range, or already stalled.
+    pub fn stall(&mut self, slot: usize) -> Option<ReplicaId> {
+        let replica = self.slots.get_mut(slot)?.as_mut()?;
+        if replica.stalled {
+            return None;
+        }
+        replica.stalled = true;
+        let id = replica.id;
+        self.record(format!(
+            "replica {id} stalled: degraded, fenced out of quorums"
+        ));
+        if let Some(t) = &self.telemetry {
+            t.event(
+                "replica",
+                "replica_stalled",
+                vec![("replica", id.to_string())],
+            );
+        }
+        Some(id)
+    }
+
+    /// Partitions the group from its clients: [`ShardGroup::put`] and
+    /// [`ShardGroup::get`] refuse with [`ReplicaError::Partitioned`] until
+    /// [`ShardGroup::heal_partition`]. Returns `false` if already
+    /// partitioned. The epoch is untouched — membership did not change,
+    /// and epochs only ever move through the trusted counter.
+    pub fn partition(&mut self) -> bool {
+        if self.partitioned {
+            return false;
+        }
+        self.partitioned = true;
+        self.record(format!("shard {} partitioned from clients", self.shard));
+        if let Some(t) = &self.telemetry {
+            t.event(
+                "replica",
+                "partitioned",
+                vec![("shard", self.shard.to_string())],
+            );
+        }
+        true
+    }
+
+    /// Heals a partition; returns `false` if the group was not partitioned.
+    pub fn heal_partition(&mut self) -> bool {
+        if !self.partitioned {
+            return false;
+        }
+        self.partitioned = false;
+        self.record(format!("shard {} partition healed", self.shard));
+        if let Some(t) = &self.telemetry {
+            t.event(
+                "replica",
+                "partition_healed",
+                vec![("shard", self.shard.to_string())],
+            );
+        }
+        true
+    }
+
+    /// Scale-up: appends one slot, bumps the trusted epoch (a membership
+    /// change), and admits a re-attested newcomer caught up from a sealed
+    /// snapshot of the freshest survivor. The write quorum is re-derived
+    /// as the smallest majority of the new size, so `w > n/2` holds at
+    /// every size.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplicaError::NoSurvivors`] when no replica can seal a snapshot,
+    /// or admission/restore errors from [`ShardGroup::adopt_replacement`]
+    /// (the new slot then stays vacant for a later failover to repair).
+    pub fn expand(
+        &mut self,
+        provisioning: &mut ProvisioningService,
+    ) -> Result<ReplicaId, ReplicaError> {
+        // Membership change: bump the trusted epoch before the newcomer
+        // joins, exactly as failover does.
+        let epoch = self.counters.increment(&self.epoch_counter);
+        let snapshot = self.snapshot_from_survivor()?;
+        let slot = self.slots.len();
+        self.slots.push(None);
+        let id = self.adopt_replacement(slot, provisioning, &snapshot.sealed)?;
+        self.write_quorum = self.slots.len() / 2 + 1;
+        for replica in self.slots.iter_mut().flatten().filter(|r| !r.stalled) {
+            replica.epoch = epoch;
+        }
+        self.record(format!(
+            "shard {} scale-up epoch {epoch}: replica {id} admitted, n={} w={}",
+            self.shard,
+            self.slots.len(),
+            self.write_quorum
+        ));
+        if let Some(t) = &self.telemetry {
+            t.event(
+                "replica",
+                "scale_up",
+                vec![
+                    ("shard", self.shard.to_string()),
+                    ("epoch", epoch.to_string()),
+                    ("replicas", self.slots.len().to_string()),
+                ],
+            );
+        }
+        self.update_replication_lag();
+        Ok(id)
+    }
+
+    /// Scale-down with drain: removes the highest slot. Because every
+    /// acknowledged write was applied to *every* responsive replica, each
+    /// remaining responsive replica already holds the full acknowledged
+    /// history — the "drain" needs no data movement, only the refusal
+    /// check below. Bumps the trusted epoch (membership change), so the
+    /// drained replica is fenced out even if the host resurrects it, and
+    /// re-derives the write quorum as the smallest majority of the new
+    /// size. Returns the drained replica's id (`None` if the slot was
+    /// already vacant).
+    ///
+    /// # Errors
+    ///
+    /// [`ReplicaError::DrainRefused`] when removal would leave fewer
+    /// responsive replicas than the post-drain majority quorum (the group
+    /// keeps serving instead of scaling into unavailability).
+    pub fn decommission_last(&mut self) -> Result<Option<ReplicaId>, ReplicaError> {
+        let new_n = self.slots.len().saturating_sub(1);
+        let new_w = new_n / 2 + 1;
+        let remaining = self.slots[..new_n]
+            .iter()
+            .flatten()
+            .filter(|r| !r.stalled)
+            .count();
+        if new_n == 0 || remaining < new_w {
+            return Err(ReplicaError::DrainRefused {
+                shard: self.shard,
+                live: remaining,
+                needed: new_w,
+            });
+        }
+        let removed = self
+            .slots
+            .pop()
+            .expect("decommission checked the group is non-empty");
+        // Membership change: the epoch fences the drained replica out.
+        let epoch = self.counters.increment(&self.epoch_counter);
+        self.write_quorum = new_w;
+        let id = removed.map(|mut replica| {
+            replica.enclave.abort("decommissioned (drained)");
+            self.retired_cycles += replica.enclave.memory_view().cycles();
+            self.retired_epc_faults += replica.enclave.memory_view().stats().epc_faults;
+            replica.id
+        });
+        for replica in self.slots.iter_mut().flatten().filter(|r| !r.stalled) {
+            replica.epoch = epoch;
+        }
+        match id {
+            Some(id) => self.record(format!(
+                "shard {} scale-down epoch {epoch}: replica {id} drained and \
+                 decommissioned, n={} w={}",
+                self.shard,
+                self.slots.len(),
+                self.write_quorum
+            )),
+            None => self.record(format!(
+                "shard {} scale-down epoch {epoch}: vacant slot retired, n={} w={}",
+                self.shard,
+                self.slots.len(),
+                self.write_quorum
+            )),
+        }
+        if let Some(t) = &self.telemetry {
+            t.event(
+                "replica",
+                "scale_down",
+                vec![
+                    ("shard", self.shard.to_string()),
+                    ("epoch", epoch.to_string()),
+                    ("replicas", self.slots.len().to_string()),
+                ],
+            );
+        }
+        self.update_replication_lag();
+        Ok(id)
     }
 
     /// Repairs every vacant slot: bumps the trusted epoch, streams a
@@ -380,7 +626,10 @@ impl ShardGroup {
             self.adopt_replacement(slot, provisioning, &snapshot.sealed)?;
             replaced += 1;
         }
-        for replica in self.slots.iter_mut().flatten() {
+        // Stalled replicas are deliberately left on the old epoch: they
+        // take no writes anyway, and the stale-epoch check fences them if
+        // anything ever tries to resurrect one without re-admission.
+        for replica in self.slots.iter_mut().flatten().filter(|r| !r.stalled) {
             replica.epoch = epoch;
         }
         if let Some(t) = &self.telemetry {
@@ -439,7 +688,13 @@ impl ShardGroup {
             "replica {id} re-attested and admitted at epoch {}",
             replica.epoch
         ));
-        self.slots[slot] = Some(replica);
+        let (shard, slots) = (self.shard, self.slots.len());
+        let entry = self.slots.get_mut(slot).ok_or_else(|| {
+            ReplicaError::InvalidConfig(format!(
+                "shard {shard}: replacement slot {slot} out of range ({slots} slots)"
+            ))
+        })?;
+        *entry = Some(replica);
         Ok(id)
     }
 
@@ -456,8 +711,11 @@ impl ShardGroup {
         self.snapshot_from_survivor()
     }
 
-    /// Seals a snapshot from the first surviving replica; every live
-    /// replica holds all acknowledged writes, so any survivor will do.
+    /// Seals a snapshot from the *freshest* surviving replica (highest
+    /// store version, responsive preferred on ties). Every responsive
+    /// replica holds all acknowledged writes, so the max-version survivor
+    /// always does — a stalled replica can only be behind, never ahead,
+    /// and is therefore never chosen over a fresh one.
     fn snapshot_from_survivor(&mut self) -> Result<Snapshot, ReplicaError> {
         let counters = self.counters.clone();
         let counter_name = self.version_counter.clone();
@@ -465,7 +723,7 @@ impl ShardGroup {
             .slots
             .iter_mut()
             .flatten()
-            .next()
+            .max_by_key(|r| (r.kv.version(), !r.stalled))
             .ok_or(ReplicaError::NoSurvivors { shard: self.shard })?;
         let key = survivor.group_key;
         let id = survivor.id;
@@ -513,6 +771,7 @@ impl ShardGroup {
             kv: SecureKv::new(),
             group_key: admission.group_key,
             epoch: admission.epoch,
+            stalled: false,
         })
     }
 
@@ -679,6 +938,114 @@ mod tests {
             ),
             "{err}"
         );
+    }
+
+    #[test]
+    fn stalled_replica_is_fenced_out_of_quorums() {
+        let (mut g, _prov, _counters) = group();
+        g.put(b"before", b"stall").unwrap();
+        assert_eq!(g.stall(1).map(|id| id.slot), Some(1));
+        assert!(g.stall(1).is_none(), "double stall is a no-op");
+        assert_eq!(g.live(), 3, "stalled replica stays resident");
+        assert_eq!(g.responsive(), 2, "but no longer counts toward quorum");
+        // Writes still ack on the responsive majority and skip the
+        // stalled replica, whose version falls behind.
+        g.put(b"during", b"stall").unwrap();
+        g.put(b"during2", b"stall").unwrap();
+        let versions = g.replica_versions();
+        let (max, min) = (
+            versions.iter().max().unwrap(),
+            versions.iter().min().unwrap(),
+        );
+        assert!(max > min, "stalled replica lags: {versions:?}");
+        assert_eq!(g.get(b"during").unwrap(), Some(b"stall".to_vec()));
+        // One more stall drops the group below the write quorum.
+        g.stall(0);
+        let err = g.put(b"x", b"y").unwrap_err();
+        assert!(
+            matches!(err, ReplicaError::QuorumLost { live: 1, .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn failover_snapshots_from_the_freshest_survivor_not_a_stalled_one() {
+        let (mut g, mut prov, _counters) = group();
+        g.put(b"k", b"old").unwrap();
+        // Slot 0 (the would-be "first survivor") stalls and misses writes.
+        g.stall(0);
+        g.put(b"k", b"new").unwrap();
+        // Crash a fresh replica; the replacement must catch up from the
+        // other *fresh* one, not from the stale stalled slot 0.
+        g.kill(2, "chaos");
+        g.failover(&mut prov).unwrap();
+        assert_eq!(g.get(b"k").unwrap(), Some(b"new".to_vec()));
+    }
+
+    #[test]
+    fn partition_refuses_quorum_ops_until_healed() {
+        let (mut g, _prov, _counters) = group();
+        g.put(b"acked", b"pre-partition").unwrap();
+        let epoch_before = g.epoch();
+        assert!(g.partition());
+        assert!(!g.partition(), "double partition is a no-op");
+        assert!(g.is_partitioned());
+        let put_err = g.put(b"lost?", b"never acked").unwrap_err();
+        assert!(
+            matches!(put_err, ReplicaError::Partitioned { .. }),
+            "{put_err}"
+        );
+        let get_err = g.get(b"acked").unwrap_err();
+        assert!(
+            matches!(get_err, ReplicaError::Partitioned { .. }),
+            "{get_err}"
+        );
+        assert!(g.heal_partition());
+        assert!(!g.heal_partition(), "double heal is a no-op");
+        assert_eq!(g.epoch(), epoch_before, "partitions never move the epoch");
+        assert_eq!(g.get(b"acked").unwrap(), Some(b"pre-partition".to_vec()));
+        assert_eq!(
+            g.get(b"lost?").unwrap(),
+            None,
+            "refused write left no trace"
+        );
+    }
+
+    #[test]
+    fn expand_and_decommission_keep_majority_quorums_and_acked_writes() {
+        let (mut g, mut prov, _counters) = group();
+        g.put(b"acked", b"v1").unwrap();
+        // Scale up 3 -> 4: quorum becomes the majority of 4.
+        let id = g.expand(&mut prov).unwrap();
+        assert_eq!(id.slot, 3);
+        assert_eq!(g.replication_factor(), 4);
+        assert_eq!(g.write_quorum(), 3);
+        assert_eq!(g.epoch(), 2, "scale-up is a membership change");
+        assert_eq!(g.get(b"acked").unwrap(), Some(b"v1".to_vec()));
+        g.put(b"acked", b"v2").unwrap();
+        // Scale down 4 -> 3: drained without data movement, still readable.
+        let drained = g.decommission_last().unwrap();
+        assert_eq!(drained.map(|id| id.slot), Some(3));
+        assert_eq!(g.replication_factor(), 3);
+        assert_eq!(g.write_quorum(), 2);
+        assert_eq!(g.epoch(), 3);
+        assert_eq!(g.get(b"acked").unwrap(), Some(b"v2".to_vec()));
+        // A scale-down that would break the post-drain quorum is refused.
+        g.kill(0, "chaos");
+        let err = g.decommission_last().unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ReplicaError::DrainRefused {
+                    live: 1,
+                    needed: 2,
+                    ..
+                }
+            ),
+            "{err}"
+        );
+        assert_eq!(g.replication_factor(), 3, "refused drain changes nothing");
+        assert_eq!(g.get(b"acked").unwrap(), Some(b"v2".to_vec()));
     }
 
     #[test]

@@ -38,7 +38,9 @@ pub mod group;
 pub mod provision;
 pub mod shard;
 
-pub use cluster::{ReplicaConfig, ReplicaStats, ReplicatedKv, ReplicationFactor, WriteQuorum};
+pub use cluster::{
+    FaultApplication, ReplicaConfig, ReplicaStats, ReplicatedKv, ReplicationFactor, WriteQuorum,
+};
 pub use group::ShardGroup;
 pub use provision::ProvisioningService;
 pub use shard::ShardMap;
@@ -132,6 +134,23 @@ pub enum ReplicaError {
         /// The shard that lost every replica.
         shard: ShardId,
     },
+    /// The shard group is partitioned from its clients: quorum operations
+    /// are refused outright, so a write fails *unacknowledged* rather than
+    /// being acknowledged on an unreachable quorum.
+    Partitioned {
+        /// The isolated shard.
+        shard: ShardId,
+    },
+    /// A scale-down was refused: draining the targeted replica would drop
+    /// the group below the majority quorum of its post-drain size.
+    DrainRefused {
+        /// The shard whose scale-down was refused.
+        shard: ShardId,
+        /// Responsive replicas that would remain.
+        live: usize,
+        /// The post-drain majority quorum they must still meet.
+        needed: usize,
+    },
     /// The deployment configuration is invalid.
     InvalidConfig(String),
     /// The addressed shard does not exist in this deployment.
@@ -172,6 +191,21 @@ impl fmt::Display for ReplicaError {
             ReplicaError::NoSurvivors { shard } => {
                 write!(f, "shard {shard}: no surviving replica to recover from")
             }
+            ReplicaError::Partitioned { shard } => {
+                write!(
+                    f,
+                    "shard {shard}: partitioned from clients; quorum operations refused"
+                )
+            }
+            ReplicaError::DrainRefused {
+                shard,
+                live,
+                needed,
+            } => write!(
+                f,
+                "shard {shard}: scale-down refused ({live} responsive would remain, \
+                 post-drain quorum needs {needed})"
+            ),
             ReplicaError::InvalidConfig(why) => write!(f, "invalid replica config: {why}"),
             ReplicaError::UnknownShard(shard) => write!(f, "unknown shard {shard}"),
         }

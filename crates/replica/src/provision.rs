@@ -147,7 +147,9 @@ impl ProvisioningService {
                 ..ChannelConfig::default()
             },
         );
-        let service_channel = responder.join().expect("responder thread");
+        let service_channel = responder.join().unwrap_or_else(|_| {
+            panic!("shard {shard}: provisioning responder thread panicked during admission")
+        });
         let mut candidate_channel =
             candidate_channel.map_err(|source| ReplicaError::Channel { shard, source })?;
         let mut service_channel =
@@ -171,8 +173,21 @@ impl ProvisioningService {
         let received = candidate_channel
             .recv()
             .map_err(|source| ReplicaError::Channel { shard, source })?;
-        let group_key: [u8; 16] = received[..16].try_into().expect("sized payload");
-        let epoch = u64::from_le_bytes(received[16..24].try_into().expect("sized payload"));
+        if received.len() < 24 {
+            return Err(ReplicaError::InvalidConfig(format!(
+                "shard {shard}: admission payload truncated ({} bytes, need 24: \
+                 16-byte group key + 8-byte epoch)",
+                received.len()
+            )));
+        }
+        let group_key: [u8; 16] = received[..16]
+            .try_into()
+            .unwrap_or_else(|_| panic!("shard {shard}: group-key slice is 16 bytes by check"));
+        let epoch = u64::from_le_bytes(
+            received[16..24]
+                .try_into()
+                .unwrap_or_else(|_| panic!("shard {shard}: epoch slice is 8 bytes by check")),
+        );
         self.admitted.inc();
         Ok(Admission { group_key, epoch })
     }

@@ -131,4 +131,86 @@ proptest! {
         group.adopt_replacement(0, &mut provisioning, &fresh.sealed).expect("fresh snapshot accepted");
         prop_assert_eq!(group.live(), 3);
     }
+
+    /// Decommissioning replicas between quorum writes never loses an ack:
+    /// whatever interleaving of writes, scale-ups, scale-downs, and crashes
+    /// the seed produces, every write that was *acknowledged* stays
+    /// readable, the drain check refuses any scale-down that would
+    /// endanger the post-drain majority, and epochs only move forward.
+    #[test]
+    fn decommission_between_quorum_writes_never_loses_acks(
+        replication in prop_oneof![Just(3u32), Just(5u32)],
+        ops in prop::collection::vec(0u8..4, 4..24),
+        op_seed in any::<u64>(),
+    ) {
+        let (mut group, mut provisioning) = build_group(replication);
+        let mut acked: Vec<(Vec<u8>, Vec<u8>)> = Vec::new();
+        let mut last_epoch = group.epoch();
+        let mut seq = 0u64;
+        for (step, op) in ops.iter().enumerate() {
+            match op {
+                // Quorum write: track it only if acknowledged.
+                0 | 1 => {
+                    let key = format!("k/{seq}").into_bytes();
+                    let value = format!("v/{step}").into_bytes();
+                    seq += 1;
+                    if group.put(&key, &value).is_ok() {
+                        acked.push((key, value));
+                    }
+                }
+                // Scale-up through the attested admission path.
+                2 => {
+                    let before = group.replication_factor();
+                    group.expand(&mut provisioning).expect("expand admits");
+                    prop_assert_eq!(group.replication_factor(), before + 1);
+                }
+                // Drain-before-decommission; sometimes on a degraded
+                // group (crash first), so the refusal path is exercised.
+                3 => {
+                    // Crash first sometimes, but never a *majority* crash
+                    // (the invariant only covers minority failures).
+                    if op_seed.wrapping_add(step as u64).is_multiple_of(3)
+                        && group.responsive() > 1
+                    {
+                        let slot = (op_seed >> (step % 32)) as usize
+                            % group.replication_factor();
+                        group.kill(slot, "prop crash before drain");
+                    }
+                    let n = group.replication_factor();
+                    match group.decommission_last() {
+                        Ok(_) => {
+                            prop_assert_eq!(group.replication_factor(), n - 1);
+                        }
+                        Err(ReplicaError::DrainRefused { live, needed, .. }) => {
+                            // Refusal must be *because* the survivors
+                            // could not sustain the post-drain majority.
+                            prop_assert!(live < needed);
+                        }
+                        Err(other) => {
+                            prop_assert!(false, "unexpected decommission error: {}", other);
+                        }
+                    }
+                    // Repair any crash so later quorum ops can proceed.
+                    if group.is_degraded() {
+                        group.failover(&mut provisioning).expect("survivors exist");
+                    }
+                }
+                _ => unreachable!("op domain is 0..=3"),
+            }
+            // Quorum stays a majority at every size the group passes
+            // through, and the trusted epoch never rolls back.
+            prop_assert!(group.write_quorum() * 2 > group.replication_factor());
+            prop_assert!(group.epoch() >= last_epoch, "epoch rollback");
+            last_epoch = group.epoch();
+        }
+        // Every acknowledged write is still readable (freshest value per
+        // key wins; keys here are unique so each ack is its own key).
+        for (key, value) in &acked {
+            prop_assert_eq!(
+                group.get(key).expect("read quorum held"),
+                Some(value.clone()),
+                "acked write lost after scaling schedule"
+            );
+        }
+    }
 }

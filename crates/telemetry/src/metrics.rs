@@ -191,6 +191,30 @@ impl Histogram {
         out
     }
 
+    /// An upper bound on the `percentile`-th percentile observation: the
+    /// inclusive upper bound of the first bucket whose cumulative count
+    /// reaches that rank. Exact to within the log₂ bucket width, which is
+    /// all the scaling policies and benchmark tables need. Returns 0 for
+    /// an empty histogram; `percentile` is clamped to `1..=100`.
+    #[must_use]
+    pub fn percentile_upper_bound(&self, percentile: u8) -> u64 {
+        let total = self.count();
+        if total == 0 {
+            return 0;
+        }
+        let pct = u128::from(percentile.clamp(1, 100));
+        let rank = u64::try_from((u128::from(total) * pct).div_ceil(100)).unwrap_or(total);
+        let rank = rank.max(1);
+        let mut cumulative = 0u64;
+        for (index, count) in self.bucket_counts().iter().enumerate() {
+            cumulative = cumulative.saturating_add(*count);
+            if cumulative >= rank {
+                return Self::bucket_upper_bound(index);
+            }
+        }
+        Self::bucket_upper_bound(HISTOGRAM_BUCKETS - 1)
+    }
+
     /// Folds another histogram's observations into this one: bucket-wise
     /// addition, exactly as if every observation had been recorded on a
     /// shared handle. Used by [`Registry::merge_from`].
@@ -522,6 +546,24 @@ mod tests {
             assert_eq!(Histogram::bucket_index(ub), i);
             assert_eq!(Histogram::bucket_index(ub + 1), i + 1);
         }
+    }
+
+    #[test]
+    fn percentile_upper_bound_walks_cumulative_buckets() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile_upper_bound(99), 0, "empty histogram");
+        for _ in 0..99 {
+            h.observe(3); // bucket 2, upper bound 3
+        }
+        h.observe(1_000); // bucket 10, upper bound 1023
+        assert_eq!(h.percentile_upper_bound(50), 3);
+        assert_eq!(h.percentile_upper_bound(99), 3);
+        assert_eq!(h.percentile_upper_bound(100), 1023);
+        // A single observation is every percentile.
+        let single = Histogram::new();
+        single.observe(7);
+        assert_eq!(single.percentile_upper_bound(1), 7);
+        assert_eq!(single.percentile_upper_bound(99), 7);
     }
 
     #[test]

@@ -528,6 +528,172 @@ fn same_seed_gives_byte_identical_failover_telemetry() {
     );
 }
 
+/// What the elastic-controller chaos scenario exposes for assertions.
+struct ElasticOutcome {
+    trace: Vec<String>,
+    decisions: String,
+    stats: securecloud::replica::cluster::ReplicaStats,
+    epoch_rollback: bool,
+    lost_any_acked_write: bool,
+    unhealthy_groups: usize,
+    acked: usize,
+    rejected_writes: u64,
+}
+
+/// Drives the attached [`securecloud::cluster::ClusterController`] through
+/// a fault schedule interleaved with its own scaling decisions: sustained
+/// bus backpressure forces scale-ups, and the plan kills exactly the
+/// replicas those scale-ups admit (slot 3 right after n goes to 4, slot 4
+/// right after n goes to 5), stalls a replica so the controller's repair
+/// phase has to fence-kill it, and partitions a whole group mid-run.
+fn run_elastic_scenario(seed: u64) -> ElasticOutcome {
+    use securecloud::cluster::ScalingPolicy;
+    use securecloud::eventbus::bus::METRIC_BACKPRESSURED;
+    use securecloud::replica::{ReplicaConfig, ReplicationFactor, ShardId, WriteQuorum};
+
+    let mut cloud = SecureCloud::new();
+    let plan = FaultPlan::new()
+        .at(600, FaultKind::ReplicaKill { shard: 0, slot: 3 })
+        .at(1_100, FaultKind::ReplicaStall { shard: 1, slot: 1 })
+        .at(2_600, FaultKind::ReplicaKill { shard: 0, slot: 4 })
+        .at(
+            3_100,
+            FaultKind::NetworkPartition {
+                group: 1,
+                heal_after_ms: 700,
+            },
+        );
+    let injector = Arc::new(FaultInjector::with_plan(seed, plan));
+    cloud.set_fault_injector(Arc::clone(&injector));
+    let id = cloud
+        .deploy_replicated_kv(ReplicaConfig {
+            shards: 2,
+            replication: ReplicationFactor(3),
+            write_quorum: WriteQuorum(2),
+            ..ReplicaConfig::default()
+        })
+        .unwrap();
+    cloud
+        .attach_cluster_controller(id, ScalingPolicy::default(), 8)
+        .unwrap();
+
+    let backpressured = cloud.telemetry().counter(METRIC_BACKPRESSURED);
+    let mut acked = Vec::new();
+    let mut rejected_writes = 0u64;
+    let mut epoch_rollback = false;
+    let mut last_epochs: Vec<u64> = Vec::new();
+    for round in 0..44u64 {
+        for meter in 0..4u64 {
+            let key = format!("meter/{round}/{meter}");
+            // A write refused by a partitioned or draining group was never
+            // acknowledged, so it carries no durability guarantee.
+            match cloud
+                .replicated_kv_mut(id)
+                .unwrap()
+                .put(key.as_bytes(), &round.to_le_bytes())
+            {
+                Ok(()) => acked.push((key, round)),
+                Err(_) => rejected_writes += 1,
+            }
+        }
+        if round < 11 {
+            // Sustained bus overload: the controller sees a backpressure
+            // delta of 20 per tick and ramps replicas up; from round 11
+            // on the signals go calm and it drains back down.
+            backpressured.add(20);
+        }
+        cloud.advance(250);
+        let epochs = cloud.replicated_kv_mut(id).unwrap().stats().epochs;
+        if !last_epochs.is_empty()
+            && epochs
+                .iter()
+                .zip(&last_epochs)
+                .any(|(now, then)| now < then)
+        {
+            epoch_rollback = true;
+        }
+        last_epochs = epochs;
+    }
+
+    let kv = cloud.replicated_kv_mut(id).unwrap();
+    let lost_any_acked_write = acked.iter().any(|(key, round)| {
+        kv.get(key.as_bytes()).expect("read quorum") != Some(round.to_le_bytes().to_vec())
+    });
+    let unhealthy_groups = (0..2)
+        .filter(|&index| {
+            let group = kv.group(ShardId(index)).unwrap();
+            group.is_degraded() || group.is_partitioned() || !group.stalled_replicas().is_empty()
+        })
+        .count();
+    let stats = kv.stats();
+    ElasticOutcome {
+        trace: injector.trace(),
+        decisions: cloud.cluster_controller().unwrap().decision_trace(),
+        stats,
+        epoch_rollback,
+        lost_any_acked_write,
+        unhealthy_groups,
+        acked: acked.len(),
+        rejected_writes,
+    }
+}
+
+#[test]
+fn elastic_controller_survives_kills_and_stall_mid_scale_up() {
+    let outcome = run_elastic_scenario(0xE1A5);
+
+    // The headline invariant: whatever the schedule did to the membership,
+    // no acknowledged write is lost and quorum epochs never roll back.
+    assert!(
+        !outcome.lost_any_acked_write,
+        "an acknowledged write disappeared across the fault schedule"
+    );
+    assert!(!outcome.epoch_rollback, "a quorum epoch rolled back");
+    assert!(outcome.acked > 100, "most writes acked: {}", outcome.acked);
+    assert!(
+        outcome.rejected_writes > 0,
+        "the partition window should refuse (not silently ack) some writes"
+    );
+
+    // The schedule interleaved with scaling as designed: both shards
+    // ramped up under backpressure, the kills landed on freshly admitted
+    // replicas, and the calm tail drained both groups back to the floor.
+    assert!(outcome.decisions.contains("scale-up shard s0 -> n=4"));
+    assert!(outcome.decisions.contains("scale-up shard s0 -> n=5"));
+    assert!(trace_has(&outcome.trace, "fire replica-kill s0/r3"));
+    assert!(trace_has(&outcome.trace, "fire replica-kill s0/r4"));
+    assert!(trace_has(&outcome.trace, "fire replica-stall s1/r1"));
+    assert!(trace_has(&outcome.trace, "fire network-partition s1"));
+    assert!(outcome
+        .decisions
+        .contains("repair shard s1: killed stalled replica s1/r1"));
+    assert!(outcome.decisions.contains("hold shard s1: partitioned"));
+    assert!(outcome.decisions.contains("scale-down shard s0"));
+
+    // Converged: healthy groups at full strength, nothing stalled or
+    // partitioned, and the controller actually exercised both directions.
+    assert_eq!(outcome.unhealthy_groups, 0);
+    assert_eq!(
+        outcome.stats.live_replicas, 6,
+        "both groups drained back to min_replicas"
+    );
+    assert_eq!(outcome.stats.scale_ups, 4, "two ramps per shard");
+    assert!(outcome.stats.scale_downs >= 2);
+    assert!(outcome.stats.replicas_killed >= 3);
+}
+
+#[test]
+fn elastic_controller_decision_trace_is_deterministic() {
+    let first = run_elastic_scenario(0xE1A5);
+    let second = run_elastic_scenario(0xE1A5);
+    assert!(!first.decisions.is_empty());
+    assert_eq!(
+        first.decisions, second.decisions,
+        "controller decisions must be byte-identical for equal seeds"
+    );
+    assert_eq!(first.trace, second.trace);
+}
+
 #[test]
 fn armed_syscall_failures_hit_the_shield_layer() {
     // Regression: `SyscallFail` used to be dropped on the floor by
