@@ -5,22 +5,24 @@
 //! Usage: `cargo run --release -p securecloud-bench --bin repro -- [exp] [--smoke] [--jobs N]`
 //! where `exp` is one of `fig3`, `cache`, `fig3opt`, `genpack`, `ablation`,
 //! `genpack_sweep`, `syscall`, `syscall_window`, `container`, `index`,
-//! `orchestration`, `replication`, `crypto`, `messaging`, `cluster`, or
-//! `all` (default). `--smoke` runs reduced workloads (CI-sized) with the
-//! same code paths. `--jobs N` fans the fig3, replication, messaging, and
-//! cluster sweeps across N worker threads (default: available parallelism;
-//! `--jobs 1` forces serial) — results and telemetry are byte-identical
-//! for any job count.
+//! `orchestration`, `replication`, `crypto`, `messaging`, `cluster`,
+//! `slo`, or `all` (default). `--smoke` runs reduced workloads (CI-sized)
+//! with the same code paths. `--jobs N` fans the fig3, replication,
+//! messaging, cluster, and slo sweeps across N worker threads (default:
+//! available parallelism; `--jobs 1` forces serial) — results and
+//! telemetry are byte-identical for any job count.
 //!
 //! Every run leaves a telemetry report (Prometheus snapshot, JSONL trace,
 //! chrome trace) under `target/telemetry/`; `crypto` additionally writes
 //! `target/telemetry/BENCH_crypto.json`, `messaging` writes
-//! `target/telemetry/BENCH_messaging.json`, and `cluster` writes
-//! `target/telemetry/BENCH_cluster.json`.
+//! `target/telemetry/BENCH_messaging.json`, `cluster` writes
+//! `target/telemetry/BENCH_cluster.json`, and `slo` writes
+//! `target/telemetry/BENCH_slo.json` plus the folded critical-path
+//! report `target/telemetry/critical_path.txt`.
 
 use securecloud_bench::{
     cluster_exp, container, cryptobench, fig3, genpack_exp, indexcmp, messaging, orchestration_exp,
-    pool, replication, syscalls,
+    pool, replication, slo, syscalls,
 };
 use securecloud_telemetry::Telemetry;
 use std::path::Path;
@@ -93,6 +95,9 @@ fn main() {
     }
     if all || which == "cluster" {
         run_cluster(smoke, jobs);
+    }
+    if all || which == "slo" {
+        run_slo(smoke, jobs);
     }
     match telemetry.write_report(Path::new("target/telemetry")) {
         Ok(report) => println!(
@@ -484,6 +489,72 @@ fn run_cluster(smoke: bool, jobs: usize) {
     match report.write_json(path) {
         Ok(()) => println!("\ncluster bench report: {}\n", path.display()),
         Err(err) => eprintln!("\nwarning: cluster bench report not written: {err}\n"),
+    }
+}
+
+fn run_slo(smoke: bool, jobs: usize) {
+    println!("== E13: causal tracing, critical path, and SLO burn rates ==");
+    println!("(every publish mints a root trace; aborts, a consumer stall, and");
+    println!(" a partition draw burn-rate alerts; the critical path attributes");
+    println!(" self time per subsystem — byte-identical at any --jobs)\n");
+    let config = if smoke {
+        slo::SloConfig::smoke()
+    } else {
+        slo::SloConfig::full()
+    };
+    println!(
+        "{} tick(s) x {} ms virtual per cell\n",
+        config.ticks, config.tick_ms
+    );
+    println!(
+        "{:>10} {:>6} {:>6} {:>7} {:>7} {:>9} {:>11} {:>7} {:>9} {:>18}",
+        "seed",
+        "acked",
+        "reject",
+        "alerts",
+        "restart",
+        "subsystem",
+        "self ms",
+        "traces",
+        "decisions",
+        "trace fnv"
+    );
+    // The schedule panics the aggregator on purpose; keep the injected
+    // backtraces quiet for the sweep, then restore normal reporting.
+    let hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let report = slo::sweep_jobs(&config, jobs);
+    std::panic::set_hook(hook);
+    for point in &report.points {
+        println!(
+            "{:>10x} {:>6} {:>6} {:>7} {:>7} {:>9} {:>11} {:>7} {:>9} {:>18x}",
+            point.seed,
+            point.acked,
+            point.rejected,
+            point.alerts,
+            point.restarts,
+            point.subsystems,
+            point.total_self_ms,
+            point.traces,
+            point.decisions,
+            point.trace_events_fnv
+        );
+    }
+    if let Some(point) = report.points.first() {
+        println!("\ncritical path, seed {:#x}:", point.seed);
+        for line in point.critical_path_text.lines() {
+            println!("  {line}");
+        }
+    }
+    let json_path = Path::new("target/telemetry/BENCH_slo.json");
+    match report.write_json(json_path) {
+        Ok(()) => println!("\nslo bench report: {}", json_path.display()),
+        Err(err) => eprintln!("\nwarning: slo bench report not written: {err}"),
+    }
+    let cp_path = Path::new("target/telemetry/critical_path.txt");
+    match report.write_critical_path(cp_path) {
+        Ok(()) => println!("critical-path report: {}\n", cp_path.display()),
+        Err(err) => eprintln!("warning: critical-path report not written: {err}\n"),
     }
 }
 

@@ -22,4 +22,5 @@ pub mod messaging;
 pub mod orchestration_exp;
 pub mod pool;
 pub mod replication;
+pub mod slo;
 pub mod syscalls;

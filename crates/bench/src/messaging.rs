@@ -172,7 +172,7 @@ fn run_point(
         messages,
         delivered,
         msgs_per_s: messages as f64 / secs,
-        p99_us: latency.percentile_upper_bound(99),
+        p99_us: latency.percentile_upper_bound(99).unwrap_or(0),
     }
 }
 
@@ -342,8 +342,8 @@ mod tests {
         // 99th percentile lands in the bucket holding the 10s.
         assert_eq!(
             h.percentile_upper_bound(99),
-            Histogram::bucket_upper_bound(4)
+            Some(Histogram::bucket_upper_bound(4))
         );
-        assert_eq!(Histogram::new().percentile_upper_bound(99), 0);
+        assert_eq!(Histogram::new().percentile_upper_bound(99), None);
     }
 }

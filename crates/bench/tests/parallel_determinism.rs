@@ -3,7 +3,7 @@
 //! byte-identical point vectors *and* byte-identical telemetry exports for
 //! any `--jobs` value.
 
-use securecloud_bench::{cluster_exp, fig3, messaging, replication};
+use securecloud_bench::{cluster_exp, fig3, messaging, replication, slo};
 use securecloud_telemetry::Telemetry;
 
 /// Tiny Figure 3 sweep (debug-build sized): serial and 4-way parallel runs
@@ -103,6 +103,47 @@ fn cluster_decision_traces_are_identical_across_job_counts() {
     assert_ne!(
         serial.points[0].decision_trace,
         serial.points[1].decision_trace
+    );
+}
+
+/// E13 traced cells: causal ids are minted from (seed, minting order)
+/// alone, so the critical-path report and alert-stream *bytes* must be
+/// identical at any job count — and differ across seeds (equal reports
+/// would mean the seed never reached the minter or the schedule).
+#[test]
+fn slo_traces_and_reports_are_identical_across_job_counts() {
+    let config = slo::SloConfig {
+        seeds: vec![0x510_0001, 0x510_0002],
+        ..slo::SloConfig::full()
+    };
+
+    let serial = slo::sweep_jobs(&config, 1);
+    let two_way = slo::sweep_jobs(&config, 2);
+    let eight_way = slo::sweep_jobs(&config, 8);
+
+    assert_eq!(serial, two_way, "slo cells diverge between 1 and 2 jobs");
+    assert_eq!(serial, eight_way, "slo cells diverge between 1 and 8 jobs");
+    assert_eq!(serial.points.len(), 2);
+    for point in &serial.points {
+        assert!(!point.critical_path_text.is_empty());
+        assert!(!point.alert_stream.is_empty());
+        assert!(point.subsystems >= 4);
+    }
+    // Different seeds jitter the schedule and reseed the id minter, so
+    // both determinism artifacts must differ across seeds.
+    assert_ne!(
+        serial.points[0].critical_path_text,
+        serial.points[1].critical_path_text
+    );
+    assert_ne!(
+        serial.points[0].decision_trace,
+        serial.points[1].decision_trace
+    );
+    // The raw trace-event digest covers every minted causal id, so it is
+    // seed-distinct even when the aggregate renders happen to coincide.
+    assert_ne!(
+        serial.points[0].trace_events_fnv,
+        serial.points[1].trace_events_fnv
     );
 }
 

@@ -26,7 +26,7 @@ use securecloud_faults::FaultInjector;
 use securecloud_genpack::cluster::{Cluster, Demand, JobId, ServerSpec};
 use securecloud_genpack::schedulers::{GenPackScheduler, Scheduler};
 use securecloud_replica::{ReplicaError, ReplicatedKv, ShardId};
-use securecloud_telemetry::{Counter, Gauge, Histogram, Telemetry};
+use securecloud_telemetry::{Counter, Gauge, Histogram, SloEngine, Telemetry};
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 
@@ -111,6 +111,10 @@ pub struct ClusterController {
     placement: Cluster,
     scheduler: GenPackScheduler,
     placed: BTreeSet<u64>,
+    // Optional SLO burn-rate engine; when attached, a burning objective is
+    // an extra breach signal and each new alert becomes a decision line.
+    slo: Option<SloEngine>,
+    slo_alerts_seen: usize,
     // Trace + controller metrics.
     decisions: Vec<String>,
     decisions_total: Counter,
@@ -158,6 +162,8 @@ impl ClusterController {
             placement: Cluster::new(servers, ServerSpec::typical()),
             scheduler: GenPackScheduler::new(),
             placed: BTreeSet::new(),
+            slo: None,
+            slo_alerts_seen: 0,
             decisions: Vec::new(),
             decisions_total: telemetry.counter("securecloud_cluster_decisions_total"),
             power_watts: telemetry.gauge("securecloud_cluster_power_watts"),
@@ -172,6 +178,20 @@ impl ClusterController {
     /// trace, interleaving controller actions with fault firings.
     pub fn set_fault_injector(&mut self, injector: Arc<FaultInjector>) {
         self.injector = Some(injector);
+    }
+
+    /// Attaches an SLO burn-rate engine. It is ticked once per controller
+    /// tick; while any objective burns, [`Signals::slo_breach`] is raised
+    /// (scale-up pressure, calm veto) and every new alert is mirrored into
+    /// the decision trace.
+    pub fn set_slo_engine(&mut self, engine: SloEngine) {
+        self.slo = Some(engine);
+    }
+
+    /// The attached SLO engine, if any.
+    #[must_use]
+    pub fn slo_engine(&self) -> Option<&SloEngine> {
+        self.slo.as_ref()
     }
 
     /// The policy in force.
@@ -240,6 +260,30 @@ impl ClusterController {
         let dlq_depth = self.dead_letter_depth.value();
         let p99_ms = self.publish_to_ack.percentile_upper_bound(99);
 
+        // Tick the SLO engine (when attached): a burning objective is an
+        // extra breach signal, and each new alert enters the decision trace.
+        let mut slo_lines = Vec::new();
+        let slo_breach = if let Some(engine) = self.slo.as_mut() {
+            let burning = engine.tick(now_ms);
+            for alert in &engine.alerts()[self.slo_alerts_seen..] {
+                slo_lines.push(format!(
+                    "slo-alert {}: fast_burn={}.{:02}x slow_burn={}.{:02}x",
+                    alert.slo,
+                    alert.fast_burn_x100 / 100,
+                    alert.fast_burn_x100 % 100,
+                    alert.slow_burn_x100 / 100,
+                    alert.slow_burn_x100 % 100
+                ));
+            }
+            self.slo_alerts_seen = engine.alerts().len();
+            burning
+        } else {
+            false
+        };
+        for line in &slo_lines {
+            self.decide(now_ms, line);
+        }
+
         let shard_count = kv.shard_map().shards();
 
         // Repair first: kill stalled replicas so the failover below
@@ -287,12 +331,20 @@ impl ClusterController {
                 p99_ms,
                 backpressure_delta,
                 dlq_depth,
+                slo_breach,
                 &mut report,
             );
         }
 
         // Service-fleet sizing from the bus signals alone.
-        self.tick_services(now_ms, p99_ms, backpressure_delta, dlq_depth, &mut report);
+        self.tick_services(
+            now_ms,
+            p99_ms,
+            backpressure_delta,
+            dlq_depth,
+            slo_breach,
+            &mut report,
+        );
         report.desired_service_replicas = self.desired_services;
 
         // Reconcile placement and let GenPack consolidate.
@@ -301,15 +353,42 @@ impl ClusterController {
         report
     }
 
+    /// Renders an observed p99 for a decision line; an absent measurement
+    /// renders as `-`, never as a fake zero.
+    fn fmt_p99(p99_ms: Option<u64>) -> String {
+        p99_ms.map_or_else(|| "-".to_string(), |p99| format!("{p99}ms"))
+    }
+
+    /// Emits the causal chain behind a scale-up: the heaviest recently
+    /// acked publish traces (exemplars) are the requests whose latency
+    /// tripped the signal, so the decision event points straight at them.
+    fn note_scale_up_cause(&self, target: &str) {
+        let causes = self.telemetry.exemplars("publish_to_ack");
+        if causes.is_empty() {
+            return;
+        }
+        let traces = causes
+            .iter()
+            .map(|id| format!("{id:016x}"))
+            .collect::<Vec<_>>()
+            .join(",");
+        self.telemetry.event(
+            "cluster",
+            "scale_up_cause",
+            vec![("target", target.to_string()), ("traces", traces)],
+        );
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn tick_shard(
         &mut self,
         now_ms: u64,
         kv: &mut ReplicatedKv,
         shard: ShardId,
-        p99_ms: u64,
+        p99_ms: Option<u64>,
         backpressure_delta: u64,
         dlq_depth: i64,
+        slo_breach: bool,
         report: &mut ControllerReport,
     ) {
         let Some(group) = kv.group(shard) else {
@@ -332,6 +411,7 @@ impl ClusterController {
             p99_ms,
             backpressure_delta,
             dlq_depth,
+            slo_breach,
         };
         let policy = self.policy.clone();
         let state = self.shards.entry(shard.0).or_insert_with(|| {
@@ -393,13 +473,15 @@ impl ClusterController {
             match kv.scale_up(shard) {
                 Ok(replica) => {
                     report.scaled_up += 1;
+                    let p99 = Self::fmt_p99(p99_ms);
                     self.decide(
                         now_ms,
                         &format!(
-                            "scale-up shard {shard} -> n={want} (lag={lag} p99={p99_ms}ms \
+                            "scale-up shard {shard} -> n={want} (lag={lag} p99={p99} \
                              bp={backpressure_delta} dlq={dlq_depth}): admitted {replica}"
                         ),
                     );
+                    self.note_scale_up_cause(&format!("shard {shard}"));
                 }
                 Err(err) => {
                     if let Some(state) = self.shards.get_mut(&shard.0) {
@@ -448,9 +530,10 @@ impl ClusterController {
     fn tick_services(
         &mut self,
         now_ms: u64,
-        p99_ms: u64,
+        p99_ms: Option<u64>,
         backpressure_delta: u64,
         dlq_depth: i64,
+        slo_breach: bool,
         _report: &mut ControllerReport,
     ) {
         let signals = Signals {
@@ -458,6 +541,7 @@ impl ClusterController {
             p99_ms,
             backpressure_delta,
             dlq_depth,
+            slo_breach,
         };
         if signals.breaches(&self.policy) {
             self.service_breach_streak += 1;
@@ -483,13 +567,15 @@ impl ClusterController {
             self.service_breach_streak = 0;
             self.service_last_up_ms = Some(now_ms);
             let want = self.desired_services;
+            let p99 = Self::fmt_p99(p99_ms);
             self.decide(
                 now_ms,
                 &format!(
-                    "scale-up services -> {want} (p99={p99_ms}ms \
+                    "scale-up services -> {want} (p99={p99} \
                      bp={backpressure_delta} dlq={dlq_depth})"
                 ),
             );
+            self.note_scale_up_cause("services");
         } else if self.service_calm_streak >= self.policy.down_streak
             && self.desired_services > self.policy.min_service_replicas
             && down_ready

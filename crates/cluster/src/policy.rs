@@ -130,32 +130,45 @@ impl ScalingPolicy {
 pub struct Signals {
     /// Per-shard replication lag (gauge value, clamped at zero).
     pub lag: u64,
-    /// Bus publish-to-ack p99 upper bound, ms.
-    pub p99_ms: u64,
+    /// Bus publish-to-ack p99 upper bound, ms. `None` before the first
+    /// acked publish — during warmup there is *no measurement*, which must
+    /// neither read as a breach (the old `0` sentinel could never breach,
+    /// but a future low threshold would have made it one) nor block calm
+    /// (a deployment that never publishes must still be able to drain).
+    pub p99_ms: Option<u64>,
     /// Bus backpressure errors since the previous tick.
     pub backpressure_delta: u64,
     /// Bus dead-letter-queue depth.
     pub dlq_depth: i64,
+    /// Whether the SLO engine reports an objective burning above its
+    /// multi-window threshold this tick (an immediate breach that also
+    /// vetoes calm).
+    pub slo_breach: bool,
 }
 
 impl Signals {
-    /// Whether any signal crosses its high threshold.
+    /// Whether any signal crosses its high threshold. An absent p99 can
+    /// never breach: no data is not slow data.
     #[must_use]
     pub fn breaches(&self, policy: &ScalingPolicy) -> bool {
         self.lag >= policy.lag_high
-            || self.p99_ms >= policy.p99_high_ms
+            || self.p99_ms.is_some_and(|p99| p99 >= policy.p99_high_ms)
             || self.backpressure_delta >= policy.backpressure_high
             || self.dlq_depth >= policy.dlq_high
+            || self.slo_breach
     }
 
     /// Whether *every* signal sits below half its high threshold — the
-    /// hysteresis band between half and high advances neither streak.
+    /// hysteresis band between half and high advances neither streak. An
+    /// absent p99 does not block calm (absence of traffic is calm), but a
+    /// burning SLO always does.
     #[must_use]
     pub fn is_calm(&self, policy: &ScalingPolicy) -> bool {
         self.lag < policy.lag_high / 2
-            && self.p99_ms < policy.p99_high_ms / 2
+            && self.p99_ms.is_none_or(|p99| p99 < policy.p99_high_ms / 2)
             && self.backpressure_delta < policy.backpressure_high / 2
             && self.dlq_depth < policy.dlq_high / 2
+            && !self.slo_breach
     }
 }
 
@@ -205,9 +218,10 @@ mod tests {
         let policy = ScalingPolicy::default();
         let quiet = Signals {
             lag: 0,
-            p99_ms: 10,
+            p99_ms: Some(10),
             backpressure_delta: 0,
             dlq_depth: 0,
+            slo_breach: false,
         };
         assert!(!quiet.breaches(&policy));
         assert!(quiet.is_calm(&policy));
@@ -221,10 +235,38 @@ mod tests {
 
         // Between half and high: dead zone.
         let warm = Signals {
-            p99_ms: policy.p99_high_ms / 2 + 1,
+            p99_ms: Some(policy.p99_high_ms / 2 + 1),
             ..quiet
         };
         assert!(!warm.breaches(&policy));
         assert!(!warm.is_calm(&policy));
+    }
+
+    #[test]
+    fn absent_p99_neither_breaches_nor_blocks_calm() {
+        let policy = ScalingPolicy::default();
+        let warmup = Signals {
+            lag: 0,
+            p99_ms: None,
+            backpressure_delta: 0,
+            dlq_depth: 0,
+            slo_breach: false,
+        };
+        assert!(!warmup.breaches(&policy), "no data is not slow data");
+        assert!(warmup.is_calm(&policy), "no traffic must still drain");
+    }
+
+    #[test]
+    fn slo_breach_breaches_and_vetoes_calm() {
+        let policy = ScalingPolicy::default();
+        let burning = Signals {
+            lag: 0,
+            p99_ms: None,
+            backpressure_delta: 0,
+            dlq_depth: 0,
+            slo_breach: true,
+        };
+        assert!(burning.breaches(&policy));
+        assert!(!burning.is_calm(&policy));
     }
 }

@@ -25,7 +25,7 @@ use securecloud_scone::hostos::{FaultyHost, HostOs, MemHost, Syscall, SyscallRet
 use securecloud_scone::runtime::SconeRuntime;
 use securecloud_scone::scf::ConfigService;
 use securecloud_sgx::enclave::{EnclaveConfig, Platform};
-use securecloud_telemetry::{OwnedSpan, Telemetry};
+use securecloud_telemetry::{OwnedSpan, Telemetry, TraceContext};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -124,6 +124,7 @@ pub struct Container {
     restarts: u32,
     restart_due_ms: Option<u64>,
     last_fault: Option<String>,
+    fault_ctx: TraceContext,
 }
 
 impl Container {
@@ -357,6 +358,7 @@ impl Engine {
                 restarts: 0,
                 restart_due_ms: None,
                 last_fault: None,
+                fault_ctx: TraceContext::none(),
             },
         );
         Ok(id)
@@ -461,6 +463,23 @@ impl Engine {
     ///
     /// [`ContainerError::ContainerNotFound`] for unknown ids.
     pub fn abort(&mut self, id: ContainerId, reason: &str) -> Result<(), ContainerError> {
+        self.abort_traced(id, reason, TraceContext::none())
+    }
+
+    /// Like [`Engine::abort`], but attributes the abort to a causal trace:
+    /// the abort event, every subsequent restart attempt, and an eventual
+    /// quarantine all become children of `cause`, so the fault schedule that
+    /// killed a container is visible from its restart chain.
+    ///
+    /// # Errors
+    ///
+    /// [`ContainerError::ContainerNotFound`] for unknown ids.
+    pub fn abort_traced(
+        &mut self,
+        id: ContainerId,
+        reason: &str,
+        cause: TraceContext,
+    ) -> Result<(), ContainerError> {
         let container = self
             .containers
             .get_mut(&id)
@@ -470,17 +489,20 @@ impl Engine {
         }
         container.state = ContainerState::Stopped;
         container.last_fault = Some(reason.to_string());
+        container.fault_ctx = cause;
         self.record(format!("container c{} aborted: {reason}", id.0));
         if let Some(t) = &self.telemetry {
             t.counter("securecloud_containers_aborts_total").inc();
-            t.event(
-                "containers",
-                "container_aborted",
-                vec![
-                    ("container", format!("c{}", id.0)),
-                    ("reason", reason.to_string()),
-                ],
-            );
+            let args = vec![
+                ("container", format!("c{}", id.0)),
+                ("reason", reason.to_string()),
+            ];
+            if cause.is_none() {
+                t.event("containers", "container_aborted", args);
+            } else {
+                let leaf = t.mint_child(cause);
+                t.event_ctx("containers", "container_aborted", args, leaf);
+            }
         }
         match self.containers[&id].supervision.policy {
             RestartPolicy::Never => {
@@ -517,13 +539,20 @@ impl Engine {
             .collect();
         due.sort_by_key(|id| id.0);
         for id in due {
-            let attempt = {
+            let (attempt, fault_ctx) = {
                 let container = self.containers.get_mut(&id).expect("listed above");
                 container.restarts += 1;
-                container.restarts
+                (container.restarts, container.fault_ctx)
             };
             let span = self.telemetry.clone().map(|t| {
-                OwnedSpan::open_with(
+                // A traced abort makes the restart a child span of the fault
+                // that caused it; untraced aborts keep the plain span.
+                let ctx = if fault_ctx.is_none() {
+                    TraceContext::none()
+                } else {
+                    t.mint_child(fault_ctx)
+                };
+                OwnedSpan::open_ctx(
                     t,
                     "containers",
                     "restart",
@@ -531,6 +560,7 @@ impl Engine {
                         ("container", format!("c{}", id.0)),
                         ("attempt", attempt.to_string()),
                     ],
+                    ctx,
                 )
             });
             match self.try_restart(id) {
@@ -582,6 +612,7 @@ impl Engine {
         container.state = ContainerState::Running;
         container.health = ContainerHealth::Running;
         container.restart_due_ms = None;
+        container.fault_ctx = TraceContext::none();
         Ok(())
     }
 
@@ -589,6 +620,7 @@ impl Engine {
         let now = self.now_ms;
         let container = self.containers.get_mut(&id).expect("caller checked");
         let config = container.supervision;
+        let fault_ctx = container.fault_ctx;
         if container.restarts >= config.max_restarts {
             container.health = ContainerHealth::Quarantined;
             container.restart_due_ms = None;
@@ -599,14 +631,16 @@ impl Engine {
             ));
             if let Some(t) = &self.telemetry {
                 t.counter("securecloud_containers_quarantines_total").inc();
-                t.event(
-                    "containers",
-                    "container_quarantined",
-                    vec![
-                        ("container", format!("c{}", id.0)),
-                        ("restarts", restarts.to_string()),
-                    ],
-                );
+                let args = vec![
+                    ("container", format!("c{}", id.0)),
+                    ("restarts", restarts.to_string()),
+                ];
+                if fault_ctx.is_none() {
+                    t.event("containers", "container_quarantined", args);
+                } else {
+                    let leaf = t.mint_child(fault_ctx);
+                    t.event_ctx("containers", "container_quarantined", args, leaf);
+                }
             }
             return;
         }
@@ -946,6 +980,52 @@ mod tests {
                 "delay {delay} outside [{exponential}, {exponential}+50)"
             );
         }
+    }
+
+    #[test]
+    fn traced_abort_links_restart_chain_to_cause() {
+        let mut engine = engine();
+        let telemetry = Arc::new(Telemetry::new());
+        telemetry.set_trace_seed(42);
+        engine.set_telemetry(telemetry.clone());
+        let image_id = engine.deploy(built_image());
+        let cid = engine
+            .run_supervised(image_id, supervised(RestartPolicy::OnFailure))
+            .unwrap();
+        let cause = telemetry.mint_root();
+        engine.abort_traced(cid, "injected fault", cause).unwrap();
+        let due = engine.container(cid).unwrap().restart_due_ms().unwrap();
+        engine.advance(due - engine.now_ms());
+        assert_eq!(
+            engine.container(cid).unwrap().health(),
+            ContainerHealth::Running
+        );
+        let events = telemetry.trace_events();
+        let aborted = events
+            .iter()
+            .find(|e| e.name == "container_aborted")
+            .unwrap();
+        assert_eq!(aborted.trace_id, cause.trace_id);
+        assert_eq!(aborted.parent_span_id, cause.span_id);
+        let restart = events
+            .iter()
+            .find(|e| e.name == "restart" && e.phase == securecloud_telemetry::Phase::Begin)
+            .unwrap();
+        assert_eq!(
+            restart.trace_id, cause.trace_id,
+            "restart joins the fault's trace"
+        );
+        assert_eq!(restart.parent_span_id, cause.span_id);
+        // After a successful restart the cause is consumed: a later untraced
+        // abort produces an untraced abort event.
+        engine.abort(cid, "plain fault").unwrap();
+        let plain = telemetry
+            .trace_events()
+            .into_iter()
+            .rev()
+            .find(|e| e.name == "container_aborted")
+            .unwrap();
+        assert_eq!(plain.trace_id, 0);
     }
 
     #[test]

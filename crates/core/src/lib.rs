@@ -75,7 +75,7 @@ use scone::scf::ConfigService;
 use sgx::attest::AttestationService;
 use sgx::enclave::Platform;
 use std::sync::Arc;
-use telemetry::Telemetry;
+use telemetry::{SloEngine, Telemetry, TraceContext};
 
 /// The assembled SecureCloud control plane.
 ///
@@ -97,6 +97,7 @@ pub struct SecureCloud {
     sim_now_ms: u64,
     injector: Option<Arc<FaultInjector>>,
     telemetry: Arc<Telemetry>,
+    causal_tracing: bool,
 }
 
 /// Handle to a replicated KV deployment owned by the facade.
@@ -153,6 +154,32 @@ impl SecureCloud {
             sim_now_ms: 0,
             injector: None,
             telemetry,
+            causal_tracing: false,
+        }
+    }
+
+    /// Seeds the deterministic causal-id minter and switches the facade
+    /// into traced mode: injected enclave aborts mint root contexts so the
+    /// whole container restart chain joins the fault's trace. Ids depend
+    /// only on the seed and minting order, so equal seeds reproduce equal
+    /// traces at any parallelism.
+    pub fn set_trace_seed(&mut self, seed: u64) {
+        self.telemetry.set_trace_seed(seed);
+        self.causal_tracing = true;
+    }
+
+    /// Hands a declarative SLO engine to the attached cluster controller:
+    /// from then on each tick evaluates multi-window burn rates, logs
+    /// alerts into the decision log, and treats an active breach as a
+    /// scale-up signal. Returns `false` (and drops the engine) when no
+    /// controller is attached — attach one first.
+    pub fn set_slo_engine(&mut self, engine: SloEngine) -> bool {
+        match &mut self.controller {
+            Some((_, controller)) => {
+                controller.set_slo_engine(engine);
+                true
+            }
+            None => false,
         }
     }
 
@@ -212,15 +239,31 @@ impl SecureCloud {
                 // Unknown ids are a plan/deployment mismatch: count the
                 // armed-but-unroutable fault instead of dropping it
                 // silently (the fired event is already in the trace).
-                FaultKind::EnclaveAbort { container }
+                FaultKind::EnclaveAbort { container } => {
+                    // In traced mode each injected abort becomes the root of
+                    // its own causal trace, so the restart chain (backoff,
+                    // re-attestation, eventual quarantine) points back at
+                    // the fault schedule entry that caused it.
+                    let cause = if self.causal_tracing {
+                        let root = self.telemetry.mint_root();
+                        self.telemetry.event_ctx(
+                            "faults",
+                            "enclave_abort_fired",
+                            vec![("container", format!("c{container}"))],
+                            root,
+                        );
+                        root
+                    } else {
+                        TraceContext::none()
+                    };
                     if self
                         .engine
-                        .abort(ContainerId(*container), "injected enclave abort")
-                        .is_err() =>
-                {
-                    self.record_unroutable(&event.kind);
+                        .abort_traced(ContainerId(*container), "injected enclave abort", cause)
+                        .is_err()
+                    {
+                        self.record_unroutable(&event.kind);
+                    }
                 }
-                FaultKind::EnclaveAbort { .. } => {}
                 FaultKind::ServicePanic { service } => {
                     self.host.inject_panic_next(service);
                 }

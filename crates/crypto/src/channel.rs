@@ -35,6 +35,7 @@ use crate::wire::{Reader, Wire};
 use crate::x25519::{self, PublicKey, SecretKey};
 use crate::CryptoError;
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use securecloud_telemetry::{TraceContext, CONTEXT_WIRE_LEN};
 
 /// Byte-frame transport under a [`SecureChannel`].
 pub trait Transport {
@@ -397,6 +398,56 @@ impl<T: Transport> SecureChannel<T> {
         self.transport.send_frame(sealed)
     }
 
+    /// Encrypts and sends one message with a causal [`TraceContext`] carried
+    /// *inside* the sealed record: the 24-byte context header is prepended to
+    /// the plaintext before sealing, so the trace ids are confidentiality- and
+    /// integrity-protected along with the payload. The peer must receive it
+    /// with [`SecureChannel::recv_with_ctx`]; traced and plain records may be
+    /// interleaved freely since each consumes exactly one sequence number.
+    ///
+    /// # Errors
+    ///
+    /// [`CryptoError::TransportClosed`] if the peer is gone.
+    pub fn send_with_ctx(
+        &mut self,
+        plaintext: &[u8],
+        ctx: TraceContext,
+    ) -> Result<(), CryptoError> {
+        let nonce = nonce_from_seq(self.send_domain, self.send_seq);
+        self.send_seq += 1;
+        let mut sealed =
+            Vec::with_capacity(CONTEXT_WIRE_LEN + plaintext.len() + crate::gcm::TAG_LEN);
+        sealed.extend_from_slice(&ctx.encode());
+        sealed.extend_from_slice(plaintext);
+        self.send_cipher
+            .seal_in_place(&nonce, &mut sealed, &self.transcript);
+        self.transport.send_frame(sealed)
+    }
+
+    /// Receives one record sent by [`SecureChannel::send_with_ctx`] and
+    /// returns the authenticated trace context alongside the payload.
+    ///
+    /// # Errors
+    ///
+    /// [`CryptoError::AuthenticationFailed`] on tampered or replayed records;
+    /// [`CryptoError::Malformed`] if the authenticated plaintext is too short
+    /// to carry a context header; [`CryptoError::TransportClosed`] if the
+    /// peer is gone.
+    pub fn recv_with_ctx(&mut self) -> Result<(TraceContext, Vec<u8>), CryptoError> {
+        let mut sealed = self.transport.recv_frame()?;
+        let nonce = nonce_from_seq(self.recv_domain, self.recv_seq);
+        self.recv_cipher
+            .open_in_place(&nonce, &mut sealed, &self.transcript)?;
+        self.recv_seq += 1;
+        if sealed.len() < CONTEXT_WIRE_LEN {
+            return Err(CryptoError::Malformed(
+                "traced record shorter than a context header".into(),
+            ));
+        }
+        let ctx = TraceContext::decode(&sealed[..CONTEXT_WIRE_LEN]).unwrap_or_default();
+        Ok((ctx, sealed.split_off(CONTEXT_WIRE_LEN)))
+    }
+
     /// Encrypts and sends a batch of messages as **one** sealed record: the
     /// messages are length-prefix framed together (wire `Vec<Vec<u8>>`
     /// layout) and the concatenation is sealed once — one sequence number,
@@ -542,6 +593,44 @@ mod tests {
             server.recv_batch().unwrap(),
             vec![Vec::new(), b"x".to_vec()]
         );
+    }
+
+    #[test]
+    fn traced_roundtrip_interleaves_with_plain() {
+        let (client, server) = pair_with(ChannelConfig::default(), ChannelConfig::default());
+        let mut client = client.unwrap();
+        let mut server = server.unwrap();
+        let ctx = TraceContext {
+            trace_id: 0x1122_3344_5566_7788,
+            span_id: 0x99aa_bbcc_ddee_ff00,
+            parent_span_id: 7,
+        };
+        client.send_with_ctx(b"traced payload", ctx).unwrap();
+        let (got_ctx, payload) = server.recv_with_ctx().unwrap();
+        assert_eq!(got_ctx, ctx);
+        assert_eq!(payload, b"traced payload");
+        // A traced record consumed exactly one sequence number, so plain
+        // traffic keeps flowing either side of it.
+        client.send(b"plain").unwrap();
+        assert_eq!(server.recv().unwrap(), b"plain");
+        // An absent context survives the trip as `TraceContext::none()`, and
+        // empty payloads are legal.
+        server.send_with_ctx(b"", TraceContext::none()).unwrap();
+        let (none_ctx, empty) = client.recv_with_ctx().unwrap();
+        assert!(none_ctx.is_none());
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn traced_record_too_short_is_malformed() {
+        let (client, server) = pair_with(ChannelConfig::default(), ChannelConfig::default());
+        let mut client = client.unwrap();
+        let mut server = server.unwrap();
+        client.send(b"short").unwrap();
+        assert!(matches!(
+            server.recv_with_ctx(),
+            Err(CryptoError::Malformed(_))
+        ));
     }
 
     #[test]

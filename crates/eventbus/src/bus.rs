@@ -22,7 +22,7 @@
 
 use securecloud_faults::{FaultInjector, MessageFate};
 use securecloud_scbr::types::{Publication, Subscription};
-use securecloud_telemetry::{Counter, Gauge, Histogram, Telemetry};
+use securecloud_telemetry::{Counter, Gauge, Histogram, Telemetry, TraceContext};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt;
 use std::sync::Arc;
@@ -60,6 +60,10 @@ pub struct Message {
     /// Virtual time at which the message was published (for publish→ack
     /// latency accounting).
     pub published_at_ms: u64,
+    /// Causal trace context minted at publish (all-zero when the bus has
+    /// no telemetry attached). Stable across redeliveries, so every retry
+    /// of a request folds into the same trace.
+    pub ctx: TraceContext,
 }
 
 /// Why a publication (or batch) was refused admission.
@@ -460,11 +464,61 @@ impl EventBus {
         Ok(())
     }
 
-    /// The shared fan-out path behind every publish flavour.
+    /// Publishes with a caller-supplied causal context instead of minting a
+    /// fresh root — the causally-linked republish path (a service reacting
+    /// to a delivery publishes downstream work under a child context, so
+    /// the whole chain folds into one trace).
+    pub fn publish_with_ctx(
+        &mut self,
+        topic: &str,
+        payload: Vec<u8>,
+        attributes: Publication,
+        ctx: TraceContext,
+    ) -> MessageId {
+        self.enqueue_with(topic, payload, attributes, ctx)
+    }
+
+    /// Admission-controlled flavour of [`EventBus::publish_with_ctx`].
+    ///
+    /// # Errors
+    /// [`PublishError::Backpressure`] when a matching subscriber has no room.
+    pub fn try_publish_with_ctx(
+        &mut self,
+        topic: &str,
+        payload: Vec<u8>,
+        attributes: Publication,
+        ctx: TraceContext,
+    ) -> Result<MessageId, PublishError> {
+        self.admit(topic, &[&attributes])?;
+        Ok(self.enqueue_with(topic, payload, attributes, ctx))
+    }
+
+    /// The shared fan-out path behind every publish flavour: mints a root
+    /// context for the new request (when telemetry is attached) and opens
+    /// its flow.
     fn enqueue(&mut self, topic: &str, payload: Vec<u8>, attributes: Publication) -> MessageId {
+        let ctx = self
+            .telemetry
+            .as_deref()
+            .map_or_else(TraceContext::none, Telemetry::mint_root);
+        self.enqueue_with(topic, payload, attributes, ctx)
+    }
+
+    fn enqueue_with(
+        &mut self,
+        topic: &str,
+        payload: Vec<u8>,
+        attributes: Publication,
+        ctx: TraceContext,
+    ) -> MessageId {
         let id = MessageId(self.next_message);
         self.next_message += 1;
         self.metrics.published.inc();
+        if let Some(t) = &self.telemetry {
+            if !ctx.is_none() {
+                t.flow_start("eventbus", "publish", ctx);
+            }
+        }
         let mut matched = false;
         let subscriber_ids = self.by_topic.get(topic).cloned().unwrap_or_default();
         for sub_id in subscriber_ids {
@@ -481,6 +535,7 @@ impl EventBus {
                     attributes: attributes.clone(),
                     attempt: 0,
                     published_at_ms: self.now_ms,
+                    ctx,
                 });
             }
         }
@@ -563,9 +618,26 @@ impl EventBus {
         match state.leased.remove(&message) {
             Some((msg, _)) => {
                 self.metrics.acked.inc();
-                self.metrics
-                    .publish_to_ack_ms
-                    .observe(now_ms.saturating_sub(msg.published_at_ms));
+                let wait_ms = now_ms.saturating_sub(msg.published_at_ms);
+                self.metrics.publish_to_ack_ms.observe(wait_ms);
+                if let Some(t) = &self.telemetry {
+                    if !msg.ctx.is_none() {
+                        // Retroactive leaf span covering publish→ack: the
+                        // wait is only known now, at settlement.
+                        let leaf = t.mint_child(msg.ctx);
+                        t.event_ctx(
+                            "eventbus",
+                            "publish_to_ack",
+                            vec![
+                                ("message", format!("m{}", msg.id.0)),
+                                ("dur_ms", wait_ms.to_string()),
+                            ],
+                            leaf,
+                        );
+                        t.flow_finish("eventbus", "publish", msg.ctx);
+                        t.note_exemplar("publish_to_ack", msg.ctx.trace_id, wait_ms);
+                    }
+                }
                 true
             }
             None => false,
@@ -1011,6 +1083,39 @@ mod tests {
         filtered_bus
             .try_publish("t", b"minor".to_vec(), attrs("pq", 1))
             .unwrap();
+    }
+
+    #[test]
+    fn publish_mints_context_and_ack_folds_wait_into_trace() {
+        let mut bus = EventBus::new(1000);
+        let telemetry = Arc::new(Telemetry::new());
+        telemetry.set_trace_seed(7);
+        bus.set_telemetry(Arc::clone(&telemetry));
+        let s = bus.subscribe("t", None);
+        bus.publish("t", b"x".to_vec(), Publication::new());
+        bus.advance(25);
+        let m = bus.fetch(s).unwrap();
+        assert!(!m.ctx.is_none(), "telemetry-attached bus mints a root");
+        assert!(bus.ack(s, m.id));
+        assert_eq!(
+            telemetry.exemplars("publish_to_ack"),
+            vec![m.ctx.trace_id],
+            "the acked trace becomes a cause-chain exemplar"
+        );
+        let report = telemetry.critical_path();
+        assert_eq!(report.traces, 1);
+        assert_eq!(report.total_self_ms, 25, "queue wait attributed causally");
+        assert_eq!(report.categories[0].category, "eventbus");
+    }
+
+    #[test]
+    fn untraced_bus_mints_nothing() {
+        let mut bus = EventBus::new(1000);
+        let s = bus.subscribe("t", None);
+        bus.publish("t", b"x".to_vec(), Publication::new());
+        let m = bus.fetch(s).unwrap();
+        assert!(m.ctx.is_none());
+        assert!(bus.ack(s, m.id));
     }
 
     #[test]

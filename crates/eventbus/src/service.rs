@@ -204,18 +204,37 @@ impl ServiceHost {
                     processed += 1;
                     let mut ctx = ServiceCtx::default();
                     let force_panic = std::mem::take(&mut registered.panic_next);
+                    let service_name = registered.service.name().to_string();
                     let service = &mut registered.service;
+                    // Traced deliveries get a handler span as a causal child
+                    // of the message's publish context; untraced messages
+                    // stay byte-identical to the pre-tracing stream.
+                    let span = match self.telemetry.as_deref() {
+                        Some(t) if !message.ctx.is_none() => Some(t.span_ctx(
+                            "service",
+                            "deliver",
+                            vec![
+                                ("service", service_name.clone()),
+                                ("message", format!("m{}", message.id.0)),
+                            ],
+                            t.mint_child(message.ctx),
+                        )),
+                        _ => None,
+                    };
                     let outcome = catch_unwind(AssertUnwindSafe(|| {
                         if force_panic {
                             panic!("injected service panic");
                         }
                         service.handle(&message, &mut ctx);
                     }));
+                    drop(span);
                     match outcome {
                         Ok(()) => {
                             registered.consecutive_panics = 0;
                             self.bus.ack(sub_id, message.id);
-                            outbox.append(&mut ctx.outbox);
+                            outbox.extend(ctx.outbox.drain(..).map(|(topic, payload, attrs)| {
+                                (topic, payload, attrs, message.ctx)
+                            }));
                         }
                         Err(_) => {
                             registered.consecutive_panics += 1;
@@ -274,8 +293,19 @@ impl ServiceHost {
                 }
             }
         }
-        for (topic, payload, attributes) in outbox {
-            self.bus.publish(&topic, payload, attributes);
+        for (topic, payload, attributes, parent) in outbox {
+            // Downstream work a handler emitted in reaction to a traced
+            // delivery continues that trace; everything else starts fresh.
+            match self.telemetry.as_deref() {
+                Some(t) if !parent.is_none() => {
+                    let child = t.mint_child(parent);
+                    self.bus
+                        .publish_with_ctx(&topic, payload, attributes, child);
+                }
+                _ => {
+                    self.bus.publish(&topic, payload, attributes);
+                }
+            }
         }
         processed
     }

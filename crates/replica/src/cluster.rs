@@ -20,7 +20,7 @@ use securecloud_faults::{FaultInjector, FaultKind};
 use securecloud_kvstore::CounterService;
 use securecloud_sgx::costs::{CostModel, MemoryGeometry};
 use securecloud_sgx::enclave::{Measurement, Platform};
-use securecloud_telemetry::{Counter, OwnedSpan, Telemetry};
+use securecloud_telemetry::{Counter, OwnedSpan, Telemetry, TraceContext};
 use std::collections::BTreeMap;
 use std::sync::Arc;
 
@@ -362,6 +362,47 @@ impl ReplicatedKv {
         result
     }
 
+    /// [`ReplicatedKv::put`] under a causal parent context: the routing
+    /// span and the shard group's quorum/replica spans all join the
+    /// parent's trace. With an absent parent this is exactly
+    /// [`ReplicatedKv::put`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ReplicatedKv::put`].
+    pub fn put_traced(
+        &mut self,
+        key: &[u8],
+        value: &[u8],
+        parent: TraceContext,
+    ) -> Result<(), ReplicaError> {
+        let shard = self.map.shard_for(key);
+        let ctx = match &self.telemetry {
+            Some(t) if !parent.is_none() => t.mint_child(parent),
+            None | Some(_) => TraceContext::none(),
+        };
+        let _span = self.telemetry.as_ref().map(|t| {
+            OwnedSpan::open_ctx(
+                t.clone(),
+                "replica",
+                "quorum_put",
+                vec![("shard", shard.to_string())],
+                ctx,
+            )
+        });
+        let result = self
+            .groups
+            .get_mut(shard.0 as usize)
+            .ok_or(ReplicaError::UnknownShard(shard))?
+            .put_traced(key, value, ctx);
+        match &result {
+            Ok(()) => self.metrics.puts.inc(),
+            Err(ReplicaError::QuorumLost { .. }) => self.metrics.quorum_failures.inc(),
+            Err(_) => {}
+        }
+        result
+    }
+
     /// Quorum read from the shard owning `key`, returning the freshest
     /// copy among the read quorum.
     ///
@@ -608,6 +649,48 @@ mod tests {
 
     fn deploy() -> ReplicatedKv {
         ReplicatedKv::deploy(tiny_config(), &Platform::new(), &CounterService::new()).unwrap()
+    }
+
+    #[test]
+    fn traced_quorum_write_has_rf_replica_spans_under_one_parent() {
+        use securecloud_telemetry::Phase;
+        let telemetry = Arc::new(Telemetry::new());
+        telemetry.set_trace_seed(42);
+        let mut kv = ReplicatedKv::deploy_with(
+            tiny_config(),
+            &Platform::new(),
+            &CounterService::new(),
+            Some(&telemetry),
+            None,
+        )
+        .unwrap();
+        let root = telemetry.mint_root();
+        kv.put_traced(b"k", b"v", root).unwrap();
+        let events = telemetry.trace_events();
+        let quorum: Vec<_> = events
+            .iter()
+            .filter(|e| e.phase == Phase::Begin && e.name == "quorum_write")
+            .collect();
+        assert_eq!(quorum.len(), 1, "one quorum_write span");
+        assert_eq!(quorum[0].trace_id, root.trace_id);
+        let fanout: Vec<_> = events
+            .iter()
+            .filter(|e| e.phase == Phase::Begin && e.name == "replica_put")
+            .collect();
+        assert_eq!(fanout.len(), 3, "exactly rf replica spans");
+        assert!(fanout.iter().all(|e| e.parent_span_id == quorum[0].span_id));
+        assert!(fanout.iter().all(|e| e.trace_id == root.trace_id));
+        // An untraced put emits no causal fan-out spans.
+        kv.put(b"k2", b"v2").unwrap();
+        let events = telemetry.trace_events();
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| e.phase == Phase::Begin && e.name == "replica_put")
+                .count(),
+            3,
+            "untraced puts stay untraced"
+        );
     }
 
     #[test]

@@ -33,7 +33,7 @@ use securecloud_faults::FaultInjector;
 use securecloud_kvstore::{CounterService, SecureKv, Snapshot};
 use securecloud_sgx::costs::{CostModel, MemoryGeometry};
 use securecloud_sgx::enclave::{Enclave, EnclaveConfig, Platform};
-use securecloud_telemetry::{Gauge, Histogram, Telemetry};
+use securecloud_telemetry::{Gauge, Histogram, Telemetry, TraceContext};
 use std::sync::Arc;
 
 /// One enclave-resident replica of a shard's keyspace.
@@ -314,6 +314,48 @@ impl ShardGroup {
     /// * [`ReplicaError::StaleEpoch`] — a replica missed a membership
     ///   change (defensive; the group keeps epochs in lockstep).
     pub fn put(&mut self, key: &[u8], value: &[u8]) -> Result<(), ReplicaError> {
+        self.put_inner(key, value, TraceContext::none())
+    }
+
+    /// [`ShardGroup::put`] under a causal parent: the quorum write becomes
+    /// a `quorum_write` span with one `replica_put` child span per live
+    /// participating replica, so a trace shows exactly which replicas the
+    /// write fanned out to. With an absent context (or no telemetry) this
+    /// is byte-identical to the untraced path.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ShardGroup::put`].
+    pub fn put_traced(
+        &mut self,
+        key: &[u8],
+        value: &[u8],
+        parent: TraceContext,
+    ) -> Result<(), ReplicaError> {
+        self.put_inner(key, value, parent)
+    }
+
+    fn put_inner(
+        &mut self,
+        key: &[u8],
+        value: &[u8],
+        parent: TraceContext,
+    ) -> Result<(), ReplicaError> {
+        let tracer = match &self.telemetry {
+            Some(t) if !parent.is_none() => Some(Arc::clone(t)),
+            None | Some(_) => None,
+        };
+        let quorum_ctx = tracer
+            .as_ref()
+            .map_or_else(TraceContext::none, |t| t.mint_child(parent));
+        let _span = tracer.as_ref().map(|t| {
+            t.span_ctx(
+                "replica",
+                "quorum_write",
+                vec![("shard", self.shard.to_string())],
+                quorum_ctx,
+            )
+        });
         if self.partitioned {
             return Err(ReplicaError::Partitioned { shard: self.shard });
         }
@@ -335,6 +377,14 @@ impl ShardGroup {
                     want: epoch,
                 });
             }
+            let _replica_span = tracer.as_ref().map(|t| {
+                t.span_ctx(
+                    "replica",
+                    "replica_put",
+                    vec![("replica", replica.id.to_string())],
+                    t.mint_child(quorum_ctx),
+                )
+            });
             replica.put(key, value)?;
         }
         self.metrics.put_cycles.observe(self.cycles() - before);

@@ -16,7 +16,9 @@ use securecloud_crypto::hmac::hkdf;
 use securecloud_crypto::wire::Wire;
 use securecloud_crypto::x25519::{self, PublicKey, SecretKey};
 use securecloud_sgx::enclave::Enclave;
+use securecloud_telemetry::{Telemetry, TraceContext, CONTEXT_WIRE_LEN};
 use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
 
 /// Router-assigned client identifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -47,6 +49,7 @@ pub struct SecureRouter {
     clients: HashMap<ClientId, ClientState>,
     owners: HashMap<SubId, ClientId>,
     next_client: u64,
+    telemetry: Option<Arc<Telemetry>>,
 }
 
 impl std::fmt::Debug for SecureRouter {
@@ -76,7 +79,15 @@ impl SecureRouter {
             clients: HashMap::new(),
             owners: HashMap::new(),
             next_client: 1,
+            telemetry: None,
         }
+    }
+
+    /// Attaches shared telemetry: traced sealed batches (see
+    /// [`RouterClient::seal_publication_batch_traced`]) get an in-enclave
+    /// matching span joined to the sender's trace.
+    pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        self.telemetry = Some(telemetry);
     }
 
     /// The router's key-exchange public key (distributed via attestation).
@@ -245,10 +256,29 @@ impl SecureRouter {
             .open(&nonce, sealed, b"scbr-pub-batch")
             .map_err(ScbrError::Crypto)?;
         state.recv_seq += 1;
-        let publications = Vec::<Publication>::from_wire(&plain).map_err(ScbrError::Crypto)?;
+        // Batch frames lead with a fixed-width causal context (all-zero =
+        // untraced) — inside the AEAD envelope, so trace linkage cannot be
+        // forged or stripped in transit.
+        if plain.len() < CONTEXT_WIRE_LEN {
+            return Err(ScbrError::Crypto(
+                securecloud_crypto::CryptoError::AuthenticationFailed,
+            ));
+        }
+        let ctx = TraceContext::decode(&plain[..CONTEXT_WIRE_LEN]).unwrap_or_default();
+        let publications =
+            Vec::<Publication>::from_wire(&plain[CONTEXT_WIRE_LEN..]).map_err(ScbrError::Crypto)?;
 
         // One enclave transition for the whole batch: the AEAD open charge
         // and every match run inside a single ECALL/OCALL pair.
+        let _span = match &self.telemetry {
+            Some(t) if !ctx.is_none() => Some(t.span_ctx(
+                "scbr",
+                "match_batch",
+                vec![("publications", publications.len().to_string())],
+                t.mint_child(ctx),
+            )),
+            None | Some(_) => None,
+        };
         let aead_cost = sealed.len() as u64 * AEAD_CYCLES_PER_BYTE;
         let engine = &mut self.engine;
         let matches_per_publication = self.enclave.ecall(|mem| {
@@ -397,9 +427,27 @@ impl RouterClient {
         &mut self,
         publications: &[Publication],
     ) -> Result<Vec<u8>, ScbrError> {
+        self.seal_publication_batch_traced(publications, TraceContext::none())
+    }
+
+    /// [`RouterClient::seal_publication_batch`] carrying a causal trace
+    /// context inside the sealed frame. The context travels under the AEAD
+    /// tag (an all-zero header encodes "untraced"), so the router can join
+    /// its in-enclave matching span to the sender's trace without the
+    /// linkage being forgeable or strippable outside the enclaves.
+    ///
+    /// # Errors
+    ///
+    /// [`ScbrError::ExchangeIncomplete`] before [`Self::complete_exchange`].
+    pub fn seal_publication_batch_traced(
+        &mut self,
+        publications: &[Publication],
+        ctx: TraceContext,
+    ) -> Result<Vec<u8>, ScbrError> {
         let nonce = nonce_from_seq(DOMAIN_TO_ROUTER, self.send_seq);
-        // Wire-compatible with `Vec<Publication>`: count, then each item.
-        let mut sealed = Vec::new();
+        // Fixed-width context header, then the `Vec<Publication>` wire
+        // encoding: count, then each item.
+        let mut sealed = ctx.encode().to_vec();
         (publications.len() as u32).encode(&mut sealed);
         for publication in publications {
             publication.encode(&mut sealed);
@@ -589,6 +637,56 @@ mod tests {
         let notifications = router.publish_sealed(alice_id, &sealed_pub).unwrap();
         assert!(bob.open_notification(&notifications[0].1).is_err());
         assert!(alice.open_notification(&notifications[0].1).is_ok());
+    }
+
+    #[test]
+    fn traced_batch_carries_context_inside_sealed_frame() {
+        use securecloud_telemetry::Phase;
+        let mut router = router();
+        let telemetry = Arc::new(Telemetry::new());
+        telemetry.set_trace_seed(9);
+        router.set_telemetry(Arc::clone(&telemetry));
+        let mut subscriber = RouterClient::new();
+        let mut publisher = RouterClient::new();
+        let sub_client = router.register(&subscriber.public_key());
+        let pub_client = router.register(&publisher.public_key());
+        subscriber.complete_exchange(&router.public_key());
+        publisher.complete_exchange(&router.public_key());
+        let sealed_sub = subscriber.seal_subscription(&sub(1, 0)).unwrap();
+        router.subscribe_sealed(sub_client, &sealed_sub).unwrap();
+
+        let root = telemetry.mint_root();
+        let batch = vec![publication(1, 7), publication(1, 9)];
+        let sealed = publisher
+            .seal_publication_batch_traced(&batch, root)
+            .unwrap();
+        let notifications = router.publish_sealed_batch(pub_client, &sealed).unwrap();
+        assert_eq!(notifications.len(), 1);
+        assert_eq!(
+            subscriber
+                .open_notification_batch(&notifications[0].1)
+                .unwrap(),
+            batch
+        );
+        // The router's in-enclave matching span joined the sender's trace —
+        // the linkage travelled inside the AEAD frame.
+        let events = telemetry.trace_events();
+        let begin = events
+            .iter()
+            .find(|e| e.phase == Phase::Begin && e.name == "match_batch")
+            .expect("match span emitted");
+        assert_eq!(begin.trace_id, root.trace_id);
+        assert_eq!(begin.parent_span_id, root.span_id);
+
+        // An untraced batch (all-zero header) emits no causal span.
+        let sealed = publisher.seal_publication_batch(&batch).unwrap();
+        router.publish_sealed_batch(pub_client, &sealed).unwrap();
+        let spans = telemetry
+            .trace_events()
+            .iter()
+            .filter(|e| e.phase == Phase::Begin && e.name == "match_batch")
+            .count();
+        assert_eq!(spans, 1, "untraced batches stay untraced");
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! order from the emission order of the buffer.
 
 use crate::metrics::{Histogram, Metric, Registry};
-use crate::trace::TraceEvent;
+use crate::trace::{Phase, TraceEvent};
 use std::fmt::Write as _;
 
 /// Escapes a string for embedding in a JSON string literal.
@@ -29,10 +29,18 @@ pub fn json_escape(s: &str) -> String {
     out
 }
 
+/// Escapes a label value per the Prometheus exposition format: backslash,
+/// double quote, and line feed must be escaped inside `label="..."`.
+fn escape_label_value(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
 fn label_block(labels: &[(String, String)], extra: Option<(&str, String)>) -> String {
     let mut parts: Vec<String> = labels
         .iter()
-        .map(|(k, v)| format!("{k}=\"{}\"", v.replace('\\', "\\\\").replace('"', "\\\"")))
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label_value(v)))
         .collect();
     if let Some((k, v)) = extra {
         parts.push(format!("{k}=\"{v}\""));
@@ -136,19 +144,33 @@ fn event_args_json(event: &TraceEvent) -> String {
     args
 }
 
-/// Renders trace events as JSON Lines: one event object per line.
+/// The causal-id suffix shared by both trace exporters: absent (empty) for
+/// untraced events, so pre-causal traces render byte-identically to before.
+fn causal_suffix(event: &TraceEvent) -> String {
+    if event.trace_id == 0 {
+        return String::new();
+    }
+    format!(
+        ",\"trace\":\"{:016x}\",\"span\":\"{:016x}\",\"parent\":\"{:016x}\"",
+        event.trace_id, event.span_id, event.parent_span_id
+    )
+}
+
+/// Renders trace events as JSON Lines: one event object per line. Events
+/// carrying a causal context get `trace`/`span`/`parent` hex-id fields.
 #[must_use]
 pub fn trace_jsonl(events: &[TraceEvent]) -> String {
     let mut out = String::new();
     for event in events {
         let _ = writeln!(
             out,
-            "{{\"ts_ms\":{},\"ph\":\"{}\",\"cat\":\"{}\",\"name\":\"{}\",\"args\":{{{}}}}}",
+            "{{\"ts_ms\":{},\"ph\":\"{}\",\"cat\":\"{}\",\"name\":\"{}\",\"args\":{{{}}}{}}}",
             event.ts_ms,
             event.phase.code(),
             json_escape(event.category),
             json_escape(&event.name),
             event_args_json(event),
+            causal_suffix(event),
         );
     }
     out
@@ -156,18 +178,30 @@ pub fn trace_jsonl(events: &[TraceEvent]) -> String {
 
 /// Renders trace events as a chrome://tracing `trace_event` JSON document
 /// (timestamps in microseconds, as the format requires).
+///
+/// Flow events (`ph:"s"`/`ph:"f"`) carry the chrome-required `id` field
+/// (the trace id), with `bp:"e"` on the finish so the arrow binds to the
+/// enclosing slice; other causal events carry the same ids as custom
+/// `trace`/`span`/`parent` fields, which chrome ignores but the
+/// critical-path tooling reads.
 #[must_use]
 pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
     let mut out = String::from("{\"traceEvents\":[\n");
     for (i, event) in events.iter().enumerate() {
+        let flow = match event.phase {
+            Phase::FlowStart => format!(",\"id\":\"{:016x}\"", event.trace_id),
+            Phase::FlowFinish => format!(",\"id\":\"{:016x}\",\"bp\":\"e\"", event.trace_id),
+            _ => causal_suffix(event),
+        };
         let _ = write!(
             out,
-            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"{}\",\"ts\":{},\"pid\":1,\"tid\":1,\"args\":{{{}}}}}",
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"{}\",\"ts\":{},\"pid\":1,\"tid\":1,\"args\":{{{}}}{}}}",
             json_escape(&event.name),
             json_escape(event.category),
             event.phase.code(),
             event.ts_ms * 1_000,
             event_args_json(event),
+            flow,
         );
         out.push_str(if i + 1 < events.len() { ",\n" } else { "\n" });
     }
@@ -181,28 +215,29 @@ mod tests {
     use crate::metrics::Registry;
     use crate::trace::Phase;
 
+    fn untraced(ts_ms: u64, phase: Phase, category: &'static str, name: &str) -> TraceEvent {
+        TraceEvent {
+            ts_ms,
+            phase,
+            category,
+            name: name.to_string(),
+            args: vec![],
+            trace_id: 0,
+            span_id: 0,
+            parent_span_id: 0,
+        }
+    }
+
     fn sample_events() -> Vec<TraceEvent> {
         vec![
             TraceEvent {
-                ts_ms: 100,
-                phase: Phase::Begin,
-                category: "containers",
-                name: "restart".to_string(),
                 args: vec![("container", "c1".to_string())],
+                ..untraced(100, Phase::Begin, "containers", "restart")
             },
+            untraced(130, Phase::End, "containers", "restart"),
             TraceEvent {
-                ts_ms: 130,
-                phase: Phase::End,
-                category: "containers",
-                name: "restart".to_string(),
-                args: vec![],
-            },
-            TraceEvent {
-                ts_ms: 150,
-                phase: Phase::Instant,
-                category: "bus",
-                name: "dead_letter".to_string(),
                 args: vec![("topic", "alerts \"hot\"".to_string())],
+                ..untraced(150, Phase::Instant, "bus", "dead_letter")
             },
         ]
     }
@@ -282,5 +317,58 @@ securecloud_extreme_ms_count 2
     #[test]
     fn chrome_trace_empty_is_valid() {
         assert_eq!(chrome_trace_json(&[]), "{\"traceEvents\":[\n]}\n");
+    }
+
+    #[test]
+    fn prometheus_escapes_hostile_label_values() {
+        // Backslash, double quote, and newline must all be escaped per the
+        // exposition format, or one hostile topic name corrupts the whole
+        // snapshot.
+        let r = Registry::new();
+        r.counter_with(
+            "securecloud_hostile_total",
+            &[("topic", "a\\b\"c\nd"), ("ok", "plain")],
+        )
+        .inc();
+        let text = prometheus_text(&r);
+        let expected = "\
+# TYPE securecloud_hostile_total counter
+securecloud_hostile_total{ok=\"plain\",topic=\"a\\\\b\\\"c\\nd\"} 1
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn jsonl_renders_causal_ids_only_when_present() {
+        let traced = TraceEvent {
+            trace_id: 0xAB,
+            span_id: 0xCD,
+            parent_span_id: 0,
+            ..untraced(5, Phase::Begin, "replica", "quorum_write")
+        };
+        let text = trace_jsonl(&[traced, untraced(6, Phase::Instant, "bus", "tick")]);
+        let expected = "\
+{\"ts_ms\":5,\"ph\":\"B\",\"cat\":\"replica\",\"name\":\"quorum_write\",\"args\":{},\"trace\":\"00000000000000ab\",\"span\":\"00000000000000cd\",\"parent\":\"0000000000000000\"}
+{\"ts_ms\":6,\"ph\":\"I\",\"cat\":\"bus\",\"name\":\"tick\",\"args\":{}}
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn chrome_flow_events_bind_by_trace_id() {
+        let start = TraceEvent {
+            trace_id: 0x11,
+            ..untraced(1, Phase::FlowStart, "bus", "publish \"q\"")
+        };
+        let finish = TraceEvent {
+            trace_id: 0x11,
+            ..untraced(2, Phase::FlowFinish, "bus", "ack")
+        };
+        let text = chrome_trace_json(&[start, finish]);
+        let expected = "{\"traceEvents\":[\n\
+{\"name\":\"publish \\\"q\\\"\",\"cat\":\"bus\",\"ph\":\"s\",\"ts\":1000,\"pid\":1,\"tid\":1,\"args\":{},\"id\":\"0000000000000011\"},\n\
+{\"name\":\"ack\",\"cat\":\"bus\",\"ph\":\"f\",\"ts\":2000,\"pid\":1,\"tid\":1,\"args\":{},\"id\":\"0000000000000011\",\"bp\":\"e\"}\n\
+]}\n";
+        assert_eq!(text, expected);
     }
 }

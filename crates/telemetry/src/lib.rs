@@ -9,39 +9,64 @@
 //!   with the *simulation virtual clock* ([`clock`]), the same deterministic
 //!   time base `securecloud-faults` and the container engine use, so traces
 //!   from equal-seed runs are byte-identical;
+//! * **causal contexts** ([`context`]) — deterministic trace/span ids minted
+//!   from `(seed, birth tick, sequence)` and propagated hop to hop, plus the
+//!   fixed 24-byte header format they ride in inside sealed frames;
+//! * a **critical-path analyzer** ([`critical_path`]) — folds finished
+//!   traces into per-subsystem self-time attribution and a flame-style
+//!   report;
+//! * an **SLO engine** ([`slo`]) — declarative objectives evaluated as
+//!   multi-window burn rates over the live metric handles, emitting
+//!   deterministic alert events;
 //! * **exporters** ([`export`]) — a Prometheus-style text snapshot, a JSONL
-//!   trace writer, and a chrome://tracing `trace_event` JSON emitter;
+//!   trace writer, and a chrome://tracing `trace_event` JSON emitter with
+//!   flow events linking spans across subsystems;
 //! * shared **streaming statistics** ([`stats`]) — the one Welford and EMA
 //!   implementation the rest of the workspace builds on.
 //!
-//! The [`Telemetry`] facade bundles a clock, a registry, and a trace buffer;
-//! subsystems receive an `Arc<Telemetry>` (or stay un-instrumented at zero
-//! cost — every integration point is optional).
+//! The [`Telemetry`] facade bundles a clock, a registry, a trace buffer,
+//! and a context minter; subsystems receive an `Arc<Telemetry>` (or stay
+//! un-instrumented at zero cost — every integration point is optional).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod clock;
+pub mod context;
+pub mod critical_path;
 pub mod export;
 pub mod metrics;
+pub mod slo;
 pub mod stats;
 pub mod trace;
 
 pub use clock::VirtualClock;
+pub use context::{ContextMinter, TraceContext, CONTEXT_WIRE_LEN};
+pub use critical_path::{CategoryAttribution, CriticalPathReport};
 pub use metrics::{Counter, Gauge, Histogram, Metric, MetricKey, Registry};
+pub use slo::{BurnAlert, SloEngine, SloSpec};
 pub use stats::{Ema, Welford};
 pub use trace::{Phase, TraceBuffer, TraceEvent};
 
+use std::collections::BTreeMap;
 use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-/// Clock + registry + trace buffer, bundled for handing around the stack.
+/// How many exemplar trace ids each key retains (largest-weight first).
+const EXEMPLARS_PER_KEY: usize = 4;
+
+/// Clock + registry + trace buffer + context minter, bundled for handing
+/// around the stack.
 #[derive(Debug, Default)]
 pub struct Telemetry {
     clock: VirtualClock,
     registry: Registry,
     events: TraceBuffer,
+    minter: ContextMinter,
+    /// Largest-weight exemplar trace ids per key (e.g. slow publish-to-ack
+    /// traces), so scaling decisions can cite the traces behind a signal.
+    exemplars: Mutex<BTreeMap<&'static str, Vec<(u64, u64)>>>,
 }
 
 /// Where [`Telemetry::write_report`] put each artifact.
@@ -74,6 +99,23 @@ impl Telemetry {
         &self.registry
     }
 
+    /// (Re)keys the context minter; equal seeds mint equal id sequences.
+    pub fn set_trace_seed(&self, seed: u64) {
+        self.minter.set_seed(seed);
+    }
+
+    /// Mints a root context for a request born *now* (virtual time).
+    #[must_use]
+    pub fn mint_root(&self) -> TraceContext {
+        self.minter.mint_root(self.clock.now_ms())
+    }
+
+    /// Mints a child context under `parent` (same trace, fresh span).
+    #[must_use]
+    pub fn mint_child(&self, parent: TraceContext) -> TraceContext {
+        self.minter.mint_child(parent)
+    }
+
     /// Gets or creates an unlabeled counter.
     pub fn counter(&self, name: &str) -> Counter {
         self.registry.counter(name)
@@ -104,15 +146,52 @@ impl Telemetry {
         self.registry.histogram_with(name, labels)
     }
 
-    /// Emits an instant event stamped with the current virtual time.
-    pub fn event(&self, category: &'static str, name: &str, args: Vec<(&'static str, String)>) {
+    fn push(
+        &self,
+        phase: Phase,
+        category: &'static str,
+        name: &str,
+        args: Vec<(&'static str, String)>,
+        ctx: TraceContext,
+    ) {
         self.events.push(TraceEvent {
             ts_ms: self.clock.now_ms(),
-            phase: Phase::Instant,
+            phase,
             category,
             name: name.to_string(),
             args,
+            trace_id: ctx.trace_id,
+            span_id: ctx.span_id,
+            parent_span_id: ctx.parent_span_id,
         });
+    }
+
+    /// Emits an instant event stamped with the current virtual time.
+    pub fn event(&self, category: &'static str, name: &str, args: Vec<(&'static str, String)>) {
+        self.push(Phase::Instant, category, name, args, TraceContext::none());
+    }
+
+    /// Emits an instant event carrying a causal context. An event whose
+    /// args include a `dur_ms` key is treated as a retroactive leaf span by
+    /// the critical-path analyzer (covering `[ts - dur, ts]`).
+    pub fn event_ctx(
+        &self,
+        category: &'static str,
+        name: &str,
+        args: Vec<(&'static str, String)>,
+        ctx: TraceContext,
+    ) {
+        self.push(Phase::Instant, category, name, args, ctx);
+    }
+
+    /// Emits the producer half of a cross-subsystem flow edge.
+    pub fn flow_start(&self, category: &'static str, name: &str, ctx: TraceContext) {
+        self.push(Phase::FlowStart, category, name, vec![], ctx);
+    }
+
+    /// Emits the consumer half of a cross-subsystem flow edge.
+    pub fn flow_finish(&self, category: &'static str, name: &str, ctx: TraceContext) {
+        self.push(Phase::FlowFinish, category, name, vec![], ctx);
     }
 
     /// Opens a span (emits a `Begin` event now, an `End` event on drop).
@@ -129,18 +208,53 @@ impl Telemetry {
         name: &str,
         args: Vec<(&'static str, String)>,
     ) -> Span<'_> {
-        self.events.push(TraceEvent {
-            ts_ms: self.clock.now_ms(),
-            phase: Phase::Begin,
-            category,
-            name: name.to_string(),
-            args,
-        });
+        self.span_ctx(category, name, args, TraceContext::none())
+    }
+
+    /// Opens a span carrying a causal context; the `End` event repeats the
+    /// ids so begin/end pairs match by `span_id`.
+    #[must_use]
+    pub fn span_ctx(
+        &self,
+        category: &'static str,
+        name: &str,
+        args: Vec<(&'static str, String)>,
+        ctx: TraceContext,
+    ) -> Span<'_> {
+        self.push(Phase::Begin, category, name, args, ctx);
         Span {
             telemetry: self,
             category,
             name: name.to_string(),
+            ctx,
         }
+    }
+
+    /// Records a weighted exemplar trace id under `key`, retaining the
+    /// [`EXEMPLARS_PER_KEY`] heaviest (ties broken oldest-first). Used to
+    /// point a scaling decision's cause chain at the traces behind it.
+    pub fn note_exemplar(&self, key: &'static str, trace_id: u64, weight: u64) {
+        if trace_id == 0 {
+            return;
+        }
+        let mut map = self.exemplars.lock().expect("exemplar map poisoned");
+        let entry = map.entry(key).or_default();
+        entry.push((weight, trace_id));
+        // Stable: equal weights keep insertion order, so the retained set
+        // is a pure function of the (deterministic) emission sequence.
+        entry.sort_by_key(|&(weight, _)| std::cmp::Reverse(weight));
+        entry.truncate(EXEMPLARS_PER_KEY);
+    }
+
+    /// The exemplar trace ids recorded under `key`, heaviest first.
+    #[must_use]
+    pub fn exemplars(&self, key: &'static str) -> Vec<u64> {
+        self.exemplars
+            .lock()
+            .expect("exemplar map poisoned")
+            .get(key)
+            .map(|entries| entries.iter().map(|&(_, id)| id).collect())
+            .unwrap_or_default()
     }
 
     /// A copy of all trace events in emission order.
@@ -165,6 +279,12 @@ impl Telemetry {
     #[must_use]
     pub fn prometheus(&self) -> String {
         export::prometheus_text(&self.registry)
+    }
+
+    /// Folds finished traces into a per-subsystem critical-path report.
+    #[must_use]
+    pub fn critical_path(&self) -> CriticalPathReport {
+        critical_path::analyze(&self.trace_events())
     }
 
     /// Folds another telemetry bundle into this one.
@@ -212,17 +332,26 @@ pub struct Span<'t> {
     telemetry: &'t Telemetry,
     category: &'static str,
     name: String,
+    ctx: TraceContext,
+}
+
+impl Span<'_> {
+    /// The span's causal context (absent for uninstrumented spans).
+    #[must_use]
+    pub fn ctx(&self) -> TraceContext {
+        self.ctx
+    }
 }
 
 impl Drop for Span<'_> {
     fn drop(&mut self) {
-        self.telemetry.events.push(TraceEvent {
-            ts_ms: self.telemetry.clock.now_ms(),
-            phase: Phase::End,
-            category: self.category,
-            name: std::mem::take(&mut self.name),
-            args: vec![],
-        });
+        self.telemetry.push(
+            Phase::End,
+            self.category,
+            &std::mem::take(&mut self.name),
+            vec![],
+            self.ctx,
+        );
     }
 }
 
@@ -234,6 +363,7 @@ pub struct OwnedSpan {
     telemetry: Arc<Telemetry>,
     category: &'static str,
     name: String,
+    ctx: TraceContext,
 }
 
 impl OwnedSpan {
@@ -251,30 +381,43 @@ impl OwnedSpan {
         name: &str,
         args: Vec<(&'static str, String)>,
     ) -> Self {
-        telemetry.events.push(TraceEvent {
-            ts_ms: telemetry.clock.now_ms(),
-            phase: Phase::Begin,
-            category,
-            name: name.to_string(),
-            args,
-        });
+        Self::open_ctx(telemetry, category, name, args, TraceContext::none())
+    }
+
+    /// Opens a span carrying a causal context.
+    #[must_use]
+    pub fn open_ctx(
+        telemetry: Arc<Telemetry>,
+        category: &'static str,
+        name: &str,
+        args: Vec<(&'static str, String)>,
+        ctx: TraceContext,
+    ) -> Self {
+        telemetry.push(Phase::Begin, category, name, args, ctx);
         OwnedSpan {
             telemetry,
             category,
             name: name.to_string(),
+            ctx,
         }
+    }
+
+    /// The span's causal context (absent for uninstrumented spans).
+    #[must_use]
+    pub fn ctx(&self) -> TraceContext {
+        self.ctx
     }
 }
 
 impl Drop for OwnedSpan {
     fn drop(&mut self) {
-        self.telemetry.events.push(TraceEvent {
-            ts_ms: self.telemetry.clock.now_ms(),
-            phase: Phase::End,
-            category: self.category,
-            name: std::mem::take(&mut self.name),
-            args: vec![],
-        });
+        self.telemetry.push(
+            Phase::End,
+            self.category,
+            &std::mem::take(&mut self.name),
+            vec![],
+            self.ctx,
+        );
     }
 }
 
@@ -297,6 +440,39 @@ mod tests {
         assert_eq!((events[1].phase, events[1].ts_ms), (Phase::Instant, 25));
         assert_eq!((events[2].phase, events[2].ts_ms), (Phase::End, 25));
         assert_eq!(events[2].name, "work");
+    }
+
+    #[test]
+    fn ctx_spans_repeat_ids_on_both_ends_and_flows_carry_them() {
+        let t = Telemetry::new();
+        t.set_trace_seed(0xBEEF);
+        let root = t.mint_root();
+        let child = t.mint_child(root);
+        t.flow_start("bus", "publish", root);
+        {
+            let span = t.span_ctx("service", "deliver", vec![], child);
+            assert_eq!(span.ctx(), child);
+        }
+        t.flow_finish("bus", "ack", root);
+        let events = t.trace_events();
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[0].phase, Phase::FlowStart);
+        assert_eq!(events[0].trace_id, root.trace_id);
+        assert_eq!(events[1].span_id, child.span_id);
+        assert_eq!(events[2].span_id, child.span_id, "End repeats span id");
+        assert_eq!(events[2].parent_span_id, root.span_id);
+        assert_eq!(events[3].phase, Phase::FlowFinish);
+    }
+
+    #[test]
+    fn exemplars_keep_heaviest_trace_ids() {
+        let t = Telemetry::new();
+        t.note_exemplar("acks", 0, 999); // absent ids are dropped
+        for (id, weight) in [(1, 10), (2, 50), (3, 20), (4, 5), (5, 40), (6, 30)] {
+            t.note_exemplar("acks", id, weight);
+        }
+        assert_eq!(t.exemplars("acks"), vec![2, 5, 6, 3]);
+        assert!(t.exemplars("other").is_empty());
     }
 
     #[test]

@@ -194,13 +194,15 @@ impl Histogram {
     /// An upper bound on the `percentile`-th percentile observation: the
     /// inclusive upper bound of the first bucket whose cumulative count
     /// reaches that rank. Exact to within the log₂ bucket width, which is
-    /// all the scaling policies and benchmark tables need. Returns 0 for
-    /// an empty histogram; `percentile` is clamped to `1..=100`.
+    /// all the scaling policies and benchmark tables need. Returns `None`
+    /// for an empty histogram — "no data yet" is not a measured 0 ms, and
+    /// warmup call sites must treat the two differently; `percentile` is
+    /// clamped to `1..=100`.
     #[must_use]
-    pub fn percentile_upper_bound(&self, percentile: u8) -> u64 {
+    pub fn percentile_upper_bound(&self, percentile: u8) -> Option<u64> {
         let total = self.count();
         if total == 0 {
-            return 0;
+            return None;
         }
         let pct = u128::from(percentile.clamp(1, 100));
         let rank = u64::try_from((u128::from(total) * pct).div_ceil(100)).unwrap_or(total);
@@ -209,10 +211,10 @@ impl Histogram {
         for (index, count) in self.bucket_counts().iter().enumerate() {
             cumulative = cumulative.saturating_add(*count);
             if cumulative >= rank {
-                return Self::bucket_upper_bound(index);
+                return Some(Self::bucket_upper_bound(index));
             }
         }
-        Self::bucket_upper_bound(HISTOGRAM_BUCKETS - 1)
+        Some(Self::bucket_upper_bound(HISTOGRAM_BUCKETS - 1))
     }
 
     /// Folds another histogram's observations into this one: bucket-wise
@@ -551,19 +553,19 @@ mod tests {
     #[test]
     fn percentile_upper_bound_walks_cumulative_buckets() {
         let h = Histogram::new();
-        assert_eq!(h.percentile_upper_bound(99), 0, "empty histogram");
+        assert_eq!(h.percentile_upper_bound(99), None, "empty histogram");
         for _ in 0..99 {
             h.observe(3); // bucket 2, upper bound 3
         }
         h.observe(1_000); // bucket 10, upper bound 1023
-        assert_eq!(h.percentile_upper_bound(50), 3);
-        assert_eq!(h.percentile_upper_bound(99), 3);
-        assert_eq!(h.percentile_upper_bound(100), 1023);
+        assert_eq!(h.percentile_upper_bound(50), Some(3));
+        assert_eq!(h.percentile_upper_bound(99), Some(3));
+        assert_eq!(h.percentile_upper_bound(100), Some(1023));
         // A single observation is every percentile.
         let single = Histogram::new();
         single.observe(7);
-        assert_eq!(single.percentile_upper_bound(1), 7);
-        assert_eq!(single.percentile_upper_bound(99), 7);
+        assert_eq!(single.percentile_upper_bound(1), Some(7));
+        assert_eq!(single.percentile_upper_bound(99), Some(7));
     }
 
     #[test]

@@ -6,6 +6,11 @@
 //! code runs single-threaded (background helper threads are deliberately
 //! never instrumented), two equal-seed runs produce identical buffers and
 //! therefore byte-identical exported traces.
+//!
+//! Events may carry causal identity (`trace_id`/`span_id`/
+//! `parent_span_id`, see [`crate::context::TraceContext`]); `0` means
+//! "no id", which keeps uninstrumented call sites and pre-existing
+//! exporters unchanged.
 
 use std::sync::Mutex;
 
@@ -18,6 +23,11 @@ pub enum Phase {
     End,
     /// Instant event (`I`).
     Instant,
+    /// Flow start (`s`): the producer side of a cross-subsystem edge
+    /// (e.g. a bus publish whose ack lands in another span tree).
+    FlowStart,
+    /// Flow finish (`f`): the consumer side of a cross-subsystem edge.
+    FlowFinish,
 }
 
 impl Phase {
@@ -28,6 +38,8 @@ impl Phase {
             Phase::Begin => 'B',
             Phase::End => 'E',
             Phase::Instant => 'I',
+            Phase::FlowStart => 's',
+            Phase::FlowFinish => 'f',
         }
     }
 }
@@ -37,7 +49,7 @@ impl Phase {
 pub struct TraceEvent {
     /// Virtual-clock timestamp, milliseconds.
     pub ts_ms: u64,
-    /// Begin / End / Instant.
+    /// Begin / End / Instant / FlowStart / FlowFinish.
     pub phase: Phase,
     /// Span taxonomy category, e.g. `"containers"` or `"scbr"`.
     pub category: &'static str,
@@ -45,6 +57,12 @@ pub struct TraceEvent {
     pub name: String,
     /// Key/value annotations.
     pub args: Vec<(&'static str, String)>,
+    /// Causal trace the event belongs to (`0` = untraced).
+    pub trace_id: u64,
+    /// The event's own span id (`0` = not a span).
+    pub span_id: u64,
+    /// The parent span within the same trace (`0` = root).
+    pub parent_span_id: u64,
 }
 
 /// The shared trace buffer.
@@ -101,6 +119,9 @@ mod tests {
                 category: "test",
                 name: format!("e{i}"),
                 args: vec![],
+                trace_id: 0,
+                span_id: 0,
+                parent_span_id: 0,
             });
         }
         let events = buf.events();
@@ -108,5 +129,11 @@ mod tests {
         assert_eq!(events[0].name, "e0");
         assert_eq!(events[2].ts_ms, 2);
         assert!(!buf.is_empty());
+    }
+
+    #[test]
+    fn flow_phases_have_chrome_codes() {
+        assert_eq!(Phase::FlowStart.code(), 's');
+        assert_eq!(Phase::FlowFinish.code(), 'f');
     }
 }

@@ -102,7 +102,7 @@ fn main() {
                 depth += 1;
             }
             Phase::End => depth = depth.saturating_sub(1),
-            Phase::Instant => {
+            Phase::Instant | Phase::FlowStart | Phase::FlowFinish => {
                 println!(
                     "t={:>5}ms {}* {}/{}",
                     event.ts_ms,
