@@ -6,23 +6,24 @@
 //! where `exp` is one of `fig3`, `cache`, `fig3opt`, `genpack`, `ablation`,
 //! `genpack_sweep`, `syscall`, `syscall_window`, `container`, `index`,
 //! `orchestration`, `replication`, `crypto`, `messaging`, `cluster`,
-//! `slo`, or `all` (default). `--smoke` runs reduced workloads (CI-sized)
-//! with the same code paths. `--jobs N` fans the fig3, replication,
-//! messaging, cluster, and slo sweeps across N worker threads (default:
-//! available parallelism; `--jobs 1` forces serial) — results and
-//! telemetry are byte-identical for any job count.
+//! `slo`, `storage`, or `all` (default). `--smoke` runs reduced workloads
+//! (CI-sized) with the same code paths. `--jobs N` fans the fig3,
+//! replication, messaging, cluster, slo, and storage sweeps across N
+//! worker threads (default: available parallelism; `--jobs 1` forces
+//! serial) — results and telemetry are byte-identical for any job count.
 //!
 //! Every run leaves a telemetry report (Prometheus snapshot, JSONL trace,
 //! chrome trace) under `target/telemetry/`; `crypto` additionally writes
 //! `target/telemetry/BENCH_crypto.json`, `messaging` writes
 //! `target/telemetry/BENCH_messaging.json`, `cluster` writes
-//! `target/telemetry/BENCH_cluster.json`, and `slo` writes
+//! `target/telemetry/BENCH_cluster.json`, `slo` writes
 //! `target/telemetry/BENCH_slo.json` plus the folded critical-path
-//! report `target/telemetry/critical_path.txt`.
+//! report `target/telemetry/critical_path.txt`, and `storage` writes
+//! `target/telemetry/BENCH_storage.json`.
 
 use securecloud_bench::{
     cluster_exp, container, cryptobench, fig3, genpack_exp, indexcmp, messaging, orchestration_exp,
-    pool, replication, slo, syscalls,
+    pool, replication, slo, storage, syscalls,
 };
 use securecloud_telemetry::Telemetry;
 use std::path::Path;
@@ -98,6 +99,9 @@ fn main() {
     }
     if all || which == "slo" {
         run_slo(smoke, jobs);
+    }
+    if all || which == "storage" {
+        run_storage(smoke, jobs);
     }
     match telemetry.write_report(Path::new("target/telemetry")) {
         Ok(report) => println!(
@@ -368,7 +372,71 @@ fn run_replication(smoke: bool, jobs: usize) {
             point.failover_ms
         );
     }
-    println!();
+    let comparison = replication::failover_stream_comparison(&workload);
+    println!(
+        "\nfailover catch-up stream ({} keys x {} B): whole snapshot {} B,",
+        comparison.keys, comparison.value_bytes, comparison.whole_bytes
+    );
+    println!(
+        "incremental manifest {} B ({:.1}x smaller)\n",
+        comparison.incremental_bytes,
+        comparison.shrink_factor()
+    );
+}
+
+fn run_storage(smoke: bool, jobs: usize) {
+    println!("== E14: tiered encrypted storage — sealed segments beyond EPC ==");
+    println!("(in-EPC memtable over sealed log-structured host segments: reads");
+    println!(" beyond the EPC pay explicit amortised host I/O instead of paging,");
+    println!(" and restart replays only the WAL tail)\n");
+    let workload = if smoke {
+        storage::StorageWorkload::smoke()
+    } else {
+        storage::StorageWorkload::full()
+    };
+    let report = storage::report_jobs(&workload, jobs);
+    println!(
+        "usable EPC: {} KiB, block {} B, memtable budget {} KiB\n",
+        report.usable_epc_bytes >> 10,
+        report.config.block_bytes,
+        report.config.flush_bytes >> 10
+    );
+    println!(
+        "{:>6} {:>7} {:>7} {:>8} {:>10} {:>8} {:>10} {:>9} {:>5} {:>10} {:>12}",
+        "ws/EPC",
+        "val B",
+        "keys",
+        "put us",
+        "wr KiB/put",
+        "get us",
+        "rd KiB/get",
+        "flt/get",
+        "segs",
+        "restart ms",
+        "replay/total"
+    );
+    for point in &report.points {
+        println!(
+            "{:>5.1}x {:>7} {:>7} {:>8.1} {:>10.3} {:>8.1} {:>10.3} {:>9.3} {:>5} {:>10.3} {:>6}/{}",
+            point.epc_ratio,
+            point.value_bytes,
+            point.keys,
+            point.put_us,
+            point.host_write_kib_per_put,
+            point.get_us,
+            point.host_read_kib_per_get,
+            point.faults_per_get,
+            point.segments,
+            point.restart_ms,
+            point.wal_replayed,
+            point.wal_total
+        );
+    }
+    let path = Path::new("target/telemetry/BENCH_storage.json");
+    match report.write_json(path) {
+        Ok(()) => println!("\nstorage bench report: {}\n", path.display()),
+        Err(err) => eprintln!("\nwarning: storage bench report not written: {err}\n"),
+    }
 }
 
 fn run_crypto(smoke: bool) {

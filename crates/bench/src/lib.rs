@@ -1,6 +1,6 @@
 //! The SecureCloud benchmark harness.
 //!
-//! One module per experiment in DESIGN.md's index (E1–E12), plus the
+//! One module per experiment in DESIGN.md's index (E1–E14), plus the
 //! ordered worker [`pool`] the sweeps fan out on. Each module exposes a
 //! runner returning structured results; the `repro` binary prints them as
 //! the tables recorded in EXPERIMENTS.md, and the Criterion benches in
@@ -23,4 +23,5 @@ pub mod orchestration_exp;
 pub mod pool;
 pub mod replication;
 pub mod slo;
+pub mod storage;
 pub mod syscalls;

@@ -14,7 +14,9 @@
 //! Durations are simulated (cost-model cycles), so results are
 //! deterministic and hardware-independent.
 
-use securecloud::replica::{ReplicaConfig, ReplicatedKv, ReplicationFactor, WriteQuorum};
+use securecloud::replica::{
+    ReplicaConfig, ReplicatedKv, ReplicationFactor, ShardId, StorageConfig, WriteQuorum,
+};
 use securecloud_kvstore::CounterService;
 use securecloud_sgx::costs::{CostModel, MemoryGeometry};
 use securecloud_sgx::enclave::Platform;
@@ -184,6 +186,69 @@ fn run_cell(shards: u32, replication: u32, workload: &ReplicationWorkload) -> Re
     }
 }
 
+/// E9b: bytes streamed to catch a replacement up after one replica kill,
+/// whole-store snapshot (in-memory deployment) vs incremental manifest
+/// (tiered deployment), at the same workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FailoverStreamComparison {
+    /// Keys loaded before the kill.
+    pub keys: usize,
+    /// Value size, bytes.
+    pub value_bytes: usize,
+    /// Bytes streamed when the group seals and ships the whole store.
+    pub whole_bytes: u64,
+    /// Trusted bytes streamed when the group ships an incremental
+    /// manifest (manifest + WAL tail; sealed segments are already on the
+    /// replacement's untrusted host path and self-authenticate).
+    pub incremental_bytes: u64,
+}
+
+impl FailoverStreamComparison {
+    /// whole / incremental stream-size ratio.
+    #[must_use]
+    pub fn shrink_factor(&self) -> f64 {
+        self.whole_bytes as f64 / self.incremental_bytes.max(1) as f64
+    }
+}
+
+/// Runs the same kill-plus-failover against an in-memory and a tiered
+/// single-shard deployment and compares the bytes each streamed.
+#[must_use]
+pub fn failover_stream_comparison(workload: &ReplicationWorkload) -> FailoverStreamComparison {
+    let streamed = |storage: Option<StorageConfig>| -> u64 {
+        let config = ReplicaConfig {
+            shards: 1,
+            replication: ReplicationFactor(3),
+            write_quorum: WriteQuorum(2),
+            geometry: workload.geometry,
+            storage,
+            ..ReplicaConfig::default()
+        };
+        let platform = Platform::new();
+        let counters = CounterService::new();
+        let mut kv = ReplicatedKv::deploy(config, &platform, &counters).expect("valid config");
+        let value = vec![0xa5u8; workload.value_bytes];
+        for i in 0..workload.keys {
+            kv.put(format!("grid/meter/{i:08}").as_bytes(), &value)
+                .expect("quorum write");
+        }
+        kv.kill_replica(ShardId(0), 0);
+        kv.fail_over().expect("failover with survivors");
+        kv.stats().snapshot_stream_bytes
+    };
+    FailoverStreamComparison {
+        keys: workload.keys,
+        value_bytes: workload.value_bytes,
+        whole_bytes: streamed(None),
+        incremental_bytes: streamed(Some(StorageConfig {
+            block_bytes: 4096,
+            flush_bytes: 64 << 10,
+            cache_blocks: 8,
+            compact_at_segments: 8,
+        })),
+    }
+}
+
 /// Total EPC faults charged across the deployment's live replicas.
 fn epc_faults(kv: &ReplicatedKv) -> u64 {
     (0..kv.shard_map().shards())
@@ -219,5 +284,21 @@ mod tests {
         // Failover is measured only where a survivor exists.
         assert!(cell(4, 1).failover_ms == 0.0);
         assert!(cell(4, 3).failover_ms > 0.0);
+    }
+
+    #[test]
+    fn incremental_manifest_streams_fewer_bytes_than_whole_snapshot() {
+        let comparison = failover_stream_comparison(&ReplicationWorkload::smoke());
+        assert!(comparison.whole_bytes > 0, "whole-store path streamed");
+        assert!(
+            comparison.incremental_bytes > 0,
+            "incremental path streamed"
+        );
+        assert!(
+            comparison.incremental_bytes < comparison.whole_bytes,
+            "incremental manifest ({} B) must undercut the whole snapshot ({} B)",
+            comparison.incremental_bytes,
+            comparison.whole_bytes
+        );
     }
 }

@@ -284,6 +284,7 @@ impl SecureCloud {
                 FaultKind::BrokerFail { .. } => {}
                 FaultKind::ReplicaKill { .. }
                 | FaultKind::ReplicaStall { .. }
+                | FaultKind::StorageCorruptBlock { .. }
                 | FaultKind::NetworkPartition { .. } => {
                     // Every replicated deployment gets a shot at the event;
                     // the one owning the shard applies it (kill + failover,
@@ -617,6 +618,52 @@ mod tests {
         assert_eq!(kv.stats().replicas_replaced, 1, "auto-failover ran");
         assert_eq!(kv.get(b"acked").unwrap(), Some(b"before fault".to_vec()));
         assert!(cloud.replicated_kv(ReplicatedKvId(9)).is_none());
+    }
+
+    #[test]
+    fn storage_corruption_events_route_to_tiered_deployments() {
+        use faults::FaultPlan;
+        use replica::{ReplicaConfig, ReplicationFactor, StorageConfig, WriteQuorum};
+
+        let mut cloud = SecureCloud::new();
+        let plan = FaultPlan::new().at(50, FaultKind::StorageCorruptBlock { shard: 0, slot: 1 });
+        cloud.set_fault_injector(Arc::new(FaultInjector::with_plan(11, plan)));
+        let id = cloud
+            .deploy_replicated_kv(ReplicaConfig {
+                shards: 1,
+                replication: ReplicationFactor(3),
+                write_quorum: WriteQuorum(2),
+                storage: Some(StorageConfig {
+                    block_bytes: 256,
+                    flush_bytes: 1024,
+                    cache_blocks: 2,
+                    compact_at_segments: 4,
+                }),
+                ..ReplicaConfig::default()
+            })
+            .unwrap();
+        // Enough writes to flush sealed segments onto the host disk.
+        for i in 0..40u32 {
+            cloud
+                .replicated_kv_mut(id)
+                .unwrap()
+                .put(format!("reading/{i:03}").as_bytes(), &[0xCD; 40])
+                .unwrap();
+        }
+        let events = cloud.advance(100);
+        assert_eq!(events.len(), 1);
+        let kv = cloud.replicated_kv_mut(id).unwrap();
+        let stats = kv.stats();
+        assert!(stats.storage_corruptions >= 1, "scrub saw the bit flip");
+        assert_eq!(stats.replicas_killed, 1, "damaged replica retired");
+        assert_eq!(stats.replicas_replaced, 1, "auto-failover ran");
+        assert!(stats.snapshot_stream_bytes > 0, "incremental catch-up");
+        for i in 0..40u32 {
+            assert_eq!(
+                kv.get(format!("reading/{i:03}").as_bytes()).unwrap(),
+                Some(vec![0xCD; 40])
+            );
+        }
     }
 
     #[test]

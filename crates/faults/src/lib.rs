@@ -100,6 +100,16 @@ pub enum FaultKind {
         /// Replica slot within the group.
         slot: u32,
     },
+    /// Flip one bit in a sealed storage block on a replica's untrusted
+    /// host disk (which block, and which bit, is drawn from the seeded
+    /// generator). The replica's integrity tree detects the corruption,
+    /// quarantines the segment, and the group fails the replica over.
+    StorageCorruptBlock {
+        /// Shard group index.
+        shard: u32,
+        /// Replica slot within the group.
+        slot: u32,
+    },
     /// Partition an entire shard group from its clients: quorum operations
     /// are refused (writes fail *unacknowledged*, so nothing can be lost)
     /// until the partition heals `heal_after_ms` later on the virtual
@@ -125,6 +135,7 @@ impl FaultKind {
             FaultKind::SyscallFail { .. } => "syscall-fail",
             FaultKind::ReplicaKill { .. } => "replica-kill",
             FaultKind::ReplicaStall { .. } => "replica-stall",
+            FaultKind::StorageCorruptBlock { .. } => "storage-corrupt-block",
             FaultKind::NetworkPartition { .. } => "network-partition",
         }
     }
@@ -142,6 +153,9 @@ impl std::fmt::Display for FaultKind {
             }
             FaultKind::ReplicaStall { shard, slot } => {
                 write!(f, "replica-stall s{shard}/r{slot}")
+            }
+            FaultKind::StorageCorruptBlock { shard, slot } => {
+                write!(f, "storage-corrupt-block s{shard}/r{slot}")
             }
             FaultKind::NetworkPartition {
                 group,
@@ -443,6 +457,18 @@ mod tests {
             "network-partition"
         );
         assert_eq!(FaultKind::SyscallFail { count: 1 }.name(), "syscall-fail");
+    }
+
+    #[test]
+    fn storage_corruption_fault_display_and_schedule() {
+        let kind = FaultKind::StorageCorruptBlock { shard: 2, slot: 1 };
+        assert_eq!(kind.name(), "storage-corrupt-block");
+        assert_eq!(kind.to_string(), "storage-corrupt-block s2/r1");
+        let injector = FaultInjector::with_plan(7, FaultPlan::new().at(50, kind.clone()));
+        let due = injector.advance_to(100);
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].kind, kind);
+        assert!(injector.trace()[0].contains("t=50 fire storage-corrupt-block s2/r1"));
     }
 
     #[test]

@@ -9,6 +9,11 @@
 //! protection** via a trusted monotonic counter (the SGX counter service):
 //! restoring an old-but-validly-sealed snapshot is detected.
 //!
+//! Stores larger than the EPC can run *tiered* ([`SecureKv::tiered`]): an
+//! in-EPC memtable over sealed log-structured segments on the untrusted
+//! host (the `securecloud-storage` crate), with WAL-tail recovery and
+//! incremental snapshots replacing whole-store sealing.
+//!
 //! # Example
 //!
 //! ```
@@ -25,3 +30,10 @@
 pub mod store;
 
 pub use store::{CounterService, KvError, KvStats, SecureKv, Snapshot};
+
+// The sealed-tier vocabulary, re-exported so downstream crates (replica,
+// bench) can configure tiered stores without a direct storage dependency.
+pub use securecloud_storage::{
+    HostDisk, IncrementalSnapshot, ReplayReport, StorageConfig, StorageEngine, StorageError,
+    StorageStats, StoreKeys,
+};

@@ -1,15 +1,30 @@
 //! The enclave-resident ordered KV store.
+//!
+//! A [`SecureKv`] is either purely in-memory (everything in the EPC, the
+//! seed behaviour) or *tiered* ([`SecureKv::tiered`]): an in-EPC memtable
+//! over a [`StorageEngine`] of sealed log-structured segments on the
+//! untrusted host. In tiered mode every mutation is WAL-logged before it
+//! touches the memtable, full memtables flush to sealed segments, and
+//! reads fall through to verified block page-ins — so working sets far
+//! beyond the EPC stay serviceable at honest simulated cost.
 
-use parking_lot::Mutex;
 use securecloud_crypto::gcm::{AesGcm, NONCE_LEN, TAG_LEN};
 use securecloud_crypto::wire::Wire;
 use securecloud_crypto::CryptoError;
-use securecloud_sgx::mem::MemorySim;
+use securecloud_sgx::mem::{MemorySim, Region};
+use securecloud_storage::{
+    HostDisk, IncrementalSnapshot, Record, ReplayReport, StorageConfig, StorageEngine,
+    StorageError, StoreKeys,
+};
 use securecloud_telemetry::{Counter, Telemetry};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::error::Error as StdError;
 use std::fmt;
-use std::sync::Arc;
+
+// The trusted counter service now lives in `securecloud-storage` (the
+// storage engine binds manifests to it); re-exported here so existing
+// `securecloud_kvstore::CounterService` paths keep working.
+pub use securecloud_storage::CounterService;
 
 /// Errors from the secure KV store.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -26,6 +41,9 @@ pub enum KvError {
     },
     /// The named trusted counter does not exist.
     UnknownCounter(String),
+    /// The sealed storage tier failed (integrity, rollback, crash, or
+    /// host corruption).
+    Storage(StorageError),
 }
 
 impl fmt::Display for KvError {
@@ -40,6 +58,7 @@ impl fmt::Display for KvError {
                 "rollback detected: snapshot v{snapshot_version} older than counter v{counter_version}"
             ),
             KvError::UnknownCounter(name) => write!(f, "unknown trusted counter: {name}"),
+            KvError::Storage(e) => write!(f, "storage tier failure: {e}"),
         }
     }
 }
@@ -52,44 +71,9 @@ impl From<CryptoError> for KvError {
     }
 }
 
-/// A trusted monotonic counter service (stands in for SGX monotonic
-/// counters / a replicated counter service). Shared between store
-/// instances via `Clone`.
-#[derive(Debug, Clone, Default)]
-pub struct CounterService {
-    counters: Arc<Mutex<HashMap<String, u64>>>,
-}
-
-impl CounterService {
-    /// Creates an empty counter service.
-    #[must_use]
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Reads a counter (0 if never bumped).
-    #[must_use]
-    pub fn read(&self, name: &str) -> u64 {
-        *self.counters.lock().get(name).unwrap_or(&0)
-    }
-
-    /// Increments and returns the new value.
-    pub fn increment(&self, name: &str) -> u64 {
-        let mut counters = self.counters.lock();
-        let v = counters.entry(name.to_string()).or_insert(0);
-        *v += 1;
-        *v
-    }
-
-    /// Advances a counter to `value` if that moves it forward, returning
-    /// the resulting value. Monotone: a lagging writer (e.g. a replica
-    /// sealing an older snapshot than a sibling already recorded) can
-    /// never roll the counter back.
-    pub fn advance_to(&self, name: &str, value: u64) -> u64 {
-        let mut counters = self.counters.lock();
-        let v = counters.entry(name.to_string()).or_insert(0);
-        *v = (*v).max(value);
-        *v
+impl From<StorageError> for KvError {
+    fn from(e: StorageError) -> Self {
+        KvError::Storage(e)
     }
 }
 
@@ -134,6 +118,9 @@ struct Entry {
     value: Vec<u8>,
     offset: u64,
     footprint: u32,
+    /// Tombstone marker (tiered mode): the key is deleted, masking any
+    /// older record in the sealed segments until the next flush.
+    dead: bool,
 }
 
 /// A sealed, versioned snapshot of the store.
@@ -154,6 +141,11 @@ pub struct SecureKv {
     bytes: u64,
     metrics: KvMetrics,
     arena_next: Option<(u64, u64)>, // (chunk base, used)
+    /// Arena chunks handed out so far, so tiered flushes can release the
+    /// drained memtable's simulated memory.
+    arena_chunks: Vec<Region>,
+    /// The sealed on-host tier (tiered mode only).
+    storage: Option<Box<StorageEngine>>,
 }
 
 const ARENA_CHUNK: u64 = 1 << 20;
@@ -165,7 +157,101 @@ impl SecureKv {
         Self::default()
     }
 
-    /// Number of keys.
+    /// Creates an empty *tiered* store: an in-EPC memtable over a sealed
+    /// log-structured segment store on the untrusted host. `counter_base`
+    /// scopes the trusted counters binding the host state (use the same
+    /// base and [`CounterService`] when reopening after a restart).
+    #[must_use]
+    pub fn tiered(
+        config: StorageConfig,
+        keys: StoreKeys,
+        counters: CounterService,
+        counter_base: impl Into<String>,
+    ) -> Self {
+        let mut kv = SecureKv::new();
+        kv.storage = Some(Box::new(StorageEngine::create(
+            config,
+            keys,
+            counters,
+            counter_base,
+        )));
+        kv
+    }
+
+    /// Recovers a tiered store from untrusted host bytes: verifies the
+    /// manifest epoch and version floor, replays only the WAL tail, and
+    /// rebuilds the memtable from it.
+    ///
+    /// # Errors
+    ///
+    /// [`KvError::Storage`] — rollback, integrity, or corruption detected
+    /// in the host bytes.
+    pub fn reopen(
+        mem: &mut MemorySim,
+        config: StorageConfig,
+        keys: StoreKeys,
+        counters: CounterService,
+        counter_base: impl Into<String>,
+        disk: HostDisk,
+    ) -> Result<(Self, ReplayReport), KvError> {
+        let (engine, report) =
+            StorageEngine::open(mem, config, keys, counters, counter_base, disk)?;
+        let mut kv = SecureKv::new();
+        kv.storage = Some(Box::new(engine));
+        for record in &report.tail {
+            match record {
+                Record::Put { key, value } => {
+                    kv.memtable_put(mem, key, value, false);
+                }
+                Record::Tombstone { key } => {
+                    kv.memtable_put(mem, key, b"", true);
+                }
+            }
+        }
+        kv.version = report.recovered_version;
+        Ok((kv, report))
+    }
+
+    /// Adopts an [`IncrementalSnapshot`] streamed from a surviving
+    /// replica (see [`SecureKv::incremental_snapshot`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`SecureKv::reopen`] — notably [`KvError::Storage`] with
+    /// [`StorageError::Rollback`] if the snapshot is older than the
+    /// trusted counters have seen.
+    pub fn restore_incremental(
+        mem: &mut MemorySim,
+        config: StorageConfig,
+        keys: StoreKeys,
+        counters: CounterService,
+        counter_base: impl Into<String>,
+        snapshot: IncrementalSnapshot,
+    ) -> Result<Self, KvError> {
+        Ok(Self::reopen(mem, config, keys, counters, counter_base, snapshot.disk)?.0)
+    }
+
+    /// Whether this store has a sealed on-host tier.
+    #[must_use]
+    pub fn is_tiered(&self) -> bool {
+        self.storage.is_some()
+    }
+
+    /// The storage engine under a tiered store (bench introspection).
+    #[must_use]
+    pub fn storage(&self) -> Option<&StorageEngine> {
+        self.storage.as_deref()
+    }
+
+    /// Mutable access to the storage engine (fault injection: corrupt a
+    /// host block, scrub, arm crash points).
+    pub fn storage_mut(&mut self) -> Option<&mut StorageEngine> {
+        self.storage.as_deref_mut()
+    }
+
+    /// Number of in-EPC entries. For a tiered store this counts only the
+    /// memtable (including tombstones); flushed keys live in sealed
+    /// segments and are not enumerated without IO.
     #[must_use]
     pub fn len(&self) -> usize {
         self.map.len()
@@ -214,7 +300,9 @@ impl SecureKv {
             _ => {
                 let region = mem.alloc(ARENA_CHUNK);
                 self.arena_next = Some((region.base(), bytes.min(ARENA_CHUNK)));
-                region.base()
+                let base = region.base();
+                self.arena_chunks.push(region);
+                base
             }
         }
     }
@@ -223,14 +311,20 @@ impl SecureKv {
         (48 + key.len() + value.len()) as u32
     }
 
-    /// Inserts or updates `key`, returning the previous value.
-    pub fn put(&mut self, mem: &mut MemorySim, key: &[u8], value: &[u8]) -> Option<Vec<u8>> {
+    /// Raw memtable insert: allocation, touch, and byte accounting, but no
+    /// version bump, metrics, WAL, or flush. Returns the previous *live*
+    /// value (a shadowed tombstone reads as absent).
+    fn memtable_put(
+        &mut self,
+        mem: &mut MemorySim,
+        key: &[u8],
+        value: &[u8],
+        dead: bool,
+    ) -> Option<Vec<u8>> {
         let footprint = Self::footprint(key, value);
         let offset = self.alloc(mem, u64::from(footprint));
         mem.touch(offset, footprint as usize);
         mem.charge_ops(2 + (key.len() as u64) / 8);
-        self.version += 1;
-        self.metrics.puts.inc();
         self.bytes += (key.len() + value.len()) as u64;
         let previous = self.map.insert(
             key.to_vec(),
@@ -238,60 +332,296 @@ impl SecureKv {
                 value: value.to_vec(),
                 offset,
                 footprint,
+                dead,
             },
         );
         if let Some(prev) = &previous {
             self.bytes -= (key.len() + prev.value.len()) as u64;
         }
-        previous.map(|e| e.value)
+        previous.and_then(|e| if e.dead { None } else { Some(e.value) })
+    }
+
+    /// Inserts or updates `key`, returning the previous value.
+    ///
+    /// # Panics
+    ///
+    /// In tiered mode, if the storage tier fails (a failed store must be
+    /// discarded and reopened) — use [`SecureKv::try_put`] to handle that.
+    pub fn put(&mut self, mem: &mut MemorySim, key: &[u8], value: &[u8]) -> Option<Vec<u8>> {
+        self.try_put(mem, key, value)
+            .expect("tiered storage failure on put; reopen the store")
+    }
+
+    /// Inserts or updates `key`: WAL-logs first (tiered mode), then updates
+    /// the memtable, flushing it to a sealed segment when full. Returns the
+    /// previous value *from the in-EPC tier* — a key only present in sealed
+    /// segments reads back as `None` here, keeping the write path free of
+    /// host IO.
+    ///
+    /// # Errors
+    ///
+    /// [`KvError::Storage`] — the sealed tier rejected the write (after
+    /// which the store must be discarded and reopened from its disk).
+    pub fn try_put(
+        &mut self,
+        mem: &mut MemorySim,
+        key: &[u8],
+        value: &[u8],
+    ) -> Result<Option<Vec<u8>>, KvError> {
+        if let Some(engine) = self.storage.as_mut() {
+            engine.append(
+                mem,
+                &Record::Put {
+                    key: key.to_vec(),
+                    value: value.to_vec(),
+                },
+            )?;
+        }
+        let previous = self.memtable_put(mem, key, value, false);
+        self.version += 1;
+        self.metrics.puts.inc();
+        self.maybe_flush(mem)?;
+        Ok(previous)
     }
 
     /// Point lookup, returning an owned copy of the value.
+    ///
+    /// # Panics
+    ///
+    /// In tiered mode, on a storage-tier failure (integrity violation on a
+    /// paged-in block) — use [`SecureKv::try_get`] to handle that.
     pub fn get(&mut self, mem: &mut MemorySim, key: &[u8]) -> Option<Vec<u8>> {
         self.get_ref(mem, key).map(<[u8]>::to_vec)
+    }
+
+    /// Fallible point lookup (see [`SecureKv::try_get_ref`]).
+    ///
+    /// # Errors
+    ///
+    /// [`KvError::Storage`] — a sealed block failed verification.
+    pub fn try_get(&mut self, mem: &mut MemorySim, key: &[u8]) -> Result<Option<Vec<u8>>, KvError> {
+        Ok(self.try_get_ref(mem, key)?.map(<[u8]>::to_vec))
     }
 
     /// Point lookup without copying the value out. Charges exactly the same
     /// simulated memory accesses as [`SecureKv::get`]; callers that only
     /// inspect (or conditionally copy) the value avoid the allocation.
+    ///
+    /// # Panics
+    ///
+    /// In tiered mode, on a storage-tier failure — use
+    /// [`SecureKv::try_get_ref`] to handle that.
     pub fn get_ref(&mut self, mem: &mut MemorySim, key: &[u8]) -> Option<&[u8]> {
+        self.try_get_ref(mem, key)
+            .expect("tiered storage failure on get; scrub or reopen the store")
+    }
+
+    /// Point lookup falling through the memtable to sealed segments. A
+    /// memtable tombstone masks older sealed records.
+    ///
+    /// # Errors
+    ///
+    /// [`KvError::Storage`] — a sealed block failed verification while
+    /// paging in.
+    pub fn try_get_ref(
+        &mut self,
+        mem: &mut MemorySim,
+        key: &[u8],
+    ) -> Result<Option<&[u8]>, KvError> {
         self.metrics.gets.inc();
         // B-tree descent: log(n) comparisons.
         mem.charge_ops(2 + (self.map.len().max(2) as f64).log2() as u64);
-        let entry = self.map.get(key)?;
-        mem.touch(entry.offset, entry.footprint as usize);
-        Some(&entry.value)
+        if self.map.contains_key(key) {
+            let entry = self.map.get(key).expect("key checked present");
+            mem.touch(entry.offset, entry.footprint as usize);
+            return Ok(if entry.dead { None } else { Some(&entry.value) });
+        }
+        match self.storage.as_mut() {
+            None => Ok(None),
+            Some(engine) => Ok(engine.lookup_ref(mem, key)?.flatten()),
+        }
     }
 
     /// Removes `key`, returning its value.
+    ///
+    /// # Panics
+    ///
+    /// In tiered mode, on a storage-tier failure — use
+    /// [`SecureKv::try_delete`] to handle that.
     pub fn delete(&mut self, mem: &mut MemorySim, key: &[u8]) -> Option<Vec<u8>> {
+        self.try_delete(mem, key)
+            .expect("tiered storage failure on delete; reopen the store")
+    }
+
+    /// Removes `key`, returning its value. In tiered mode a delete of a
+    /// flushed key pages it in (to report the old value), WAL-logs a
+    /// tombstone, and plants a memtable tombstone to mask the sealed
+    /// record; deleting an absent key is a no-op that does not bump the
+    /// version, matching the in-memory behaviour.
+    ///
+    /// # Errors
+    ///
+    /// [`KvError::Storage`] — the sealed tier failed during lookup or
+    /// tombstone logging.
+    pub fn try_delete(
+        &mut self,
+        mem: &mut MemorySim,
+        key: &[u8],
+    ) -> Result<Option<Vec<u8>>, KvError> {
         mem.charge_ops(2 + (self.map.len().max(2) as f64).log2() as u64);
-        let entry = self.map.remove(key)?;
+        if self.storage.is_none() {
+            let Some(entry) = self.map.remove(key) else {
+                return Ok(None);
+            };
+            self.version += 1;
+            self.metrics.deletes.inc();
+            self.bytes -= (key.len() + entry.value.len()) as u64;
+            return Ok(Some(entry.value));
+        }
+        let previous = match self.map.get(key) {
+            Some(entry) if entry.dead => return Ok(None), // already tombstoned
+            Some(entry) => {
+                mem.touch(entry.offset, entry.footprint as usize);
+                Some(entry.value.clone())
+            }
+            None => {
+                let engine = self.storage.as_mut().expect("tiered mode checked");
+                match engine.lookup(mem, key)? {
+                    // Absent (or tombstoned) everywhere: no mutation.
+                    None | Some(None) => return Ok(None),
+                    Some(Some(value)) => Some(value),
+                }
+            }
+        };
+        let engine = self.storage.as_mut().expect("tiered mode checked");
+        engine.append(mem, &Record::Tombstone { key: key.to_vec() })?;
+        self.memtable_put(mem, key, b"", true);
         self.version += 1;
         self.metrics.deletes.inc();
-        self.bytes -= (key.len() + entry.value.len()) as u64;
-        Some(entry.value)
+        self.maybe_flush(mem)?;
+        Ok(previous)
     }
 
     /// Ordered scan of `[from, to)`, returning key-value pairs.
+    ///
+    /// # Panics
+    ///
+    /// In tiered mode, on a storage-tier failure — use
+    /// [`SecureKv::try_scan`] to handle that.
     pub fn scan(&mut self, mem: &mut MemorySim, from: &[u8], to: &[u8]) -> Vec<Pair> {
+        self.try_scan(mem, from, to)
+            .expect("tiered storage failure on scan; scrub or reopen the store")
+    }
+
+    /// Ordered scan of `[from, to)` merging sealed segments (oldest first)
+    /// under the memtable; memtable tombstones suppress sealed records.
+    ///
+    /// # Errors
+    ///
+    /// [`KvError::Storage`] — a sealed block failed verification while
+    /// paging in.
+    pub fn try_scan(
+        &mut self,
+        mem: &mut MemorySim,
+        from: &[u8],
+        to: &[u8],
+    ) -> Result<Vec<Pair>, KvError> {
         let mut out = Vec::new();
         if from >= to {
-            return out; // empty or inverted range
+            return Ok(out); // empty or inverted range
+        }
+        let mut merged: BTreeMap<Vec<u8>, Option<Vec<u8>>> = BTreeMap::new();
+        if let Some(engine) = self.storage.as_mut() {
+            engine.scan_into(mem, from, Some(to), &mut merged)?;
         }
         // Collect touches first to avoid borrowing issues.
-        let hits: Vec<(Vec<u8>, Vec<u8>, u64, u32)> = self
+        type MemtableHit = (Vec<u8>, Option<Vec<u8>>, u64, u32);
+        let hits: Vec<MemtableHit> = self
             .map
             .range(from.to_vec()..to.to_vec())
-            .map(|(k, e)| (k.clone(), e.value.clone(), e.offset, e.footprint))
+            .map(|(k, e)| {
+                let value = if e.dead { None } else { Some(e.value.clone()) };
+                (k.clone(), value, e.offset, e.footprint)
+            })
             .collect();
         for (k, v, offset, footprint) in hits {
             mem.touch(offset, footprint as usize);
             mem.charge_ops(1);
-            out.push((k, v));
-            self.metrics.scanned.inc();
+            merged.insert(k, v);
         }
-        out
+        for (k, v) in merged {
+            if let Some(v) = v {
+                self.metrics.scanned.inc();
+                out.push((k, v));
+            }
+        }
+        Ok(out)
+    }
+
+    /// Flushes the memtable into a sealed segment when it has outgrown the
+    /// configured budget.
+    fn maybe_flush(&mut self, mem: &mut MemorySim) -> Result<(), KvError> {
+        let Some(engine) = self.storage.as_ref() else {
+            return Ok(());
+        };
+        if self.bytes < engine.config().flush_bytes || self.map.is_empty() {
+            return Ok(());
+        }
+        self.flush_memtable(mem)
+    }
+
+    /// Flushes the memtable (live entries and tombstones) into one sealed
+    /// segment, commits the manifest, truncates the WAL, and releases the
+    /// memtable's EPC arena. A no-op for in-memory stores and empty
+    /// memtables.
+    ///
+    /// # Errors
+    ///
+    /// [`KvError::Storage`] — the segment write or manifest commit failed.
+    pub fn flush_memtable(&mut self, mem: &mut MemorySim) -> Result<(), KvError> {
+        let Some(engine) = self.storage.as_mut() else {
+            return Ok(());
+        };
+        if self.map.is_empty() {
+            return Ok(());
+        }
+        let records: Vec<Record> = self
+            .map
+            .iter()
+            .map(|(k, e)| {
+                if e.dead {
+                    Record::Tombstone { key: k.clone() }
+                } else {
+                    Record::Put {
+                        key: k.clone(),
+                        value: e.value.clone(),
+                    }
+                }
+            })
+            .collect();
+        engine.flush(mem, &records)?;
+        self.map.clear();
+        self.bytes = 0;
+        self.arena_next = None;
+        for region in self.arena_chunks.drain(..) {
+            mem.free(region);
+        }
+        Ok(())
+    }
+
+    /// Exports the sealed host state for handing to a new replica: the
+    /// manifest and WAL tail travel over a trusted channel; sealed segments
+    /// are self-authenticating. Advances the trusted version floor so
+    /// older exports are fenced.
+    ///
+    /// # Panics
+    ///
+    /// If the store is not tiered.
+    pub fn incremental_snapshot(&self) -> IncrementalSnapshot {
+        self.storage
+            .as_ref()
+            .expect("incremental snapshots require a tiered store")
+            .export()
     }
 
     /// Serialises and seals the store under `key`, advancing the trusted
@@ -301,12 +631,21 @@ impl SecureKv {
     /// (sealing itself is not a mutation): replicas applying the same
     /// writes seal interchangeable snapshots, whichever of them does the
     /// sealing.
+    ///
+    /// # Panics
+    ///
+    /// If the store is tiered — whole-store snapshots would re-upload data
+    /// already sealed on the host; use [`SecureKv::incremental_snapshot`].
     pub fn snapshot(
         &mut self,
         key: &[u8; 16],
         counters: &CounterService,
         counter_name: &str,
     ) -> Snapshot {
+        assert!(
+            self.storage.is_none(),
+            "whole-store snapshots are for in-memory stores; tiered stores use incremental_snapshot()"
+        );
         // One exactly-shaped buffer: nonce, then the wire body encoded
         // straight from the map (no intermediate Vec<Pair> clone), sealed in
         // place, tag appended. The layout must stay byte-identical to
@@ -561,6 +900,200 @@ mod tests {
         kv_n.scan(&mut native_mem, &0u32.to_be_bytes(), &200u32.to_be_bytes());
         assert!(enclave_mem.stats().epc_faults > 0);
         assert!(enclave_mem.cycles() > native_mem.cycles());
+    }
+
+    fn tiny_config() -> StorageConfig {
+        StorageConfig {
+            block_bytes: 256,
+            flush_bytes: 1024,
+            cache_blocks: 2,
+            compact_at_segments: 4,
+        }
+    }
+
+    fn tiered_kv(counters: &CounterService) -> SecureKv {
+        SecureKv::tiered(
+            tiny_config(),
+            StoreKeys::new([5u8; 16]),
+            counters.clone(),
+            "test/tier",
+        )
+    }
+
+    #[test]
+    fn tiered_put_get_across_flush() {
+        let mut m = mem();
+        let counters = CounterService::new();
+        let mut kv = tiered_kv(&counters);
+        assert!(kv.is_tiered());
+        for i in 0..40u32 {
+            kv.put(&mut m, format!("key{i:04}").as_bytes(), &[i as u8; 50]);
+        }
+        let engine = kv.storage().expect("tiered");
+        assert!(engine.segment_count() > 0, "memtable should have flushed");
+        // Keys from flushed segments and from the live memtable both read.
+        for i in 0..40u32 {
+            assert_eq!(
+                kv.get(&mut m, format!("key{i:04}").as_bytes()),
+                Some(vec![i as u8; 50]),
+                "key{i:04}"
+            );
+        }
+        assert_eq!(kv.version(), 40);
+    }
+
+    #[test]
+    fn tiered_delete_masks_sealed_records() {
+        let mut m = mem();
+        let counters = CounterService::new();
+        let mut kv = tiered_kv(&counters);
+        for i in 0..30u32 {
+            kv.put(&mut m, format!("key{i:04}").as_bytes(), &[1u8; 50]);
+        }
+        kv.flush_memtable(&mut m).unwrap();
+        assert_eq!(kv.len(), 0, "memtable drained");
+        // Delete a flushed key: pages it in, returns the old value, masks it.
+        assert_eq!(kv.delete(&mut m, b"key0007"), Some(vec![1u8; 50]));
+        assert_eq!(kv.get(&mut m, b"key0007"), None);
+        // Deleting again (or an absent key) is a no-op.
+        let v = kv.version();
+        assert_eq!(kv.delete(&mut m, b"key0007"), None);
+        assert_eq!(kv.delete(&mut m, b"nope"), None);
+        assert_eq!(kv.version(), v);
+        // The tombstone survives its own flush.
+        kv.flush_memtable(&mut m).unwrap();
+        assert_eq!(kv.get(&mut m, b"key0007"), None);
+        assert_eq!(kv.get(&mut m, b"key0008"), Some(vec![1u8; 50]));
+    }
+
+    #[test]
+    fn tiered_scan_merges_tiers() {
+        let mut m = mem();
+        let counters = CounterService::new();
+        let mut kv = tiered_kv(&counters);
+        for i in 0..20u32 {
+            kv.put(&mut m, format!("key{i:04}").as_bytes(), b"old");
+        }
+        kv.flush_memtable(&mut m).unwrap();
+        kv.put(&mut m, b"key0003", b"new"); // memtable shadows segment
+        kv.delete(&mut m, b"key0005"); // tombstone hides segment record
+        let hits = kv.scan(&mut m, b"key0002", b"key0007");
+        let got: Vec<(&[u8], &[u8])> = hits
+            .iter()
+            .map(|(k, v)| (k.as_slice(), v.as_slice()))
+            .collect();
+        assert_eq!(
+            got,
+            vec![
+                (&b"key0002"[..], &b"old"[..]),
+                (b"key0003", b"new"),
+                (b"key0004", b"old"),
+                (b"key0006", b"old"),
+            ]
+        );
+    }
+
+    #[test]
+    fn tiered_reopen_recovers_both_tiers() {
+        let mut m = mem();
+        let counters = CounterService::new();
+        let keys = StoreKeys::new([5u8; 16]);
+        let mut kv = tiered_kv(&counters);
+        for i in 0..35u32 {
+            kv.put(&mut m, format!("key{i:04}").as_bytes(), &[2u8; 50]);
+        }
+        kv.delete(&mut m, b"key0001");
+        let version = kv.version();
+        let disk = kv.storage().unwrap().disk().clone();
+        drop(kv);
+
+        let (mut revived, report) = SecureKv::reopen(
+            &mut m,
+            tiny_config(),
+            keys,
+            counters.clone(),
+            "test/tier",
+            disk,
+        )
+        .unwrap();
+        assert_eq!(revived.version(), version);
+        assert!(
+            report.wal_replayed < 36,
+            "only the WAL tail replays, not the whole history"
+        );
+        assert_eq!(revived.get(&mut m, b"key0001"), None);
+        assert_eq!(revived.get(&mut m, b"key0002"), Some(vec![2u8; 50]));
+        assert_eq!(revived.get(&mut m, b"key0034"), Some(vec![2u8; 50]));
+    }
+
+    #[test]
+    fn tiered_incremental_snapshot_restores_and_fences() {
+        let mut m = mem();
+        let counters = CounterService::new();
+        let keys = StoreKeys::new([5u8; 16]);
+        let mut kv = tiered_kv(&counters);
+        for i in 0..25u32 {
+            kv.put(&mut m, format!("key{i:04}").as_bytes(), b"value");
+        }
+        let stale = kv.incremental_snapshot();
+        kv.put(&mut m, b"key9999", b"late");
+        let fresh = kv.incremental_snapshot();
+        assert!(fresh.version > stale.version);
+
+        let mut restored = SecureKv::restore_incremental(
+            &mut m,
+            tiny_config(),
+            keys.clone(),
+            counters.clone(),
+            "test/tier",
+            fresh,
+        )
+        .unwrap();
+        assert_eq!(restored.get(&mut m, b"key9999"), Some(b"late".to_vec()));
+        assert_eq!(restored.get(&mut m, b"key0000"), Some(b"value".to_vec()));
+
+        // The stale export is fenced by the version floor.
+        let err = SecureKv::restore_incremental(
+            &mut m,
+            tiny_config(),
+            keys,
+            counters.clone(),
+            "test/tier",
+            stale,
+        );
+        assert!(matches!(
+            err,
+            Err(KvError::Storage(StorageError::Rollback { .. }))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "incremental_snapshot")]
+    fn tiered_store_rejects_whole_snapshot() {
+        let counters = CounterService::new();
+        let mut kv = tiered_kv(&counters);
+        let _ = kv.snapshot(&[0u8; 16], &counters, "nope");
+    }
+
+    #[test]
+    fn tiered_flush_releases_memtable_epc() {
+        let mut m = mem();
+        let counters = CounterService::new();
+        let mut kv = tiered_kv(&counters);
+        kv.put(&mut m, b"a", &[0u8; 100]);
+        let offset = kv.map.get(b"a".as_slice()).unwrap().offset;
+        // Probe with LLC-cold lines of the arena's (page-aligned) first
+        // page: while the page is EPC-resident a cold line misses without
+        // faulting...
+        let f0 = m.stats().epc_faults;
+        m.touch(offset + 512, 64);
+        assert_eq!(m.stats().epc_faults, f0);
+        kv.flush_memtable(&mut m).unwrap();
+        // ...but after the flush frees the arena, the page is gone and the
+        // next cold line faults it back in.
+        m.touch(offset + 1024, 64);
+        assert_eq!(m.stats().epc_faults, f0 + 1);
+        assert_eq!(kv.data_bytes(), 0);
     }
 
     #[test]

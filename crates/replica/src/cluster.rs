@@ -17,7 +17,7 @@ use crate::provision::ProvisioningService;
 use crate::shard::ShardMap;
 use crate::{ReplicaError, ReplicaId, ShardId};
 use securecloud_faults::{FaultInjector, FaultKind};
-use securecloud_kvstore::CounterService;
+use securecloud_kvstore::{CounterService, StorageConfig};
 use securecloud_sgx::costs::{CostModel, MemoryGeometry};
 use securecloud_sgx::enclave::{Measurement, Platform};
 use securecloud_telemetry::{Counter, OwnedSpan, Telemetry, TraceContext};
@@ -65,6 +65,10 @@ pub struct ReplicaConfig {
     pub geometry: MemoryGeometry,
     /// Cycle-cost model of each replica enclave.
     pub costs: CostModel,
+    /// Sealed storage tier per replica (`Some` makes every replica a
+    /// tiered store: in-EPC memtable over sealed host segments, with
+    /// incremental-manifest failover instead of whole-store streaming).
+    pub storage: Option<StorageConfig>,
 }
 
 impl Default for ReplicaConfig {
@@ -77,6 +81,7 @@ impl Default for ReplicaConfig {
             code: DEFAULT_SHARD_CODE.to_vec(),
             geometry: MemoryGeometry::sgx_v1(),
             costs: CostModel::sgx_v1(),
+            storage: None,
         }
     }
 }
@@ -151,6 +156,7 @@ struct ClusterMetrics {
     partitions: Counter,
     scale_ups: Counter,
     scale_downs: Counter,
+    storage_corruptions: Counter,
 }
 
 impl ClusterMetrics {
@@ -166,6 +172,7 @@ impl ClusterMetrics {
                 partitions: t.counter("securecloud_replica_partitions_total"),
                 scale_ups: t.counter("securecloud_replica_scale_ups_total"),
                 scale_downs: t.counter("securecloud_replica_scale_downs_total"),
+                storage_corruptions: t.counter("securecloud_replica_storage_corruptions_total"),
             },
             None => ClusterMetrics {
                 puts: Counter::new(),
@@ -177,6 +184,7 @@ impl ClusterMetrics {
                 partitions: Counter::new(),
                 scale_ups: Counter::new(),
                 scale_downs: Counter::new(),
+                storage_corruptions: Counter::new(),
             },
         }
     }
@@ -212,6 +220,13 @@ pub struct ReplicaStats {
     pub scale_ups: u64,
     /// Scale-down operations performed (one drained replica each).
     pub scale_downs: u64,
+    /// Host-storage corruptions detected (integrity-tree hits from
+    /// [`FaultKind::StorageCorruptBlock`] events).
+    pub storage_corruptions: u64,
+    /// Cumulative bytes streamed over the trusted failover channel across
+    /// all shards (incremental manifests keep this far below data size
+    /// for tiered deployments).
+    pub snapshot_stream_bytes: u64,
     /// Current trusted epoch of each shard group, by shard index.
     pub epochs: Vec<u64>,
 }
@@ -559,7 +574,11 @@ impl ReplicatedKv {
     ///   but stays resident (grey failure);
     /// * [`FaultKind::NetworkPartition`] — the shard group refuses client
     ///   quorum operations until `now_ms + heal_after_ms` on the virtual
-    ///   clock.
+    ///   clock;
+    /// * [`FaultKind::StorageCorruptBlock`] — a seeded bit flips in one
+    ///   sealed block on the replica's untrusted host disk; the integrity
+    ///   scrub detects it, quarantines the segment, and the replica is
+    ///   killed and failed over (survivors hold every acknowledged write).
     ///
     /// Replica-family events whose target no longer exists (shard out of
     /// range, vacant or already-stalled slot) report
@@ -599,6 +618,26 @@ impl ReplicatedKv {
                     Ok(FaultApplication::Unroutable)
                 }
             }
+            FaultKind::StorageCorruptBlock { shard, slot } => {
+                let Some(group) = self.groups.get_mut(*shard as usize) else {
+                    return Ok(FaultApplication::Unroutable);
+                };
+                // No sealed blocks to hit (vacant slot, untiered group, or
+                // nothing flushed yet): a counted no-op.
+                if group.corrupt_storage_block(*slot as usize).is_none() {
+                    return Ok(FaultApplication::Unroutable);
+                }
+                // The scrub detects the flipped bit via the integrity tree
+                // and quarantines the segment; the damaged replica is then
+                // retired and a replacement caught up from a survivor.
+                let quarantined = group.scrub_storage(*slot as usize)?;
+                self.metrics
+                    .storage_corruptions
+                    .add(quarantined.len().max(1) as u64);
+                self.kill_replica(ShardId(*shard), *slot);
+                self.fail_over()?;
+                Ok(FaultApplication::Applied)
+            }
             _ => Ok(FaultApplication::Ignored),
         }
     }
@@ -622,6 +661,12 @@ impl ReplicatedKv {
             replicas_stalled: self.groups.iter().map(|g| g.stalled_replicas().len()).sum(),
             scale_ups: self.metrics.scale_ups.value(),
             scale_downs: self.metrics.scale_downs.value(),
+            storage_corruptions: self.metrics.storage_corruptions.value(),
+            snapshot_stream_bytes: self
+                .groups
+                .iter()
+                .map(ShardGroup::streamed_snapshot_bytes)
+                .sum(),
             epochs: self.groups.iter().map(ShardGroup::epoch).collect(),
         }
     }
@@ -783,6 +828,53 @@ mod tests {
         assert_eq!(stats.replicas_replaced, 1);
         assert_eq!(stats.epochs[0], 2, "membership change bumped the epoch");
         assert_eq!(stats.epochs[1], 1, "other shard untouched");
+    }
+
+    #[test]
+    fn storage_corruption_fault_is_scrubbed_and_failed_over() {
+        let mut kv = ReplicatedKv::deploy(
+            ReplicaConfig {
+                storage: Some(StorageConfig {
+                    block_bytes: 256,
+                    flush_bytes: 1024,
+                    cache_blocks: 2,
+                    compact_at_segments: 4,
+                }),
+                ..tiny_config()
+            },
+            &Platform::new(),
+            &CounterService::new(),
+        )
+        .unwrap();
+        // Enough acknowledged writes that both shards flush sealed segments.
+        for i in 0..60u32 {
+            kv.put(format!("sensor/{i:03}").as_bytes(), &[0xAB; 40])
+                .unwrap();
+        }
+        let handled = kv
+            .apply_fault(&FaultKind::StorageCorruptBlock { shard: 0, slot: 1 }, 0)
+            .unwrap();
+        assert_eq!(handled, FaultApplication::Applied);
+        let stats = kv.stats();
+        assert!(stats.storage_corruptions >= 1, "scrub quarantined the flip");
+        assert!(
+            stats.snapshot_stream_bytes > 0,
+            "failover streamed an incremental manifest"
+        );
+        assert_eq!(kv.live_replicas(), 6, "damaged replica was replaced");
+        for i in 0..60u32 {
+            assert_eq!(
+                kv.get(format!("sensor/{i:03}").as_bytes()).unwrap(),
+                Some(vec![0xAB; 40]),
+                "acked write survived the corruption"
+            );
+        }
+        // Untiered deployments have no sealed blocks to flip.
+        let mut plain = deploy();
+        let unroutable = plain
+            .apply_fault(&FaultKind::StorageCorruptBlock { shard: 0, slot: 0 }, 0)
+            .unwrap();
+        assert_eq!(unroutable, FaultApplication::Unroutable);
     }
 
     #[test]

@@ -30,11 +30,50 @@ use crate::cluster::ReplicaConfig;
 use crate::provision::ProvisioningService;
 use crate::{ReplicaError, ReplicaId, ShardId};
 use securecloud_faults::FaultInjector;
-use securecloud_kvstore::{CounterService, SecureKv, Snapshot};
+use securecloud_kvstore::{
+    CounterService, IncrementalSnapshot, KvError, SecureKv, Snapshot, StorageConfig, StoreKeys,
+};
 use securecloud_sgx::costs::{CostModel, MemoryGeometry};
 use securecloud_sgx::enclave::{Enclave, EnclaveConfig, Platform};
-use securecloud_telemetry::{Gauge, Histogram, Telemetry, TraceContext};
+use securecloud_telemetry::{Counter, Gauge, Histogram, Telemetry, TraceContext};
 use std::sync::Arc;
+
+/// What failover streams to a replacement over the trusted channel.
+///
+/// In-memory groups stream the whole sealed store. Tiered groups stream
+/// only the sealed manifest and WAL tail ([`IncrementalSnapshot`]): the
+/// sealed segments are immutable and self-authenticating against the
+/// manifest's integrity roots, so a replacement can fetch them from any
+/// untrusted mirror — the trusted stream shrinks from O(data) to
+/// O(metadata + recent writes).
+#[derive(Debug, Clone)]
+pub enum SnapshotStream {
+    /// A whole-store sealed snapshot (in-memory groups).
+    Whole(Snapshot),
+    /// Sealed manifest + WAL tail; segments travel out-of-band (tiered
+    /// groups).
+    Incremental(IncrementalSnapshot),
+}
+
+impl SnapshotStream {
+    /// Store version the stream captures.
+    #[must_use]
+    pub fn version(&self) -> u64 {
+        match self {
+            SnapshotStream::Whole(snapshot) => snapshot.version,
+            SnapshotStream::Incremental(snapshot) => snapshot.version,
+        }
+    }
+
+    /// Bytes that must travel through the trusted failover channel.
+    #[must_use]
+    pub fn trusted_bytes(&self) -> u64 {
+        match self {
+            SnapshotStream::Whole(snapshot) => snapshot.sealed.len() as u64,
+            SnapshotStream::Incremental(snapshot) => snapshot.trusted_bytes(),
+        }
+    }
+}
 
 /// One enclave-resident replica of a shard's keyspace.
 #[derive(Debug)]
@@ -98,6 +137,7 @@ struct GroupMetrics {
     put_cycles: Histogram,
     get_cycles: Histogram,
     replication_lag: Gauge,
+    snapshot_stream_bytes: Counter,
 }
 
 impl GroupMetrics {
@@ -110,12 +150,15 @@ impl GroupMetrics {
                     put_cycles: t.histogram_with("securecloud_replica_put_cycles", labels),
                     get_cycles: t.histogram_with("securecloud_replica_get_cycles", labels),
                     replication_lag: t.gauge_with("securecloud_replica_replication_lag", labels),
+                    snapshot_stream_bytes: t
+                        .counter_with("securecloud_replica_snapshot_stream_bytes_total", labels),
                 }
             }
             None => GroupMetrics {
                 put_cycles: Histogram::new(),
                 get_cycles: Histogram::new(),
                 replication_lag: Gauge::new(),
+                snapshot_stream_bytes: Counter::new(),
             },
         }
     }
@@ -134,6 +177,13 @@ pub struct ShardGroup {
     code: Vec<u8>,
     geometry: MemoryGeometry,
     costs: CostModel,
+    /// Sealed-tier configuration; `Some` makes every replica tiered.
+    storage: Option<StorageConfig>,
+    /// Counter namespace the replicas' storage engines share — one floor
+    /// per shard, since replicas apply identical acknowledged histories.
+    storage_counter_base: String,
+    /// Cumulative bytes streamed over the trusted failover channel.
+    streamed_snapshot_bytes: u64,
     /// Cycles spent by replicas that have since been killed, so
     /// [`ShardGroup::cycles`] stays monotone across failovers.
     retired_cycles: u64,
@@ -183,6 +233,9 @@ impl ShardGroup {
             code: config.code.clone(),
             geometry: config.geometry,
             costs: config.costs.clone(),
+            storage: config.storage.clone(),
+            storage_counter_base: format!("replica/{shard}/storage"),
+            streamed_snapshot_bytes: 0,
             retired_cycles: 0,
             retired_epc_faults: 0,
             incarnations: 0,
@@ -538,7 +591,7 @@ impl ShardGroup {
         let snapshot = self.snapshot_from_survivor()?;
         let slot = self.slots.len();
         self.slots.push(None);
-        let id = self.adopt_replacement(slot, provisioning, &snapshot.sealed)?;
+        let id = self.adopt_replacement(slot, provisioning, &snapshot)?;
         self.write_quorum = self.slots.len() / 2 + 1;
         for replica in self.slots.iter_mut().flatten().filter(|r| !r.stalled) {
             replica.epoch = epoch;
@@ -665,15 +718,20 @@ impl ShardGroup {
         // Membership change: bump the trusted epoch before anyone rejoins.
         let epoch = self.counters.increment(&self.epoch_counter);
         let snapshot = self.snapshot_from_survivor()?;
+        let kind = match &snapshot {
+            SnapshotStream::Whole(_) => "whole snapshot",
+            SnapshotStream::Incremental(_) => "incremental manifest",
+        };
         self.record(format!(
-            "shard {} failover epoch {epoch}: snapshot v{} streamed to {} replacement(s)",
+            "shard {} failover epoch {epoch}: {kind} v{} ({} trusted bytes) streamed to {} replacement(s)",
             self.shard,
-            snapshot.version,
+            snapshot.version(),
+            snapshot.trusted_bytes(),
             vacant.len()
         ));
         let mut replaced = 0;
         for slot in vacant {
-            self.adopt_replacement(slot, provisioning, &snapshot.sealed)?;
+            self.adopt_replacement(slot, provisioning, &snapshot)?;
             replaced += 1;
         }
         // Stalled replicas are deliberately left on the old epoch: they
@@ -697,12 +755,15 @@ impl ShardGroup {
         Ok(replaced)
     }
 
-    /// The failover install step, split out so the snapshot can come from
+    /// The failover install step, split out so the stream can come from
     /// the *untrusted host*: launches and admits (re-attests) a fresh
-    /// enclave for `slot`, then restores `sealed` inside it with the
+    /// enclave for `slot`, then restores the stream inside it with the
     /// trusted-counter freshness check. A stale-but-validly-sealed
-    /// snapshot fails with [`KvError::RollbackDetected`] wrapped in
-    /// [`ReplicaError::Store`] and the slot stays vacant.
+    /// whole snapshot fails with [`KvError::RollbackDetected`], a stale
+    /// incremental manifest with
+    /// [`StorageError::Rollback`](securecloud_kvstore::StorageError::Rollback)
+    /// — both wrapped in [`ReplicaError::Store`] — and the slot stays
+    /// vacant.
     ///
     /// # Errors
     ///
@@ -715,24 +776,49 @@ impl ShardGroup {
         &mut self,
         slot: usize,
         provisioning: &mut ProvisioningService,
-        sealed: &[u8],
+        stream: &SnapshotStream,
     ) -> Result<ReplicaId, ReplicaError> {
         let mut replica = self.launch_admitted(slot as u32, provisioning)?;
         let counters = self.counters.clone();
-        let counter_name = self.version_counter.clone();
         let key = replica.group_key;
         let id = replica.id;
-        let kv = replica
-            .enclave
-            .ecall(|mem| SecureKv::restore(mem, &key, sealed, &counters, &counter_name))
-            .map_err(|source| ReplicaError::Sgx {
-                replica: id,
-                source,
-            })?
-            .map_err(|source| ReplicaError::Store {
-                replica: id,
-                source,
-            })?;
+        let kv = match stream {
+            SnapshotStream::Whole(snapshot) => {
+                let counter_name = self.version_counter.clone();
+                replica.enclave.ecall(|mem| {
+                    SecureKv::restore(mem, &key, &snapshot.sealed, &counters, &counter_name)
+                })
+            }
+            SnapshotStream::Incremental(snapshot) => {
+                let config = self.storage.clone().ok_or_else(|| {
+                    ReplicaError::InvalidConfig(format!(
+                        "shard {}: incremental stream offered to a group without \
+                         a storage tier",
+                        self.shard
+                    ))
+                })?;
+                let base = self.storage_counter_base.clone();
+                let snapshot = snapshot.clone();
+                replica.enclave.ecall(move |mem| {
+                    SecureKv::restore_incremental(
+                        mem,
+                        config,
+                        StoreKeys::new(key),
+                        counters,
+                        base,
+                        snapshot,
+                    )
+                })
+            }
+        }
+        .map_err(|source| ReplicaError::Sgx {
+            replica: id,
+            source,
+        })?
+        .map_err(|source| ReplicaError::Store {
+            replica: id,
+            source,
+        })?;
         replica.kv = kv;
         self.record(format!(
             "replica {id} re-attested and admitted at epoch {}",
@@ -745,28 +831,42 @@ impl ShardGroup {
             ))
         })?;
         *entry = Some(replica);
+        let bytes = stream.trusted_bytes();
+        self.streamed_snapshot_bytes += bytes;
+        self.metrics.snapshot_stream_bytes.add(bytes);
         Ok(id)
     }
 
-    /// Seals a snapshot of the shard from a surviving replica (the same
-    /// artefact failover streams to replacements; also useful as an
-    /// off-group backup). Records the snapshot version in the trusted
-    /// counter.
+    /// Seals a failover stream of the shard from a surviving replica (the
+    /// same artefact failover hands to replacements; also useful as an
+    /// off-group backup). Records the captured version in the trusted
+    /// counter, fencing any older copy the host may keep around.
     ///
     /// # Errors
     ///
     /// [`ReplicaError::NoSurvivors`] when no replica is live, or
     /// [`ReplicaError::Sgx`] when the survivor's enclave call fails.
-    pub fn seal_snapshot(&mut self) -> Result<Snapshot, ReplicaError> {
+    pub fn seal_snapshot(&mut self) -> Result<SnapshotStream, ReplicaError> {
         self.snapshot_from_survivor()
     }
 
-    /// Seals a snapshot from the *freshest* surviving replica (highest
-    /// store version, responsive preferred on ties). Every responsive
-    /// replica holds all acknowledged writes, so the max-version survivor
-    /// always does — a stalled replica can only be behind, never ahead,
-    /// and is therefore never chosen over a fresh one.
-    fn snapshot_from_survivor(&mut self) -> Result<Snapshot, ReplicaError> {
+    /// Cumulative bytes this group has pushed through the *trusted*
+    /// failover channel. Tiered groups stream incremental manifests, so
+    /// this grows by metadata + WAL tail per replacement instead of the
+    /// whole store.
+    #[must_use]
+    pub fn streamed_snapshot_bytes(&self) -> u64 {
+        self.streamed_snapshot_bytes
+    }
+
+    /// Seals a failover stream from the *freshest* surviving replica
+    /// (highest store version, responsive preferred on ties). Every
+    /// responsive replica holds all acknowledged writes, so the
+    /// max-version survivor always does — a stalled replica can only be
+    /// behind, never ahead, and is therefore never chosen over a fresh
+    /// one. Tiered replicas export an incremental manifest; in-memory
+    /// replicas seal the whole store.
+    fn snapshot_from_survivor(&mut self) -> Result<SnapshotStream, ReplicaError> {
         let counters = self.counters.clone();
         let counter_name = self.version_counter.clone();
         let survivor = self
@@ -778,13 +878,23 @@ impl ShardGroup {
         let key = survivor.group_key;
         let id = survivor.id;
         let kv = &mut survivor.kv;
-        survivor
-            .enclave
-            .ecall(|_mem| kv.snapshot(&key, &counters, &counter_name))
-            .map_err(|source| ReplicaError::Sgx {
-                replica: id,
-                source,
-            })
+        if kv.is_tiered() {
+            survivor
+                .enclave
+                .ecall(|_mem| SnapshotStream::Incremental(kv.incremental_snapshot()))
+                .map_err(|source| ReplicaError::Sgx {
+                    replica: id,
+                    source,
+                })
+        } else {
+            survivor
+                .enclave
+                .ecall(|_mem| SnapshotStream::Whole(kv.snapshot(&key, &counters, &counter_name)))
+                .map_err(|source| ReplicaError::Sgx {
+                    replica: id,
+                    source,
+                })
+        }
     }
 
     fn launch_admitted(
@@ -815,14 +925,104 @@ impl ShardGroup {
             enclave.set_telemetry(t);
         }
         let admission = provisioning.admit(self.shard, &enclave, self.epoch())?;
+        // Tiered groups derive each replica's storage keys from the group
+        // key, and share one counter namespace: replicas apply identical
+        // acknowledged histories, and the shared segment-id counter keeps
+        // every sealed segment's nonce domain unique across the group.
+        let kv = match &self.storage {
+            Some(config) => SecureKv::tiered(
+                config.clone(),
+                StoreKeys::new(admission.group_key),
+                self.counters.clone(),
+                self.storage_counter_base.clone(),
+            ),
+            None => SecureKv::new(),
+        };
         Ok(Replica {
             id,
             enclave,
-            kv: SecureKv::new(),
+            kv,
             group_key: admission.group_key,
             epoch: admission.epoch,
             stalled: false,
         })
+    }
+
+    /// Flips one seeded-random bit in one sealed block on `slot`'s host
+    /// disk (the [`FaultKind::StorageCorruptBlock`] payload). Returns the
+    /// `(segment, block)` hit, or `None` when the slot is vacant, the
+    /// group has no storage tier, or the replica holds no sealed blocks
+    /// yet.
+    ///
+    /// [`FaultKind::StorageCorruptBlock`]: securecloud_faults::FaultKind::StorageCorruptBlock
+    pub fn corrupt_storage_block(&mut self, slot: usize) -> Option<(u64, u32)> {
+        let pick = self
+            .injector
+            .as_ref()
+            .map_or(0x9E37_79B9_7F4A_7C15, |i| i.draw_below(u64::MAX));
+        let replica = self.slots.get_mut(slot)?.as_mut()?;
+        let id = replica.id;
+        let hit = replica.kv.storage_mut()?.corrupt_block(pick)?;
+        self.record(format!(
+            "replica {id} host storage corrupted: segment {} block {}",
+            hit.0, hit.1
+        ));
+        if let Some(t) = &self.telemetry {
+            t.event(
+                "replica",
+                "storage_corrupted",
+                vec![("replica", id.to_string()), ("segment", hit.0.to_string())],
+            );
+        }
+        Some(hit)
+    }
+
+    /// Integrity-scrubs `slot`'s sealed tier: every segment is re-verified
+    /// against its Merkle root and failing segments are quarantined
+    /// (dropped from the manifest so no read ever trusts them again).
+    /// Returns the quarantined segment ids — empty for a vacant slot, an
+    /// untiered group, or a clean disk.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplicaError::Sgx`] when the enclave call fails, or
+    /// [`ReplicaError::Store`] when re-committing the manifest fails.
+    pub fn scrub_storage(&mut self, slot: usize) -> Result<Vec<u64>, ReplicaError> {
+        let Some(replica) = self.slots.get_mut(slot).and_then(Option::as_mut) else {
+            return Ok(Vec::new());
+        };
+        let id = replica.id;
+        let kv = &mut replica.kv;
+        let quarantined = replica
+            .enclave
+            .ecall(|mem| match kv.storage_mut() {
+                Some(engine) => engine.scrub(mem).map_err(KvError::Storage),
+                None => Ok(Vec::new()),
+            })
+            .map_err(|source| ReplicaError::Sgx {
+                replica: id,
+                source,
+            })?
+            .map_err(|source| ReplicaError::Store {
+                replica: id,
+                source,
+            })?;
+        if !quarantined.is_empty() {
+            self.record(format!(
+                "replica {id} scrub quarantined segment(s) {quarantined:?}"
+            ));
+            if let Some(t) = &self.telemetry {
+                t.event(
+                    "replica",
+                    "storage_quarantined",
+                    vec![
+                        ("replica", id.to_string()),
+                        ("segments", quarantined.len().to_string()),
+                    ],
+                );
+            }
+        }
+        Ok(quarantined)
     }
 
     fn update_replication_lag(&self) {
@@ -958,9 +1158,7 @@ mod tests {
         g.kill(0, "chaos");
         g.counters.increment("replica/s0/epoch");
         // ...and serves the stale one during failover: detected.
-        let err = g
-            .adopt_replacement(0, &mut prov, &stale.sealed)
-            .unwrap_err();
+        let err = g.adopt_replacement(0, &mut prov, &stale).unwrap_err();
         match err {
             ReplicaError::Store {
                 replica,
@@ -1096,6 +1294,114 @@ mod tests {
         );
         assert_eq!(g.replication_factor(), 3, "refused drain changes nothing");
         assert_eq!(g.get(b"acked").unwrap(), Some(b"v2".to_vec()));
+    }
+
+    fn tiered_config() -> ReplicaConfig {
+        ReplicaConfig {
+            storage: Some(StorageConfig {
+                block_bytes: 256,
+                flush_bytes: 1024,
+                cache_blocks: 2,
+                compact_at_segments: 4,
+            }),
+            ..small_config()
+        }
+    }
+
+    fn tiered_group() -> (ShardGroup, ProvisioningService, CounterService) {
+        let platform = Platform::new();
+        let config = tiered_config();
+        let mut provisioning =
+            ProvisioningService::new(&platform, Measurement::of_code(&config.code));
+        let counters = CounterService::new();
+        let group = ShardGroup::new(
+            ShardId(0),
+            &config,
+            &platform,
+            &counters,
+            &mut provisioning,
+            None,
+            None,
+        )
+        .unwrap();
+        (group, provisioning, counters)
+    }
+
+    #[test]
+    fn tiered_failover_streams_incremental_manifest() {
+        let (mut g, mut prov, _counters) = tiered_group();
+        for i in 0..60u32 {
+            g.put(format!("key{i:04}").as_bytes(), &[7u8; 50]).unwrap();
+        }
+        let data_bytes: u64 = 60 * (7 + 50);
+        g.kill(1, "chaos");
+        g.put(b"while degraded", b"still acked").unwrap();
+        assert_eq!(g.failover(&mut prov).unwrap(), 1);
+        // The replacement caught up through manifest + WAL tail only.
+        let streamed = g.streamed_snapshot_bytes();
+        assert!(streamed > 0, "trusted stream is accounted");
+        assert!(
+            streamed < data_bytes,
+            "incremental stream ({streamed} B) must be smaller than the \
+             store's data ({data_bytes} B)"
+        );
+        assert_eq!(
+            g.get(b"while degraded").unwrap(),
+            Some(b"still acked".to_vec())
+        );
+        assert_eq!(g.get(b"key0000").unwrap(), Some(vec![7u8; 50]));
+        // The group keeps taking and serving writes after the failover.
+        g.put(b"after", b"ok").unwrap();
+        assert_eq!(g.get(b"after").unwrap(), Some(b"ok".to_vec()));
+    }
+
+    #[test]
+    fn tiered_stale_incremental_stream_is_rejected() {
+        let (mut g, mut prov, _counters) = tiered_group();
+        for i in 0..40u32 {
+            g.put(format!("key{i:04}").as_bytes(), &[1u8; 50]).unwrap();
+        }
+        let stale = g.seal_snapshot().unwrap();
+        assert!(matches!(stale, SnapshotStream::Incremental(_)));
+        g.put(b"newer", b"write").unwrap();
+        let _fresh = g.seal_snapshot().unwrap();
+        g.kill(0, "chaos");
+        g.counters.increment("replica/s0/epoch");
+        let err = g.adopt_replacement(0, &mut prov, &stale).unwrap_err();
+        match err {
+            ReplicaError::Store {
+                source: KvError::Storage(securecloud_kvstore::StorageError::Rollback { .. }),
+                ..
+            } => {}
+            other => panic!("expected storage rollback detection, got {other}"),
+        }
+        assert!(g.is_degraded(), "rejected replacement must not join");
+    }
+
+    #[test]
+    fn tiered_corrupt_block_is_quarantined_and_failover_recovers() {
+        let (mut g, mut prov, _counters) = tiered_group();
+        for i in 0..60u32 {
+            g.put(format!("key{i:04}").as_bytes(), &[3u8; 50]).unwrap();
+        }
+        // Flip a bit in slot 2's sealed host storage.
+        let hit = g.corrupt_storage_block(2).expect("blocks exist to corrupt");
+        // The scrub detects it via the integrity tree and quarantines.
+        let quarantined = g.scrub_storage(2).unwrap();
+        assert_eq!(quarantined, vec![hit.0], "the hit segment is quarantined");
+        // A clean replica scrubs clean.
+        assert!(g.scrub_storage(0).unwrap().is_empty());
+        // Kill the damaged replica and fail over: every acknowledged write
+        // is still served (survivors hold the full history).
+        g.kill(2, "storage corruption");
+        g.failover(&mut prov).unwrap();
+        for i in 0..60u32 {
+            assert_eq!(
+                g.get(format!("key{i:04}").as_bytes()).unwrap(),
+                Some(vec![3u8; 50]),
+                "key{i:04}"
+            );
+        }
     }
 
     #[test]

@@ -41,8 +41,9 @@ pub mod shard;
 pub use cluster::{
     FaultApplication, ReplicaConfig, ReplicaStats, ReplicatedKv, ReplicationFactor, WriteQuorum,
 };
-pub use group::ShardGroup;
+pub use group::{ShardGroup, SnapshotStream};
 pub use provision::ProvisioningService;
+pub use securecloud_kvstore::StorageConfig;
 pub use shard::ShardMap;
 
 use securecloud_crypto::CryptoError;

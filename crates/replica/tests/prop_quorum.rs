@@ -112,7 +112,7 @@ proptest! {
 
         group.kill(0, "prop stale-snapshot crash");
         let err = group
-            .adopt_replacement(0, &mut provisioning, &stale.sealed)
+            .adopt_replacement(0, &mut provisioning, &stale)
             .expect_err("stale snapshot must be rejected");
         prop_assert!(
             matches!(
@@ -128,7 +128,7 @@ proptest! {
 
         // The *fresh* path still works: a current snapshot is accepted.
         let fresh = group.seal_snapshot().unwrap();
-        group.adopt_replacement(0, &mut provisioning, &fresh.sealed).expect("fresh snapshot accepted");
+        group.adopt_replacement(0, &mut provisioning, &fresh).expect("fresh snapshot accepted");
         prop_assert_eq!(group.live(), 3);
     }
 

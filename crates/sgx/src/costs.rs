@@ -36,6 +36,11 @@ pub struct CostModel {
     pub epc_fault_cycles: u64,
     /// Baseline compute charge per application operation, in cycles.
     pub compute_op_cycles: u64,
+    /// Fixed cost of one host block-device transfer (OCALL to the untrusted
+    /// host, request setup, completion), in cycles.
+    pub host_io_setup_cycles: u64,
+    /// Per-KiB transfer cost of host block-device IO, in cycles.
+    pub host_io_per_kib_cycles: u64,
 }
 
 impl CostModel {
@@ -51,6 +56,10 @@ impl CostModel {
             epc_miss_cycles: 500,
             epc_fault_cycles: 20_000,
             compute_op_cycles: 40,
+            // One host block transfer: OCALL out, syscall + device latency
+            // (~12 us at 3.4 GHz), then ~1.6 GB/s of streaming bandwidth.
+            host_io_setup_cycles: 40_000,
+            host_io_per_kib_cycles: 2_000,
         }
     }
 
@@ -67,6 +76,8 @@ impl CostModel {
             epc_miss_cycles: 0,
             epc_fault_cycles: 0,
             compute_op_cycles: 0,
+            host_io_setup_cycles: 0,
+            host_io_per_kib_cycles: 0,
         }
     }
 
@@ -178,6 +189,9 @@ mod tests {
     fn sgx_v1_defaults_are_sane() {
         let c = CostModel::sgx_v1();
         assert!(c.epc_fault_cycles > c.epc_miss_cycles);
+        // A 4 KiB host block transfer must dwarf an EPC fault: spilling to
+        // host storage only pays off when it saves *many* faults.
+        assert!(c.host_io_setup_cycles + 4 * c.host_io_per_kib_cycles > c.epc_fault_cycles);
         assert!(c.epc_miss_cycles > c.dram_cycles);
         assert!(c.dram_cycles > c.cache_hit_cycles);
         let g = MemoryGeometry::sgx_v1();

@@ -88,6 +88,14 @@ pub struct MemStats {
     pub compute_ops: u64,
     /// Total bytes allocated.
     pub bytes_allocated: u64,
+    /// Host block-device read transfers.
+    pub host_reads: u64,
+    /// Host block-device write transfers.
+    pub host_writes: u64,
+    /// Bytes read from host block storage.
+    pub host_read_bytes: u64,
+    /// Bytes written to host block storage.
+    pub host_write_bytes: u64,
 }
 
 /// Registry-backed mirror counters for a [`MemorySim`].
@@ -105,6 +113,10 @@ struct MemMetrics {
     mee_decrypts: Counter,
     epc_faults: Counter,
     epc_evictions: Counter,
+    host_io_reads: Counter,
+    host_io_writes: Counter,
+    host_io_read_bytes: Counter,
+    host_io_write_bytes: Counter,
 }
 
 impl MemMetrics {
@@ -121,6 +133,12 @@ impl MemMetrics {
             mee_decrypts: telemetry.counter_with("securecloud_sgx_mee_decrypts_total", &labels),
             epc_faults: telemetry.counter_with("securecloud_sgx_epc_faults_total", &labels),
             epc_evictions: telemetry.counter_with("securecloud_sgx_epc_evictions_total", &labels),
+            host_io_reads: telemetry.counter_with("securecloud_sgx_host_io_reads_total", &labels),
+            host_io_writes: telemetry.counter_with("securecloud_sgx_host_io_writes_total", &labels),
+            host_io_read_bytes: telemetry
+                .counter_with("securecloud_sgx_host_io_read_bytes_total", &labels),
+            host_io_write_bytes: telemetry
+                .counter_with("securecloud_sgx_host_io_write_bytes_total", &labels),
         }
     }
 }
@@ -304,6 +322,35 @@ impl MemorySim {
         self.cycles += cycles;
     }
 
+    /// Cycles for one host block-device transfer of `bytes`.
+    fn host_io_cycles(&self, bytes: u64) -> u64 {
+        self.costs.host_io_setup_cycles + bytes.div_ceil(1024) * self.costs.host_io_per_kib_cycles
+    }
+
+    /// Charges one read of `bytes` from host block storage (an OCALL plus
+    /// the transfer). The data itself is untrusted: callers must verify it
+    /// before use.
+    pub fn charge_host_read(&mut self, bytes: u64) {
+        self.stats.host_reads += 1;
+        self.stats.host_read_bytes += bytes;
+        self.cycles += self.host_io_cycles(bytes);
+        if let Some(m) = &self.metrics {
+            m.host_io_reads.inc();
+            m.host_io_read_bytes.add(bytes);
+        }
+    }
+
+    /// Charges one write of `bytes` to host block storage.
+    pub fn charge_host_write(&mut self, bytes: u64) {
+        self.stats.host_writes += 1;
+        self.stats.host_write_bytes += bytes;
+        self.cycles += self.host_io_cycles(bytes);
+        if let Some(m) = &self.metrics {
+            m.host_io_writes.inc();
+            m.host_io_write_bytes.add(bytes);
+        }
+    }
+
     /// Total simulated cycles so far.
     #[must_use]
     pub fn cycles(&self) -> u64 {
@@ -362,6 +409,8 @@ mod tests {
             epc_miss_cycles: 25,
             epc_fault_cycles: 1000,
             compute_op_cycles: 3,
+            host_io_setup_cycles: 100,
+            host_io_per_kib_cycles: 7,
         }
     }
 
@@ -458,6 +507,23 @@ mod tests {
         sim.reset_metrics();
         assert_eq!(sim.cycles(), 0);
         assert_eq!(sim.stats(), MemStats::default());
+    }
+
+    #[test]
+    fn host_io_charges_setup_plus_per_kib() {
+        let mut sim = MemorySim::enclave(tiny_geometry(), unit_costs());
+        sim.charge_host_write(4096); // 100 setup + 4 KiB * 7
+        assert_eq!(sim.cycles(), 128);
+        sim.charge_host_read(1); // partial KiB rounds up
+        assert_eq!(sim.cycles(), 235);
+        let stats = sim.stats();
+        assert_eq!(stats.host_writes, 1);
+        assert_eq!(stats.host_reads, 1);
+        assert_eq!(stats.host_write_bytes, 4096);
+        assert_eq!(stats.host_read_bytes, 1);
+        // Host IO is not a memory-hierarchy event.
+        assert_eq!(stats.line_accesses, 0);
+        assert_eq!(stats.epc_faults, 0);
     }
 
     #[test]
