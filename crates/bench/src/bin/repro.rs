@@ -6,11 +6,12 @@
 //! where `exp` is one of `fig3`, `cache`, `fig3opt`, `genpack`, `ablation`,
 //! `genpack_sweep`, `syscall`, `syscall_window`, `container`, `index`,
 //! `orchestration`, `replication`, `crypto`, `messaging`, `cluster`,
-//! `slo`, `storage`, or `all` (default). `--smoke` runs reduced workloads
-//! (CI-sized) with the same code paths. `--jobs N` fans the fig3,
-//! replication, messaging, cluster, slo, and storage sweeps across N
-//! worker threads (default: available parallelism; `--jobs 1` forces
-//! serial) — results and telemetry are byte-identical for any job count.
+//! `slo`, `storage`, `rings`, or `all` (default). `--smoke` runs reduced
+//! workloads (CI-sized) with the same code paths. `--jobs N` fans the
+//! fig3, replication, messaging, cluster, slo, storage, and rings sweeps
+//! across N worker threads (default: available parallelism; `--jobs 1`
+//! forces serial) — results and telemetry are byte-identical for any job
+//! count.
 //!
 //! Every run leaves a telemetry report (Prometheus snapshot, JSONL trace,
 //! chrome trace) under `target/telemetry/`; `crypto` additionally writes
@@ -18,12 +19,14 @@
 //! `target/telemetry/BENCH_messaging.json`, `cluster` writes
 //! `target/telemetry/BENCH_cluster.json`, `slo` writes
 //! `target/telemetry/BENCH_slo.json` plus the folded critical-path
-//! report `target/telemetry/critical_path.txt`, and `storage` writes
-//! `target/telemetry/BENCH_storage.json`.
+//! report `target/telemetry/critical_path.txt`, `storage` writes
+//! `target/telemetry/BENCH_storage.json`, and `rings` writes
+//! `target/telemetry/BENCH_rings.json` plus a switchless-plane rerun of
+//! E11 into `target/telemetry/BENCH_messaging.json`.
 
 use securecloud_bench::{
     cluster_exp, container, cryptobench, fig3, genpack_exp, indexcmp, messaging, orchestration_exp,
-    pool, replication, slo, storage, syscalls,
+    pool, replication, rings, slo, storage, syscalls,
 };
 use securecloud_telemetry::Telemetry;
 use std::path::Path;
@@ -102,6 +105,9 @@ fn main() {
     }
     if all || which == "storage" {
         run_storage(smoke, jobs);
+    }
+    if all || which == "rings" {
+        run_rings(smoke, jobs, &telemetry);
     }
     match telemetry.write_report(Path::new("target/telemetry")) {
         Ok(report) => println!(
@@ -623,6 +629,93 @@ fn run_slo(smoke: bool, jobs: usize) {
     match report.write_critical_path(cp_path) {
         Ok(()) => println!("critical-path report: {}\n", cp_path.display()),
         Err(err) => eprintln!("warning: critical-path report not written: {err}\n"),
+    }
+}
+
+fn run_rings(smoke: bool, jobs: usize, telemetry: &Telemetry) {
+    println!("== E15: switchless syscall rings + in-enclave executor (§IV) ==");
+    println!("(submission/completion rings replace the per-call ECALL/OCALL");
+    println!(" pair with slot copies; the cooperative executor overlaps tasks");
+    println!(" while the host servicer drains the ring without a transition)\n");
+    let config = if smoke {
+        rings::RingsConfig::smoke()
+    } else {
+        rings::RingsConfig::full()
+    };
+    let report = rings::sweep_jobs(&config, jobs, Some(telemetry));
+    println!("pwrites per point: {}\n", report.ops);
+    println!(
+        "{:>6} {:>10} {:>8} {:>10} {:>10} {:>9} {:>11} {:>9} {:>7} {:>9}",
+        "depth",
+        "payload B",
+        "workers",
+        "sync c/op",
+        "ring c/op",
+        "speedup",
+        "ring kop/s",
+        "trans/op",
+        "parks",
+        "spurious"
+    );
+    for point in &report.points {
+        println!(
+            "{:>6} {:>10} {:>8} {:>10.0} {:>10.0} {:>8.1}x {:>11.1} {:>9.1} {:>7} {:>9}",
+            point.depth,
+            point.payload_bytes,
+            point.workers,
+            point.sync_cycles_per_op,
+            point.ring_cycles_per_op,
+            point.speedup,
+            point.ring_kops_per_s,
+            point.ring_transitions_per_op,
+            point.parks,
+            point.spurious_wakes
+        );
+    }
+    let path = Path::new("target/telemetry/BENCH_rings.json");
+    match report.write_json(path) {
+        Ok(()) => println!("\nrings bench report: {}\n", path.display()),
+        Err(err) => eprintln!("\nwarning: rings bench report not written: {err}\n"),
+    }
+
+    println!("-- E11 rerun over the switchless plane --");
+    println!("(the same messaging sweep with every router match riding the");
+    println!(" ring plane: ~0 transitions/msg, no batch-size knee)\n");
+    let mconfig = if smoke {
+        messaging::MessagingConfig::smoke()
+    } else {
+        messaging::MessagingConfig::full()
+    };
+    let mreport = messaging::sweep_jobs_on(&mconfig, jobs, Some(telemetry), true);
+    println!(
+        "plane: {}, messages per point: {}\n",
+        mreport.plane, mreport.messages
+    );
+    println!(
+        "{:>6} {:>10} {:>12} {:>9} {:>9} {:>10}",
+        "batch", "payload B", "msgs/s", "p99 us", "speedup", "trans/msg"
+    );
+    for point in &mreport.points {
+        let speedup = mreport
+            .speedup(point.payload_bytes, point.batch)
+            .unwrap_or(1.0);
+        println!(
+            "{:>6} {:>10} {:>12.0} {:>9} {:>8.1}x {:>10.3}",
+            point.batch,
+            point.payload_bytes,
+            point.msgs_per_s,
+            point.p99_us,
+            speedup,
+            point.transitions_per_msg
+        );
+    }
+    let mpath = Path::new("target/telemetry/BENCH_messaging.json");
+    match mreport.write_json(mpath) {
+        Ok(()) => println!(
+            "\nmessaging (switchless) bench report: {}\n",
+            mpath.display()
+        ),
+        Err(err) => eprintln!("\nwarning: messaging bench report not written: {err}\n"),
     }
 }
 

@@ -1,6 +1,6 @@
 //! The SecureCloud benchmark harness.
 //!
-//! One module per experiment in DESIGN.md's index (E1–E14), plus the
+//! One module per experiment in DESIGN.md's index (E1–E15), plus the
 //! ordered worker [`pool`] the sweeps fan out on. Each module exposes a
 //! runner returning structured results; the `repro` binary prints them as
 //! the tables recorded in EXPERIMENTS.md, and the Criterion benches in
@@ -22,6 +22,7 @@ pub mod messaging;
 pub mod orchestration_exp;
 pub mod pool;
 pub mod replication;
+pub mod rings;
 pub mod slo;
 pub mod storage;
 pub mod syscalls;

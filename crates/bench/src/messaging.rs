@@ -57,6 +57,10 @@ impl MessagingConfig {
 /// One (batch size, payload size) cell of the sweep.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MessagingPoint {
+    /// Call plane the router matched on: `"sync"` (every frame pays an
+    /// ECALL/OCALL pair) or `"switchless"` (ring-slot pairs, no
+    /// transitions).
+    pub plane: &'static str,
     /// Publications per sealed frame (1 = the single-publish path).
     pub batch: usize,
     /// Approximate attribute-payload size per publication, bytes.
@@ -70,6 +74,9 @@ pub struct MessagingPoint {
     /// 99th-percentile per-frame publish latency (histogram bucket upper
     /// bound), simulated microseconds.
     pub p99_us: u64,
+    /// Enclave transitions per publication, measured from the enclave's
+    /// own ECALL counter (~0 on the switchless plane).
+    pub transitions_per_msg: f64,
 }
 
 /// A deterministic, incompressible-ish attribute blob of roughly `bytes`.
@@ -83,6 +90,7 @@ fn run_point(
     batch: usize,
     payload_bytes: usize,
     messages: usize,
+    switchless: bool,
     telemetry: Option<&Telemetry>,
 ) -> MessagingPoint {
     assert!(batch >= 1, "batch size must be at least 1");
@@ -92,6 +100,12 @@ fn run_point(
         .launch(EnclaveConfig::new("scbr-bench", b"router code"))
         .expect("fresh platform launches");
     let mut router = SecureRouter::new(enclave, Some("topic"));
+    router.set_switchless(switchless);
+    // A private registry counts this point's enclave transitions; it never
+    // leaks into the shared telemetry, so the exported snapshot stays
+    // byte-identical to the pre-measurement stream.
+    let transition_counters = Telemetry::new();
+    router.enclave_mut().set_telemetry(&transition_counters);
     let mut subscriber = RouterClient::new();
     let mut publisher = RouterClient::new();
     let sub_client = router.register(&subscriber.public_key());
@@ -119,12 +133,17 @@ fn run_point(
         })
         .collect();
 
+    let plane = if switchless { "switchless" } else { "sync" };
     let batch_label = batch.to_string();
     let payload_label = payload_bytes.to_string();
     let latency = match telemetry {
         Some(t) => t.histogram_with(
             "securecloud_bench_messaging_publish_us",
-            &[("batch", &batch_label), ("payload_bytes", &payload_label)],
+            &[
+                ("batch", &batch_label),
+                ("payload_bytes", &payload_label),
+                ("plane", plane),
+            ],
         ),
         None => Histogram::new(),
     };
@@ -165,25 +184,44 @@ fn run_point(
     }
     let total_cycles = router.enclave_mut().memory().cycles() - started;
     let secs = (total_cycles as f64 / (costs.cpu_ghz * 1e9)).max(1e-12);
+    let ecalls = transition_counters
+        .counter("securecloud_sgx_ecalls_total")
+        .value();
 
     MessagingPoint {
+        plane,
         batch,
         payload_bytes,
         messages,
         delivered,
         msgs_per_s: messages as f64 / secs,
         p99_us: latency.percentile_upper_bound(99).unwrap_or(0),
+        transitions_per_msg: ecalls as f64 / messages as f64,
     }
 }
 
-/// Runs the sweep, fanning points across `jobs` worker threads. Results
-/// and telemetry are byte-identical for any job count: each point runs on
-/// a private telemetry bundle, absorbed into `telemetry` in point order.
+/// Runs the sweep on the classic transition-per-frame plane. Results and
+/// telemetry are byte-identical for any job count: each point runs on a
+/// private telemetry bundle, absorbed into `telemetry` in point order.
 #[must_use]
 pub fn sweep_jobs(
     config: &MessagingConfig,
     jobs: usize,
     telemetry: Option<&Telemetry>,
+) -> MessagingReport {
+    sweep_jobs_on(config, jobs, telemetry, false)
+}
+
+/// Runs the sweep on either call plane: `switchless = true` routes every
+/// router match through the shared-memory ring plane
+/// ([`SecureRouter::set_switchless`]) instead of per-frame ECALL/OCALL
+/// pairs. Determinism contract as [`sweep_jobs`].
+#[must_use]
+pub fn sweep_jobs_on(
+    config: &MessagingConfig,
+    jobs: usize,
+    telemetry: Option<&Telemetry>,
+    switchless: bool,
 ) -> MessagingReport {
     let cells: Vec<(usize, usize)> = config
         .payload_bytes
@@ -199,7 +237,7 @@ pub fn sweep_jobs(
     let instrument = telemetry.is_some();
     let results = crate::pool::run_ordered(cells, jobs, move |(batch, payload)| {
         let local = instrument.then(Telemetry::new);
-        let point = run_point(batch, payload, messages, local.as_ref());
+        let point = run_point(batch, payload, messages, switchless, local.as_ref());
         (point, local)
     });
     let points = results
@@ -211,12 +249,18 @@ pub fn sweep_jobs(
             point
         })
         .collect();
-    MessagingReport { messages, points }
+    MessagingReport {
+        plane: if switchless { "switchless" } else { "sync" },
+        messages,
+        points,
+    }
 }
 
 /// The whole sweep.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MessagingReport {
+    /// Call plane every point ran on (`"sync"` or `"switchless"`).
+    pub plane: &'static str,
     /// Publications per point.
     pub messages: usize,
     /// One point per (payload, batch) cell, payload-major.
@@ -243,12 +287,13 @@ impl MessagingReport {
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
         out.push_str("  \"bench\": \"messaging\",\n");
+        out.push_str(&format!("  \"plane\": \"{}\",\n", self.plane));
         out.push_str(&format!("  \"messages\": {},\n", self.messages));
         out.push_str("  \"results\": [\n");
         for (i, p) in self.points.iter().enumerate() {
             out.push_str(&format!(
-                "    {{\"batch\": {}, \"payload_bytes\": {}, \"msgs_per_s\": {:.0}, \"p99_us\": {}",
-                p.batch, p.payload_bytes, p.msgs_per_s, p.p99_us
+                "    {{\"batch\": {}, \"payload_bytes\": {}, \"msgs_per_s\": {:.0}, \"p99_us\": {}, \"transitions_per_msg\": {:.3}",
+                p.batch, p.payload_bytes, p.msgs_per_s, p.p99_us, p.transitions_per_msg
             ));
             if let Some(speedup) = self.speedup(p.payload_bytes, p.batch) {
                 out.push_str(&format!(", \"speedup_vs_single\": {speedup:.2}"));
@@ -311,6 +356,52 @@ mod tests {
     fn sweep_is_deterministic_across_job_counts() {
         let serial = sweep_jobs(&tiny(), 1, None);
         let parallel = sweep_jobs(&tiny(), 4, None);
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn switchless_plane_eliminates_transitions() {
+        let sync = sweep_jobs_on(&tiny(), 1, None, false);
+        let switchless = sweep_jobs_on(&tiny(), 1, None, true);
+        for (s, r) in sync.points.iter().zip(&switchless.points) {
+            assert_eq!(r.delivered, s.delivered, "planes must route identically");
+            assert_eq!(
+                r.transitions_per_msg, 0.0,
+                "switchless batch {} still paid transitions",
+                r.batch
+            );
+            assert!(
+                s.transitions_per_msg > 0.0,
+                "sync batch {} should measure its transitions",
+                s.batch
+            );
+        }
+        // With transitions gone, the single-publish path stops being
+        // transition-bound: the batch-64 vs batch-1 throughput knee
+        // flattens substantially relative to the sync plane.
+        let knee = |report: &MessagingReport| report.speedup(64, 64).expect("points present");
+        assert!(
+            knee(&switchless) < knee(&sync) / 2.0,
+            "switchless knee {:.2}x vs sync knee {:.2}x",
+            knee(&switchless),
+            knee(&sync)
+        );
+        // And batch-1 publishes get faster in absolute terms.
+        let single = |report: &MessagingReport| {
+            report
+                .points
+                .iter()
+                .find(|p| p.batch == 1)
+                .expect("batch 1 present")
+                .msgs_per_s
+        };
+        assert!(single(&switchless) > 2.0 * single(&sync));
+    }
+
+    #[test]
+    fn switchless_sweep_is_deterministic_across_job_counts() {
+        let serial = sweep_jobs_on(&tiny(), 1, None, true);
+        let parallel = sweep_jobs_on(&tiny(), 4, None, true);
         assert_eq!(serial, parallel);
     }
 

@@ -23,7 +23,7 @@
 use securecloud_faults::{FaultInjector, MessageFate};
 use securecloud_scbr::types::{Publication, Subscription};
 use securecloud_telemetry::{Counter, Gauge, Histogram, Telemetry, TraceContext};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::fmt;
 use std::sync::Arc;
 
@@ -35,6 +35,10 @@ pub const METRIC_BACKPRESSURED: &str = "securecloud_bus_backpressured_total";
 pub const METRIC_DEAD_LETTER_DEPTH: &str = "securecloud_bus_dead_letter_depth";
 /// Registry name of the publish→ack latency histogram (virtual ms).
 pub const METRIC_PUBLISH_TO_ACK_MS: &str = "securecloud_bus_publish_to_ack_ms";
+/// Registry name of the wasted-fetch counter: fetches that polled an empty
+/// queue. The switchless delivery loop ([`crate::service::ServiceHost`])
+/// consults the bus's ready set instead of polling, so this stays ~0 there.
+pub const METRIC_WASTED_FETCHES: &str = "securecloud_bus_wasted_fetches_total";
 
 /// Bus-assigned message identifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -123,6 +127,9 @@ pub struct BusStats {
     pub nacked: u64,
     /// Publications (or whole batches) refused for backpressure.
     pub backpressured: u64,
+    /// Fetches that polled an empty queue (event-driven consumers keep
+    /// this at zero by consulting [`EventBus::ready_subscribers`]).
+    pub wasted_fetches: u64,
 }
 
 /// The bus's live metric handles. These are the single source of truth:
@@ -138,6 +145,7 @@ struct BusMetrics {
     dead_lettered: Counter,
     nacked: Counter,
     backpressured: Counter,
+    wasted_fetches: Counter,
     dead_letter_depth: Gauge,
     publish_to_ack_ms: Histogram,
 }
@@ -157,6 +165,7 @@ impl BusMetrics {
         );
         registry.adopt_counter("securecloud_bus_nacked_total", &[], &self.nacked);
         registry.adopt_counter(METRIC_BACKPRESSURED, &[], &self.backpressured);
+        registry.adopt_counter(METRIC_WASTED_FETCHES, &[], &self.wasted_fetches);
         registry.adopt_gauge(METRIC_DEAD_LETTER_DEPTH, &[], &self.dead_letter_depth);
         registry.adopt_histogram(METRIC_PUBLISH_TO_ACK_MS, &[], &self.publish_to_ack_ms);
     }
@@ -188,6 +197,11 @@ struct SubscriberState {
 pub struct EventBus {
     subscribers: BTreeMap<SubscriberId, SubscriberState>,
     by_topic: HashMap<String, Vec<SubscriberId>>,
+    /// Subscribers with at least one waiting (not leased) message. Kept
+    /// exact at every queue mutation so event-driven consumers can ask
+    /// "who has work?" without polling every queue; BTreeSet iteration
+    /// order (ascending id) keeps the answer deterministic.
+    ready: BTreeSet<SubscriberId>,
     now_ms: u64,
     lease_ms: u64,
     next_subscriber: u64,
@@ -209,6 +223,7 @@ impl EventBus {
         EventBus {
             subscribers: BTreeMap::new(),
             by_topic: HashMap::new(),
+            ready: BTreeSet::new(),
             now_ms: 0,
             lease_ms,
             next_subscriber: 1,
@@ -313,6 +328,7 @@ impl EventBus {
     #[allow(clippy::too_many_arguments)]
     fn park_or_requeue(
         state: &mut SubscriberState,
+        ready: &mut BTreeSet<SubscriberId>,
         subscriber: SubscriberId,
         message: Message,
         max_attempts: Option<u32>,
@@ -328,6 +344,7 @@ impl EventBus {
             // Requeue at the back: a message the consumer keeps rejecting
             // must not starve the rest of the queue.
             state.queue.push_back(message);
+            ready.insert(subscriber);
         }
     }
 
@@ -349,6 +366,7 @@ impl EventBus {
             dead_lettered: self.metrics.dead_lettered.value(),
             nacked: self.metrics.nacked.value(),
             backpressured: self.metrics.backpressured.value(),
+            wasted_fetches: self.metrics.wasted_fetches.value(),
         }
     }
 
@@ -378,6 +396,21 @@ impl EventBus {
                 list.retain(|&s| s != id);
             }
         }
+        self.ready.remove(&id);
+    }
+
+    /// Subscribers with at least one waiting (not leased) message, in
+    /// ascending id order. Event-driven delivery loops iterate this instead
+    /// of polling every subscriber's queue.
+    #[must_use]
+    pub fn ready_subscribers(&self) -> Vec<SubscriberId> {
+        self.ready.iter().copied().collect()
+    }
+
+    /// Whether any subscriber has a waiting message.
+    #[must_use]
+    pub fn has_ready(&self) -> bool {
+        !self.ready.is_empty()
     }
 
     /// Publishes to `topic`, fanning out to every subscriber whose filter
@@ -528,6 +561,7 @@ impl EventBus {
             let accepts = state.filter.as_ref().is_none_or(|f| f.matches(&attributes));
             if accepts {
                 matched = true;
+                self.ready.insert(sub_id);
                 state.queue.push_back(Message {
                     id,
                     topic: topic.to_string(),
@@ -561,7 +595,12 @@ impl EventBus {
         };
         let injector = self.injector.clone();
         let state = self.subscribers.get_mut(&subscriber)?;
-        let mut message = state.queue.pop_front()?;
+        let Some(mut message) = state.queue.pop_front() else {
+            // Polled an empty queue: harmless, but the event-driven loop
+            // exists precisely so this never happens.
+            self.metrics.wasted_fetches.inc();
+            return None;
+        };
         message.attempt += 1;
         state
             .leased
@@ -571,11 +610,17 @@ impl EventBus {
             MessageFate::Lose => {
                 // In-flight loss: the subscriber never sees this attempt;
                 // the lease we just took expires and redelivers.
+                if state.queue.is_empty() {
+                    self.ready.remove(&subscriber);
+                }
                 return None;
             }
             MessageFate::Duplicate => {
                 state.queue.push_back(message.clone());
             }
+        }
+        if state.queue.is_empty() {
+            self.ready.remove(&subscriber);
         }
         self.metrics.delivered.inc();
         Some(message)
@@ -656,6 +701,7 @@ impl EventBus {
                 self.metrics.nacked.inc();
                 Self::park_or_requeue(
                     state,
+                    &mut self.ready,
                     subscriber,
                     msg,
                     max_attempts,
@@ -730,6 +776,7 @@ impl EventBus {
                 state.queue.push_back(queued);
             }
             state.queue.extend(redeliver);
+            self.ready.insert(sub_id);
         }
     }
 
@@ -1116,6 +1163,55 @@ mod tests {
         let m = bus.fetch(s).unwrap();
         assert!(m.ctx.is_none());
         assert!(bus.ack(s, m.id));
+    }
+
+    #[test]
+    fn ready_set_tracks_every_queue_mutation() {
+        let mut bus = EventBus::new(100);
+        let a = bus.subscribe("t", None);
+        let b = bus.subscribe("t", None);
+        assert!(!bus.has_ready());
+
+        // Publish marks every matching subscriber ready, in id order.
+        bus.publish("t", b"x".to_vec(), Publication::new());
+        assert_eq!(bus.ready_subscribers(), vec![a, b]);
+
+        // Draining a queue clears readiness for that subscriber only.
+        let m = bus.fetch(a).unwrap();
+        assert_eq!(bus.ready_subscribers(), vec![b]);
+
+        // A nack requeues and restores readiness.
+        assert!(bus.nack(a, m.id));
+        assert_eq!(bus.ready_subscribers(), vec![a, b]);
+
+        // Lease expiry re-readies the subscriber it redelivers to.
+        let m = bus.fetch(a).unwrap();
+        let _ = bus.fetch(b).unwrap();
+        assert!(!bus.has_ready());
+        drop(m);
+        bus.advance(100);
+        assert_eq!(bus.ready_subscribers(), vec![a, b]);
+
+        // Unsubscribing removes the subscriber from the ready set.
+        bus.unsubscribe(b);
+        assert_eq!(bus.ready_subscribers(), vec![a]);
+    }
+
+    #[test]
+    fn empty_fetch_counts_as_wasted() {
+        let mut bus = EventBus::new(100);
+        let s = bus.subscribe("t", None);
+        assert_eq!(bus.fetch(s), None);
+        assert_eq!(bus.stats().wasted_fetches, 1);
+        bus.publish("t", b"x".to_vec(), Publication::new());
+        let m = bus.fetch(s).unwrap();
+        bus.ack(s, m.id);
+        assert_eq!(bus.stats().wasted_fetches, 1, "useful fetches not counted");
+        // An event-driven consumer checks readiness first and never polls dry.
+        if bus.has_ready() {
+            bus.fetch(s);
+        }
+        assert_eq!(bus.stats().wasted_fetches, 1);
     }
 
     #[test]

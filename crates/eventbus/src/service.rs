@@ -12,7 +12,7 @@
 use crate::bus::{EventBus, Message, SubscriberId};
 use securecloud_faults::FaultInjector;
 use securecloud_scbr::types::{Publication, Subscription};
-use securecloud_telemetry::Telemetry;
+use securecloud_telemetry::{Telemetry, TraceContext};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
@@ -193,106 +193,130 @@ impl ServiceHost {
     pub fn step(&mut self) -> usize {
         let mut processed = 0;
         let mut outbox = Vec::new();
-        let batch_size = self.delivery_batch;
-        for registered in &mut self.services {
-            if registered.quarantined {
+        for service_idx in 0..self.services.len() {
+            if self.services[service_idx].quarantined {
                 continue;
             }
-            for &sub_id in &registered.subscriber_ids {
-                let mut batch = self.bus.fetch_batch(sub_id, batch_size).into_iter();
-                for message in batch.by_ref() {
-                    processed += 1;
-                    let mut ctx = ServiceCtx::default();
-                    let force_panic = std::mem::take(&mut registered.panic_next);
-                    let service_name = registered.service.name().to_string();
-                    let service = &mut registered.service;
-                    // Traced deliveries get a handler span as a causal child
-                    // of the message's publish context; untraced messages
-                    // stay byte-identical to the pre-tracing stream.
-                    let span = match self.telemetry.as_deref() {
-                        Some(t) if !message.ctx.is_none() => Some(t.span_ctx(
-                            "service",
-                            "deliver",
-                            vec![
-                                ("service", service_name.clone()),
-                                ("message", format!("m{}", message.id.0)),
-                            ],
-                            t.mint_child(message.ctx),
-                        )),
-                        _ => None,
-                    };
-                    let outcome = catch_unwind(AssertUnwindSafe(|| {
-                        if force_panic {
-                            panic!("injected service panic");
-                        }
-                        service.handle(&message, &mut ctx);
-                    }));
-                    drop(span);
-                    match outcome {
-                        Ok(()) => {
-                            registered.consecutive_panics = 0;
-                            self.bus.ack(sub_id, message.id);
-                            outbox.extend(ctx.outbox.drain(..).map(|(topic, payload, attrs)| {
-                                (topic, payload, attrs, message.ctx)
-                            }));
-                        }
-                        Err(_) => {
-                            registered.consecutive_panics += 1;
-                            self.bus.nack(sub_id, message.id);
-                            let name = registered.service.name();
-                            if let Some(injector) = &self.injector {
-                                injector.record(format!(
-                                    "service {name} panicked on m{} attempt {}",
-                                    message.id.0, message.attempt
-                                ));
-                            }
-                            if let Some(t) = &self.telemetry {
-                                t.counter_with(
-                                    "securecloud_service_panics_total",
-                                    &[("service", name)],
-                                )
-                                .inc();
-                                t.event(
-                                    "eventbus",
-                                    "service_panic",
-                                    vec![
-                                        ("service", name.to_string()),
-                                        ("message", format!("m{}", message.id.0)),
-                                        ("attempt", message.attempt.to_string()),
-                                    ],
-                                );
-                            }
-                            if registered.consecutive_panics >= self.quarantine_after {
-                                registered.quarantined = true;
-                                if let Some(injector) = &self.injector {
-                                    injector.record(format!("service {name} quarantined"));
-                                }
-                                if let Some(t) = &self.telemetry {
-                                    t.counter_with(
-                                        "securecloud_service_quarantines_total",
-                                        &[("service", name)],
-                                    )
-                                    .inc();
-                                    t.event(
-                                        "eventbus",
-                                        "service_quarantined",
-                                        vec![("service", name.to_string())],
-                                    );
-                                }
-                            }
-                        }
-                    }
-                    if registered.quarantined {
-                        break;
-                    }
-                }
-                // A quarantine tripped mid-batch: hand the unprocessed rest
-                // of the batch straight back to the queue.
-                for rest in batch {
-                    self.bus.nack(sub_id, rest.id);
-                }
+            for sub_pos in 0..self.services[service_idx].subscriber_ids.len() {
+                processed += self.deliver_one_subscription(service_idx, sub_pos, &mut outbox);
             }
         }
+        self.flush_outbox(outbox);
+        processed
+    }
+
+    /// Delivers one batch for a single `(service, subscription)` pair —
+    /// the unit of work shared by the scanning pump ([`ServiceHost::step`])
+    /// and the event-driven pump ([`ServiceHost::pump_switchless`]).
+    fn deliver_one_subscription(
+        &mut self,
+        service_idx: usize,
+        sub_pos: usize,
+        outbox: &mut Vec<(String, Vec<u8>, Publication, TraceContext)>,
+    ) -> usize {
+        let mut processed = 0;
+        let batch_size = self.delivery_batch;
+        let registered = &mut self.services[service_idx];
+        if registered.quarantined {
+            return 0;
+        }
+        let sub_id = registered.subscriber_ids[sub_pos];
+        let mut batch = self.bus.fetch_batch(sub_id, batch_size).into_iter();
+        for message in batch.by_ref() {
+            processed += 1;
+            let mut ctx = ServiceCtx::default();
+            let force_panic = std::mem::take(&mut registered.panic_next);
+            let service_name = registered.service.name().to_string();
+            let service = &mut registered.service;
+            // Traced deliveries get a handler span as a causal child
+            // of the message's publish context; untraced messages
+            // stay byte-identical to the pre-tracing stream.
+            let span = match self.telemetry.as_deref() {
+                Some(t) if !message.ctx.is_none() => Some(t.span_ctx(
+                    "service",
+                    "deliver",
+                    vec![
+                        ("service", service_name.clone()),
+                        ("message", format!("m{}", message.id.0)),
+                    ],
+                    t.mint_child(message.ctx),
+                )),
+                _ => None,
+            };
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                if force_panic {
+                    panic!("injected service panic");
+                }
+                service.handle(&message, &mut ctx);
+            }));
+            drop(span);
+            match outcome {
+                Ok(()) => {
+                    registered.consecutive_panics = 0;
+                    self.bus.ack(sub_id, message.id);
+                    outbox.extend(
+                        ctx.outbox
+                            .drain(..)
+                            .map(|(topic, payload, attrs)| (topic, payload, attrs, message.ctx)),
+                    );
+                }
+                Err(_) => {
+                    registered.consecutive_panics += 1;
+                    self.bus.nack(sub_id, message.id);
+                    let name = registered.service.name();
+                    if let Some(injector) = &self.injector {
+                        injector.record(format!(
+                            "service {name} panicked on m{} attempt {}",
+                            message.id.0, message.attempt
+                        ));
+                    }
+                    if let Some(t) = &self.telemetry {
+                        t.counter_with("securecloud_service_panics_total", &[("service", name)])
+                            .inc();
+                        t.event(
+                            "eventbus",
+                            "service_panic",
+                            vec![
+                                ("service", name.to_string()),
+                                ("message", format!("m{}", message.id.0)),
+                                ("attempt", message.attempt.to_string()),
+                            ],
+                        );
+                    }
+                    if registered.consecutive_panics >= self.quarantine_after {
+                        registered.quarantined = true;
+                        if let Some(injector) = &self.injector {
+                            injector.record(format!("service {name} quarantined"));
+                        }
+                        if let Some(t) = &self.telemetry {
+                            t.counter_with(
+                                "securecloud_service_quarantines_total",
+                                &[("service", name)],
+                            )
+                            .inc();
+                            t.event(
+                                "eventbus",
+                                "service_quarantined",
+                                vec![("service", name.to_string())],
+                            );
+                        }
+                    }
+                }
+            }
+            if registered.quarantined {
+                break;
+            }
+        }
+        // A quarantine tripped mid-batch: hand the unprocessed rest
+        // of the batch straight back to the queue.
+        for rest in batch {
+            self.bus.nack(sub_id, rest.id);
+        }
+        processed
+    }
+
+    /// Republishes handler emissions collected during a pump pass.
+    fn flush_outbox(&mut self, outbox: Vec<(String, Vec<u8>, Publication, TraceContext)>) {
         for (topic, payload, attributes, parent) in outbox {
             // Downstream work a handler emitted in reaction to a traced
             // delivery continues that trace; everything else starts fresh.
@@ -307,7 +331,51 @@ impl ServiceHost {
                 }
             }
         }
-        processed
+    }
+
+    /// Finds which registered service owns a bus subscription.
+    fn locate(&self, sub_id: SubscriberId) -> Option<(usize, usize)> {
+        for (service_idx, registered) in self.services.iter().enumerate() {
+            if let Some(sub_pos) = registered.subscriber_ids.iter().position(|&s| s == sub_id) {
+                return Some((service_idx, sub_pos));
+            }
+        }
+        None
+    }
+
+    /// Event-driven delivery: instead of scanning every service ×
+    /// subscription per pass (the [`ServiceHost::step`] pump), each round
+    /// asks the bus which subscribers actually have waiting messages
+    /// ([`EventBus::ready_subscribers`]) and delivers only to those — the
+    /// host-side analogue of the switchless syscall plane, where completions
+    /// wake exactly the parked task instead of every poller. Runs until the
+    /// ready set drains or `max_rounds` is reached; returns total messages
+    /// processed. Observably identical to pumping [`ServiceHost::step`]:
+    /// same deliveries, same order, same stats.
+    pub fn pump_switchless(&mut self, max_rounds: usize) -> usize {
+        let mut total = 0;
+        for _ in 0..max_rounds {
+            let ready = self.bus.ready_subscribers();
+            if ready.is_empty() {
+                break;
+            }
+            let mut outbox = Vec::new();
+            let mut round = 0;
+            for sub_id in ready {
+                let Some((service_idx, sub_pos)) = self.locate(sub_id) else {
+                    continue;
+                };
+                round += self.deliver_one_subscription(service_idx, sub_pos, &mut outbox);
+            }
+            self.flush_outbox(outbox);
+            total += round;
+            // A round that moved nothing means every ready subscriber
+            // belongs to a quarantined service: stop rather than spin.
+            if round == 0 {
+                break;
+            }
+        }
+        total
     }
 
     /// Pumps [`ServiceHost::step`] until no messages flow or `max_steps`
@@ -515,6 +583,55 @@ mod tests {
         assert!(host.release_quarantine("flaky"));
         assert!(!host.release_quarantine("flaky"), "already released");
         assert!(host.run_until_quiet(50) > 0);
+    }
+
+    #[test]
+    fn switchless_pump_matches_step_pump() {
+        // The event-driven pump must be observably identical to the
+        // scanning pump: same messages seen, same terminal bus stats —
+        // and it never polls an empty queue.
+        let run = |switchless: bool| {
+            let mut host = ServiceHost::new(1000);
+            let seen = Arc::new(AtomicU64::new(0));
+            host.register(Box::new(Doubler));
+            host.register(Box::new(Counter {
+                seen: seen.clone(),
+                filter: None,
+                topic: "doubled".into(),
+            }));
+            for i in 0..10u64 {
+                host.bus_mut()
+                    .publish("readings", i.to_le_bytes().to_vec(), Publication::new());
+            }
+            let processed = if switchless {
+                host.pump_switchless(100)
+            } else {
+                host.run_until_quiet(100)
+            };
+            (processed, seen.load(Ordering::Relaxed), host.bus().stats())
+        };
+        let stepped = run(false);
+        let switchless = run(true);
+        assert_eq!(switchless, stepped);
+        assert_eq!(switchless.2.wasted_fetches, 0);
+    }
+
+    #[test]
+    fn switchless_pump_skips_quarantined_ready_subscribers() {
+        silence_panics();
+        let mut host = ServiceHost::new(1000);
+        host.register(Box::new(Flaky {
+            failures: u32::MAX,
+            seen: Arc::new(AtomicU64::new(0)),
+        }));
+        host.bus_mut().publish("work", vec![], Publication::new());
+        let processed = host.pump_switchless(100);
+        assert_eq!(processed, 3, "quarantined after 3 consecutive panics");
+        assert_eq!(host.quarantined_services(), vec!["flaky"]);
+        // The message is still ready (requeued by the nacks) but its only
+        // consumer is quarantined: the pump must terminate, not spin.
+        assert!(host.bus().has_ready());
+        assert_eq!(host.pump_switchless(100), 0);
     }
 
     #[test]

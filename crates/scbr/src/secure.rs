@@ -50,6 +50,7 @@ pub struct SecureRouter {
     owners: HashMap<SubId, ClientId>,
     next_client: u64,
     telemetry: Option<Arc<Telemetry>>,
+    switchless: bool,
 }
 
 impl std::fmt::Debug for SecureRouter {
@@ -80,6 +81,34 @@ impl SecureRouter {
             owners: HashMap::new(),
             next_client: 1,
             telemetry: None,
+            switchless: false,
+        }
+    }
+
+    /// Routes in-enclave matching over the switchless plane: each publish
+    /// charges a submission/completion ring-slot pair instead of a full
+    /// ECALL/OCALL transition (the enclave thread is assumed resident, as
+    /// under SCONE's asynchronous syscall threads).
+    pub fn set_switchless(&mut self, switchless: bool) {
+        self.switchless = switchless;
+    }
+
+    /// Whether matching runs over the switchless plane.
+    #[must_use]
+    pub fn is_switchless(&self) -> bool {
+        self.switchless
+    }
+
+    /// Runs `body` inside the enclave on whichever call plane is selected.
+    fn enter<R>(
+        enclave: &mut Enclave,
+        switchless: bool,
+        body: impl FnOnce(&mut securecloud_sgx::mem::MemorySim) -> R,
+    ) -> Result<R, securecloud_sgx::SgxError> {
+        if switchless {
+            enclave.switchless_call(body)
+        } else {
+            enclave.ecall(body)
         }
     }
 
@@ -192,7 +221,7 @@ impl SecureRouter {
 
         let aead_cost = sealed.len() as u64 * AEAD_CYCLES_PER_BYTE;
         let engine = &mut self.engine;
-        let matches = self.enclave.ecall(|mem| {
+        let matches = Self::enter(&mut self.enclave, self.switchless, |mem| {
             mem.charge_cycles(aead_cost);
             engine.publish(mem, &publication)
         })?;
@@ -281,7 +310,7 @@ impl SecureRouter {
         };
         let aead_cost = sealed.len() as u64 * AEAD_CYCLES_PER_BYTE;
         let engine = &mut self.engine;
-        let matches_per_publication = self.enclave.ecall(|mem| {
+        let matches_per_publication = Self::enter(&mut self.enclave, self.switchless, |mem| {
             mem.charge_cycles(aead_cost);
             publications
                 .iter()
@@ -838,6 +867,46 @@ mod tests {
             router.publish_sealed_batch(pub_id, &sealed),
             Err(ScbrError::Crypto(_))
         ));
+    }
+
+    #[test]
+    fn switchless_matching_is_identical_and_cheaper() {
+        // The switchless plane must change only the call cost, never the
+        // routing outcome: same notifications byte-for-byte given the same
+        // key material, and strictly fewer cycles (ring slots vs ECALLs).
+        let mut costs = Vec::new();
+        let mut frames: Vec<Vec<Vec<u8>>> = Vec::new();
+        for switchless in [false, true] {
+            let mut router = router();
+            router.set_switchless(switchless);
+            assert_eq!(router.is_switchless(), switchless);
+            let mut subscriber = RouterClient::new();
+            let mut publisher = RouterClient::new();
+            let sub_id = router.register(&subscriber.public_key());
+            let pub_id = router.register(&publisher.public_key());
+            subscriber.complete_exchange(&router.public_key());
+            publisher.complete_exchange(&router.public_key());
+            let sealed = subscriber.seal_subscription(&sub(1, 10)).unwrap();
+            router.subscribe_sealed(sub_id, &sealed).unwrap();
+
+            let before = router.enclave_mut().memory().cycles();
+            let mut opened = Vec::new();
+            for v in 0..16 {
+                let sealed = publisher.seal_publication(&publication(1, v * 5)).unwrap();
+                for (_, framed) in router.publish_sealed(pub_id, &sealed).unwrap() {
+                    opened.push(subscriber.open_notification(&framed).unwrap().to_wire());
+                }
+            }
+            costs.push(router.enclave_mut().memory().cycles() - before);
+            frames.push(opened);
+        }
+        assert_eq!(frames[0], frames[1], "routing outcome must not change");
+        assert!(
+            costs[1] < costs[0],
+            "switchless {} vs transitions {}",
+            costs[1],
+            costs[0]
+        );
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! newer one).
 
 use crate::hostos::{Syscall, SyscallRet};
-use crate::syscall::SyncShield;
+use crate::syscall::{AsyncShield, ShieldDriver, SyncShield};
 use crate::SconeError;
 use securecloud_crypto::gcm::{AesGcm, NONCE_LEN, TAG_LEN};
 use securecloud_crypto::sha256::Sha256;
@@ -171,15 +171,36 @@ fn chunk_aad(path: &str, chunk_index: usize, version: u64) -> Vec<u8> {
 /// only inside the enclave.
 #[derive(Debug)]
 pub struct ShieldedFs {
-    shield: SyncShield,
+    shield: ShieldDriver,
     protection: FsProtection,
 }
 
 impl ShieldedFs {
-    /// Mounts a shielded FS with existing protection metadata.
+    /// Mounts a shielded FS with existing protection metadata, issuing
+    /// syscalls synchronously (one transition pair each).
     #[must_use]
     pub fn mount(shield: SyncShield, protection: FsProtection) -> Self {
-        ShieldedFs { shield, protection }
+        ShieldedFs {
+            shield: ShieldDriver::sync(shield),
+            protection,
+        }
+    }
+
+    /// Mounts a shielded FS whose syscalls ride the switchless
+    /// submission/completion rings: identical shielding and validation,
+    /// zero enclave transitions.
+    #[must_use]
+    pub fn mount_switchless(shield: AsyncShield, protection: FsProtection) -> Self {
+        ShieldedFs {
+            shield: ShieldDriver::switchless(shield),
+            protection,
+        }
+    }
+
+    /// The plane syscalls travel on: `"sync"` or `"switchless"`.
+    #[must_use]
+    pub fn shield_mode(&self) -> &'static str {
+        self.shield.mode()
     }
 
     /// The current protection metadata (keys + MACs).
@@ -526,6 +547,57 @@ mod tests {
         );
         assert_eq!(fs.read(&mut mem, "/secrets.db", 6, 8).unwrap(), b"shielded");
         assert_eq!(fs.len("/secrets.db").unwrap(), 20);
+    }
+
+    #[test]
+    fn switchless_mount_matches_sync_byte_for_byte() {
+        let run = |switchless: bool| {
+            let host = Arc::new(MemHost::new());
+            let mut fs = if switchless {
+                ShieldedFs::mount_switchless(
+                    AsyncShield::switchless(host.clone(), 8),
+                    FsProtection::new(),
+                )
+            } else {
+                ShieldedFs::mount(SyncShield::new(host.clone()), FsProtection::new())
+            };
+            let mut mem = MemorySim::enclave(MemoryGeometry::sgx_v1(), CostModel::zero());
+            fs.create("/db").unwrap();
+            let data: Vec<u8> = (0..2 * CHUNK_SIZE + 77).map(|i| (i % 241) as u8).collect();
+            fs.write(&mut mem, "/db", 0, &data).unwrap();
+            fs.write(&mut mem, "/db", 100, b"overwrite").unwrap();
+            let read = fs.read(&mut mem, "/db", 0, data.len()).unwrap();
+            let mut files: Vec<(String, Vec<u8>)> = host
+                .paths()
+                .into_iter()
+                .map(|p| {
+                    let raw = host.raw_file(&p).unwrap();
+                    (p, raw)
+                })
+                .collect();
+            files.sort();
+            (read, files, fs.into_protection())
+        };
+        let sync = run(false);
+        let switchless = run(true);
+        assert_eq!(sync.0, switchless.0, "reads must agree");
+        assert_eq!(
+            sync.2.files.keys().collect::<Vec<_>>(),
+            switchless.2.files.keys().collect::<Vec<_>>()
+        );
+        // Same chunk layout on the host (ciphertext differs only if keys
+        // or versions diverged — they must not).
+        assert_eq!(
+            sync.1
+                .iter()
+                .map(|(p, d)| (p.clone(), d.len()))
+                .collect::<Vec<_>>(),
+            switchless
+                .1
+                .iter()
+                .map(|(p, d)| (p.clone(), d.len()))
+                .collect::<Vec<_>>(),
+        );
     }
 
     #[test]

@@ -12,17 +12,25 @@
 //! * [`fshield`] — transparent encryption/authentication of file data with
 //!   an *FS protection file* holding per-file keys and chunk MACs.
 //! * [`stdio`] — encrypted standard I/O streams.
+//! * [`rings`] — shared-memory submission/completion rings: the switchless
+//!   transport that replaces the per-call queue handoff with SPSC slots in
+//!   untrusted memory, serviced by the host without any enclave transition.
 //! * [`tasks`] — SCONE's "tailored threading": a user-level M:N task
 //!   scheduler multiplexing application threads over the async syscall
-//!   queue without enclave transitions.
+//!   rings without enclave transitions.
+//! * [`executor`] — an in-enclave cooperative futures executor: wakers,
+//!   a ready queue, and a parking path that blocks on ring completions
+//!   instead of busy-polling.
 //! * [`scf`] — the startup configuration file and the attested provisioning
 //!   flow that releases it only to verified enclaves.
 //! * [`runtime`] — the assembled secure-container runtime.
 //! * [`hostos`] — the untrusted host interface (with adversarial test
 //!   hooks: corruption and rollback).
 
+pub mod executor;
 pub mod fshield;
 pub mod hostos;
+pub mod rings;
 pub mod runtime;
 pub mod scf;
 pub mod stdio;

@@ -41,11 +41,53 @@ impl SconeRuntime {
     /// * [`SconeError::Tampered`] — the image's FS protection file does not
     ///   match the digest pinned in the SCF.
     pub fn bootstrap<T: Transport>(
+        enclave: Enclave,
+        transport: T,
+        config_service_key: PublicKey,
+        host: Arc<dyn HostOs>,
+        sealed_protection: &[u8],
+    ) -> Result<Self, SconeError> {
+        Self::bootstrap_inner(
+            enclave,
+            transport,
+            config_service_key,
+            host,
+            sealed_protection,
+            false,
+        )
+    }
+
+    /// Like [`SconeRuntime::bootstrap`], but the shielded file system rides
+    /// the switchless submission/completion rings: identical provisioning
+    /// and shielding, zero enclave transitions per syscall.
+    ///
+    /// # Errors
+    ///
+    /// See [`SconeRuntime::bootstrap`].
+    pub fn bootstrap_switchless<T: Transport>(
+        enclave: Enclave,
+        transport: T,
+        config_service_key: PublicKey,
+        host: Arc<dyn HostOs>,
+        sealed_protection: &[u8],
+    ) -> Result<Self, SconeError> {
+        Self::bootstrap_inner(
+            enclave,
+            transport,
+            config_service_key,
+            host,
+            sealed_protection,
+            true,
+        )
+    }
+
+    fn bootstrap_inner<T: Transport>(
         mut enclave: Enclave,
         transport: T,
         config_service_key: PublicKey,
         host: Arc<dyn HostOs>,
         sealed_protection: &[u8],
+        switchless: bool,
     ) -> Result<Self, SconeError> {
         let channel_identity = Identity::generate(&format!("enclave-{:?}", enclave.id()));
         let scf = fetch_scf(
@@ -62,7 +104,14 @@ impl SconeRuntime {
             ));
         }
         let protection = FsProtection::open_sealed(&scf.fs_protection_key, sealed_protection)?;
-        let fs = ShieldedFs::mount(SyncShield::new(host), protection);
+        let fs = if switchless {
+            ShieldedFs::mount_switchless(
+                crate::syscall::AsyncShield::switchless(host, crate::rings::DEFAULT_RING_DEPTH),
+                protection,
+            )
+        } else {
+            ShieldedFs::mount(SyncShield::new(host), protection)
+        };
         Ok(SconeRuntime { enclave, scf, fs })
     }
 
@@ -284,6 +333,29 @@ mod tests {
             crate::stdio::StreamRole::Consumer,
         );
         assert_eq!(collector.read().unwrap(), b"line");
+    }
+
+    #[test]
+    fn switchless_bootstrap_serves_the_same_files() {
+        let (_platform, enclave, service, host, sealed_protection) = build_world();
+        let (client_t, server_t) = memory_pair();
+        let service_key = service.public_key();
+        let server = thread::spawn(move || service.serve_one(server_t));
+        let mut runtime = SconeRuntime::bootstrap_switchless(
+            enclave,
+            client_t,
+            service_key,
+            host,
+            &sealed_protection,
+        )
+        .unwrap();
+        server.join().unwrap().unwrap();
+        assert_eq!(runtime.fs().shield_mode(), "switchless");
+        let content = runtime.read_file("/app/config.toml", 0, 64).unwrap();
+        assert_eq!(content, b"threshold = 5");
+        runtime.create_file("/app/state").unwrap();
+        runtime.write_file("/app/state", 0, b"counter=2").unwrap();
+        assert_eq!(runtime.read_file("/app/state", 0, 9).unwrap(), b"counter=2");
     }
 
     #[test]

@@ -7,9 +7,19 @@
 //! and strict in-order delivery — reordering or replay by the untrusted
 //! host surfaces as an authentication failure.
 
+//! [`SwitchlessLog`] is the ring-backed variant of the producer side:
+//! sealed stdout frames stream to a host append-log through the
+//! switchless [`AsyncShield`] — writes pipeline without any enclave
+//! transition, and [`SwitchlessLog::flush`] reaps the write
+//! acknowledgements in one parking pass.
+
+use crate::hostos::{Syscall, SyscallRet};
+use crate::syscall::AsyncShield;
+use crate::SconeError;
 use securecloud_crypto::channel::Transport;
 use securecloud_crypto::gcm::{nonce_from_seq, AesGcm};
 use securecloud_crypto::CryptoError;
+use securecloud_sgx::mem::MemorySim;
 
 /// Which end of the stream this endpoint is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,10 +104,148 @@ impl<T: Transport> ShieldedStream<T> {
     }
 }
 
+/// Encrypted stdout over the switchless rings: each log line is sealed
+/// with the stream cipher (same nonce/sequence discipline as
+/// [`ShieldedStream`]) and appended to a host file as a length-prefixed
+/// frame. Writes are submitted without waiting — the ring overlaps them —
+/// and [`SwitchlessLog::flush`] collects and validates the pending
+/// acknowledgements.
+#[derive(Debug)]
+pub struct SwitchlessLog {
+    shield: AsyncShield,
+    cipher: AesGcm,
+    seq: u64,
+    fd: u64,
+    offset: u64,
+    unflushed: usize,
+}
+
+impl SwitchlessLog {
+    /// Opens (creating) the host append-log at `path` over `shield`.
+    ///
+    /// # Errors
+    ///
+    /// [`SconeError::HostViolation`] if the host refuses the open.
+    pub fn create(
+        mut shield: AsyncShield,
+        mem: &mut MemorySim,
+        path: &str,
+        key: &[u8; 16],
+    ) -> Result<Self, SconeError> {
+        let ret = shield.call(
+            mem,
+            Syscall::Open {
+                path: path.to_string(),
+                create: true,
+            },
+        )?;
+        let SyscallRet::Fd(fd) = ret else {
+            return Err(SconeError::HostViolation(format!(
+                "open of log {path} answered {ret:?}"
+            )));
+        };
+        Ok(SwitchlessLog {
+            shield,
+            cipher: AesGcm::new(key),
+            seq: 0,
+            fd,
+            offset: 0,
+            unflushed: 0,
+        })
+    }
+
+    /// Seals `line` and submits its append without waiting for the ack.
+    ///
+    /// # Errors
+    ///
+    /// [`SconeError::ShieldStopped`] on a ring protocol violation.
+    pub fn write(&mut self, mem: &mut MemorySim, line: &[u8]) -> Result<(), SconeError> {
+        let nonce = nonce_from_seq(DOMAIN_PRODUCER, self.seq);
+        let seq_bytes = self.seq.to_be_bytes();
+        self.seq += 1;
+        let sealed = self.cipher.seal(&nonce, line, &seq_bytes);
+        let mut frame = Vec::with_capacity(4 + sealed.len());
+        frame.extend_from_slice(&(sealed.len() as u32).to_be_bytes());
+        frame.extend_from_slice(&sealed);
+        let len = frame.len() as u64;
+        self.shield.submit(
+            mem,
+            Syscall::Pwrite {
+                fd: self.fd,
+                offset: self.offset,
+                data: frame,
+            },
+        )?;
+        self.offset += len;
+        self.unflushed += 1;
+        Ok(())
+    }
+
+    /// Reaps every pending write acknowledgement, verifying each one.
+    ///
+    /// # Errors
+    ///
+    /// [`SconeError::HostViolation`] if the host failed or short-changed
+    /// an append.
+    pub fn flush(&mut self, mem: &mut MemorySim) -> Result<(), SconeError> {
+        while self.unflushed > 0 {
+            let completion = self.shield.complete(mem)?;
+            self.unflushed -= 1;
+            if !matches!(completion.ret, SyscallRet::Done(_)) {
+                return Err(SconeError::HostViolation(format!(
+                    "log append answered {:?}",
+                    completion.ret
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Frames written so far.
+    #[must_use]
+    pub fn frames_written(&self) -> u64 {
+        self.seq
+    }
+
+    /// Collector side: decodes a raw host append-log back into plaintext
+    /// lines, enforcing the frame order the enclave sealed.
+    ///
+    /// # Errors
+    ///
+    /// [`CryptoError::AuthenticationFailed`] on tampering, truncation,
+    /// reordering, or replay of any frame.
+    pub fn decode_log(key: &[u8; 16], raw: &[u8]) -> Result<Vec<Vec<u8>>, CryptoError> {
+        let cipher = AesGcm::new(key);
+        let mut lines = Vec::new();
+        let mut cursor = 0usize;
+        let mut seq = 0u64;
+        while cursor < raw.len() {
+            if cursor + 4 > raw.len() {
+                return Err(CryptoError::AuthenticationFailed);
+            }
+            let len =
+                u32::from_be_bytes(raw[cursor..cursor + 4].try_into().expect("4 bytes")) as usize;
+            cursor += 4;
+            if cursor + len > raw.len() {
+                return Err(CryptoError::AuthenticationFailed);
+            }
+            let nonce = nonce_from_seq(DOMAIN_PRODUCER, seq);
+            let plain = cipher.open(&nonce, &raw[cursor..cursor + len], &seq.to_be_bytes())?;
+            cursor += len;
+            seq += 1;
+            lines.push(plain);
+        }
+        Ok(lines)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::hostos::MemHost;
     use securecloud_crypto::channel::{memory_pair, MemoryTransport};
+    use securecloud_sgx::costs::{CostModel, MemoryGeometry};
+    use std::sync::Arc;
 
     fn pair(
         key: &[u8; 16],
@@ -180,6 +328,54 @@ mod tests {
         assert_eq!(consumer.read().unwrap(), b"payment: 100 EUR");
         assert!(matches!(
             consumer.read(),
+            Err(CryptoError::AuthenticationFailed)
+        ));
+    }
+
+    #[test]
+    fn switchless_log_roundtrips_without_transitions() {
+        let key = [6u8; 16];
+        let host = Arc::new(MemHost::new());
+        let shield = AsyncShield::switchless(host.clone(), 8);
+        let mut mem = MemorySim::enclave(MemoryGeometry::sgx_v1(), CostModel::sgx_v1());
+        let mut log = SwitchlessLog::create(shield, &mut mem, "/stdout.log", &key).unwrap();
+        for i in 0..20 {
+            log.write(&mut mem, format!("log line {i}").as_bytes())
+                .unwrap();
+        }
+        log.flush(&mut mem).unwrap();
+        assert_eq!(log.frames_written(), 20);
+        let raw = host.raw_file("/stdout.log").unwrap();
+        assert!(
+            !raw.windows(8).any(|w| w == b"log line"),
+            "plaintext leaked into the host log"
+        );
+        let lines = SwitchlessLog::decode_log(&key, &raw).unwrap();
+        assert_eq!(lines.len(), 20);
+        assert_eq!(lines[7], b"log line 7");
+        // Far below one transition pair per line: the whole run is
+        // switchless.
+        assert!(mem.cycles() < 21 * CostModel::sgx_v1().transition_pair());
+    }
+
+    #[test]
+    fn switchless_log_detects_reordering() {
+        let key = [7u8; 16];
+        let host = Arc::new(MemHost::new());
+        let shield = AsyncShield::switchless(host.clone(), 4);
+        let mut mem = MemorySim::enclave(MemoryGeometry::sgx_v1(), CostModel::zero());
+        let mut log = SwitchlessLog::create(shield, &mut mem, "/l", &key).unwrap();
+        log.write(&mut mem, b"first").unwrap();
+        log.write(&mut mem, b"second").unwrap();
+        log.flush(&mut mem).unwrap();
+        let raw = host.raw_file("/l").unwrap();
+        // The host swaps the two frames: decode must fail.
+        let len0 = u32::from_be_bytes(raw[0..4].try_into().unwrap()) as usize;
+        let (frame0, frame1) = raw.split_at(4 + len0);
+        let mut swapped = frame1.to_vec();
+        swapped.extend_from_slice(frame0);
+        assert!(matches!(
+            SwitchlessLog::decode_log(&key, &swapped),
             Err(CryptoError::AuthenticationFailed)
         ));
     }

@@ -7,21 +7,24 @@
 //!
 //! * [`SyncShield`] — the naive mode: every call exits and re-enters the
 //!   enclave, paying two transitions (~8k cycles) per call.
-//! * [`AsyncShield`] — SCONE's asynchronous interface: requests are placed
-//!   on a lock-free queue serviced by a host-side thread, so the enclave
-//!   thread pays only cache-coherent queue operations and never transitions.
+//! * [`AsyncShield`] — SCONE's *switchless* interface: submissions are
+//!   pushed onto fixed-capacity shared-memory rings
+//!   ([`crate::rings::SyscallRings`]) serviced by the host without any
+//!   enclave transition; the enclave pays one ring-slot cache-line
+//!   transfer per hop and parks on a wake signal instead of busy-polling.
 //!
 //! Benchmark E4 (`syscall_async`) compares the two, reproducing the paper's
 //! claim that the asynchronous interface is what makes SCONE's performance
-//! "acceptable".
+//! "acceptable"; E15 (`rings`) sweeps ring depth, payload, and worker
+//! count over the switchless plane.
 
 use crate::hostos::{HostOs, Syscall, SyscallRet};
+use crate::rings::{ParkReport, ServicerMode, SyscallRings, DEFAULT_RING_DEPTH};
 use crate::SconeError;
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use securecloud_sgx::mem::MemorySim;
-use securecloud_telemetry::Telemetry;
+use securecloud_sgx::mem::{MemorySim, Region};
+use securecloud_telemetry::{Counter, Gauge, Telemetry};
+use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 
 /// Telemetry hook shared by both shield modes: per-kind syscall counters
 /// and enclave-side cycle histograms, labelled with the shield mode so
@@ -178,7 +181,7 @@ impl SyncShield {
         // Copy arguments out of the enclave.
         mem.charge_cycles(self.costs.copy_cost(call_payload_bytes(call)));
         // OCALL out, syscall, ECALL back in.
-        let transition = mem.costs().ocall_cycles + mem.costs().ecall_cycles;
+        let transition = mem.costs().transition_pair();
         mem.charge_cycles(transition);
         let ret = self.host.execute(call);
         if let Err(e) = validate(call, &ret) {
@@ -202,11 +205,6 @@ impl std::fmt::Debug for dyn HostOs {
     }
 }
 
-struct Request {
-    id: u64,
-    call: Syscall,
-}
-
 /// A completed asynchronous syscall.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Completion {
@@ -216,105 +214,221 @@ pub struct Completion {
     pub ret: SyscallRet,
 }
 
-/// Asynchronous shielded syscalls: a host-side worker thread services a
-/// lock-free request queue, so the enclave thread never transitions.
+/// Registry handles for the switchless plane. The depth gauge derives from
+/// enclave-side state only (deterministic in every mode); park/wake counts
+/// are recorded only when the servicer is deterministic, because threaded
+/// wake timing is wall-clock-dependent and would break the byte-identical
+/// telemetry contract.
+#[derive(Debug, Clone)]
+struct RingMetrics {
+    depth: Gauge,
+    wakes: Counter,
+    spurious_wakes: Counter,
+}
+
+/// Bytes of in-enclave pending-table state per in-flight call: one cache
+/// line holding the trusted copy's bookkeeping.
+const PENDING_SLOT_BYTES: u64 = 64;
+
+/// Switchless shielded syscalls over shared-memory submission/completion
+/// rings: the enclave thread never transitions — it pushes ring slots,
+/// parks on completions, and validates every host answer against its own
+/// in-enclave pending table (see [`crate::rings`] for the memory-safety
+/// argument).
 #[derive(Debug)]
 pub struct AsyncShield {
-    req_tx: Option<Sender<Request>>,
-    resp_rx: Receiver<(u64, Syscall, SyscallRet)>,
-    worker: Option<JoinHandle<()>>,
+    rings: SyscallRings,
+    /// The trusted, in-enclave copy of every submitted call, keyed by id.
+    /// Host answers are validated against *this*, never against anything
+    /// echoed through untrusted ring memory.
+    pending: HashMap<u64, Syscall>,
+    /// Completions popped off the ring but not yet handed to the caller
+    /// (filled when `submit` must reap to free a ring slot).
+    reaped: VecDeque<(u64, SyscallRet)>,
+    /// Backing store of the pending table, charged through the enclave
+    /// memory simulation.
+    table: Option<Region>,
     next_id: u64,
-    in_flight: usize,
     costs: ShieldCosts,
     telemetry: Option<ShieldTelemetry>,
+    metrics: Option<RingMetrics>,
 }
 
 impl AsyncShield {
-    /// Spawns the host-side syscall thread over `host`.
+    /// Builds a switchless shield over `host` with a real host-side
+    /// servicer thread and the default ring depth: genuine wall-clock
+    /// overlap between enclave and host (benchmark E4b).
     pub fn new(host: Arc<dyn HostOs>) -> Self {
-        let (req_tx, req_rx) = unbounded::<Request>();
-        let (resp_tx, resp_rx) = unbounded();
-        let worker = std::thread::spawn(move || {
-            while let Ok(req) = req_rx.recv() {
-                let ret = host.execute(&req.call);
-                if resp_tx.send((req.id, req.call, ret)).is_err() {
-                    break;
-                }
-            }
-        });
+        Self::with_rings(host, DEFAULT_RING_DEPTH, ServicerMode::Threaded)
+    }
+
+    /// Builds a switchless shield whose host side is serviced inline at
+    /// enclave park points: fully deterministic, so ring park/wake counters
+    /// are recorded in the registry.
+    pub fn switchless(host: Arc<dyn HostOs>, depth: usize) -> Self {
+        Self::with_rings(host, depth, ServicerMode::Deterministic)
+    }
+
+    /// Builds a switchless shield with explicit ring depth and servicer
+    /// mode.
+    pub fn with_rings(host: Arc<dyn HostOs>, depth: usize, mode: ServicerMode) -> Self {
         AsyncShield {
-            req_tx: Some(req_tx),
-            resp_rx,
-            worker: Some(worker),
+            rings: SyscallRings::new(host, depth, mode),
+            pending: HashMap::new(),
+            reaped: VecDeque::new(),
+            table: None,
             next_id: 0,
-            in_flight: 0,
             costs: ShieldCosts::default(),
             telemetry: None,
+            metrics: None,
         }
     }
 
+    /// Ring capacity (maximum in-flight calls before `submit` reaps).
+    #[must_use]
+    pub fn ring_depth(&self) -> usize {
+        self.rings.depth()
+    }
+
+    /// Whether ring park/wake observations are workload-deterministic.
+    #[must_use]
+    pub fn is_deterministic(&self) -> bool {
+        self.rings.is_deterministic()
+    }
+
     /// Routes per-kind syscall counters and cycle histograms (labelled
-    /// `mode="async"`) into `telemetry`'s registry. Only enclave-side
-    /// cycles are recorded; the host worker thread is never instrumented
-    /// (it runs on wall-clock time and would break trace determinism).
+    /// `mode="async"`) plus ring-depth gauges and wake counters into
+    /// `telemetry`'s registry. Only enclave-side cycles are recorded; the
+    /// host servicer thread is never instrumented (it runs on wall-clock
+    /// time and would break trace determinism), and park/wake counts are
+    /// recorded only in deterministic servicer mode for the same reason.
     pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        self.metrics = Some(RingMetrics {
+            depth: telemetry.gauge_with("securecloud_scone_ring_depth", &[]),
+            wakes: telemetry.counter_with("securecloud_scone_ring_wakes_total", &[]),
+            spurious_wakes: telemetry
+                .counter_with("securecloud_scone_ring_spurious_wakes_total", &[]),
+        });
         self.telemetry = Some(ShieldTelemetry {
             telemetry,
             mode: "async",
         });
     }
 
-    /// Submits a syscall without leaving the enclave; returns its id.
+    fn touch_pending_slot(&mut self, mem: &mut MemorySim, id: u64) {
+        let depth = self.rings.depth() as u64;
+        let table = *self
+            .table
+            .get_or_insert_with(|| mem.alloc(depth * PENDING_SLOT_BYTES));
+        mem.touch_region(
+            table,
+            (id % depth) * PENDING_SLOT_BYTES,
+            PENDING_SLOT_BYTES as usize,
+        );
+    }
+
+    fn note_park(&self, report: ParkReport) {
+        // Threaded wake timing is wall-clock-dependent: keep it out of the
+        // registry (deterministic mode's counts are pure workload functions).
+        if !self.rings.is_deterministic() {
+            return;
+        }
+        if let Some(m) = &self.metrics {
+            if report.parked {
+                m.wakes.inc();
+            }
+            m.spurious_wakes.add(report.spurious_wakes);
+        }
+    }
+
+    fn set_depth_gauge(&self) {
+        if let Some(m) = &self.metrics {
+            m.depth.set(self.pending.len() as i64);
+        }
+    }
+
+    /// Pops one completion off the ring into the reaped buffer, charging
+    /// the slot transfer.
+    fn reap_one(&mut self, mem: &mut MemorySim) {
+        let (entry, report) = self.rings.pop_completion();
+        mem.charge_cycles(mem.costs().ring_slot_cycles);
+        self.note_park(report);
+        self.reaped.push_back((entry.id, entry.ret));
+    }
+
+    /// Submits a syscall without leaving the enclave; returns its id. If
+    /// every ring slot is occupied, one completion is reaped (and buffered
+    /// for [`AsyncShield::complete`]) to make room — so depth bounds ring
+    /// occupancy, not the caller's pipeline length.
     ///
     /// # Errors
     ///
-    /// [`SconeError::ShieldStopped`] if the host worker has exited.
+    /// [`SconeError::ShieldStopped`] if the ring protocol is violated.
     pub fn submit(&mut self, mem: &mut MemorySim, call: Syscall) -> Result<u64, SconeError> {
+        // Copy arguments out of the enclave into the ring slot.
         mem.charge_cycles(self.costs.copy_cost(call_payload_bytes(&call)));
-        mem.charge_cycles(self.costs.queue_op_cycles);
+        if self.pending.len() - self.reaped.len() == self.rings.depth() {
+            self.reap_one(mem);
+        }
         let id = self.next_id;
         self.next_id += 1;
-        self.req_tx
-            .as_ref()
-            .expect("sender live until drop")
-            .send(Request { id, call })
-            .map_err(|_| SconeError::ShieldStopped)?;
-        self.in_flight += 1;
+        self.touch_pending_slot(mem, id);
+        mem.charge_cycles(mem.costs().ring_slot_cycles);
+        self.rings.push_submission(id, call.clone())?;
+        self.pending.insert(id, call);
+        self.set_depth_gauge();
         Ok(id)
     }
 
     /// Number of submitted but uncompleted calls.
     #[must_use]
     pub fn in_flight(&self) -> usize {
-        self.in_flight
+        self.pending.len()
     }
 
-    /// Waits for the next completion, charging queue and copy costs.
+    /// Waits for the next completion — parking on the ring's wake signal,
+    /// never busy-polling and never transitioning — then validates it
+    /// against the in-enclave pending table.
     ///
     /// # Errors
     ///
-    /// [`SconeError::ShieldStopped`] if nothing is in flight or the worker
-    /// exited; [`SconeError::HostViolation`] if the result fails validation.
+    /// [`SconeError::ShieldStopped`] if nothing is in flight;
+    /// [`SconeError::HostViolation`] if the host answered with an unknown
+    /// or duplicated id, or the result fails validation.
     pub fn complete(&mut self, mem: &mut MemorySim) -> Result<Completion, SconeError> {
-        if self.in_flight == 0 {
+        if self.pending.is_empty() {
             return Err(SconeError::ShieldStopped);
         }
-        let (id, call, ret) = self.resp_rx.recv().map_err(|_| SconeError::ShieldStopped)?;
-        self.in_flight -= 1;
-        mem.charge_cycles(self.costs.queue_op_cycles);
+        if self.reaped.is_empty() {
+            self.reap_one(mem);
+        }
+        let (id, ret) = self.reaped.pop_front().expect("reap_one buffered an entry");
+        self.touch_pending_slot(mem, id);
+        // The id must match a call *we* recorded: a forged, replayed, or
+        // duplicated completion from the untrusted ring dies here.
+        let Some(call) = self.pending.remove(&id) else {
+            if let Some(t) = &self.telemetry {
+                t.violation("unknown");
+            }
+            return Err(SconeError::HostViolation(format!(
+                "completion for unknown id {id}"
+            )));
+        };
+        self.set_depth_gauge();
         if let Err(e) = validate(&call, &ret) {
             if let Some(t) = &self.telemetry {
                 t.violation(call.kind());
             }
             return Err(e);
         }
+        // Copy the (validated) result into the enclave.
         mem.charge_cycles(self.costs.copy_cost(ret_payload_bytes(&ret)));
         if let Some(t) = &self.telemetry {
             // Enclave-side cycles for the whole call: the submit-side copy
-            // and queue op (deterministic from the cost model) plus the
-            // completion-side queue op and result copy charged above.
+            // and ring push (deterministic from the cost model) plus the
+            // completion-side ring pop and result copy charged above.
             let cycles = self.costs.copy_cost(call_payload_bytes(&call))
-                + 2 * self.costs.queue_op_cycles
+                + 2 * mem.costs().ring_slot_cycles
                 + self.costs.copy_cost(ret_payload_bytes(&ret));
             t.record(call.kind(), cycles);
         }
@@ -338,11 +452,62 @@ impl AsyncShield {
     }
 }
 
-impl Drop for AsyncShield {
-    fn drop(&mut self) {
-        self.req_tx.take();
-        if let Some(worker) = self.worker.take() {
-            let _ = worker.join();
+/// A shield selector for components that work over either plane: the
+/// synchronous transition-per-call shield or the switchless ring shield.
+#[derive(Debug)]
+pub struct ShieldDriver {
+    inner: DriverInner,
+}
+
+#[derive(Debug)]
+enum DriverInner {
+    Sync(SyncShield),
+    Switchless(std::cell::RefCell<AsyncShield>),
+}
+
+impl ShieldDriver {
+    /// Drives syscalls through the synchronous shield.
+    #[must_use]
+    pub fn sync(shield: SyncShield) -> Self {
+        ShieldDriver {
+            inner: DriverInner::Sync(shield),
+        }
+    }
+
+    /// Drives syscalls through the switchless ring shield.
+    #[must_use]
+    pub fn switchless(shield: AsyncShield) -> Self {
+        ShieldDriver {
+            inner: DriverInner::Switchless(std::cell::RefCell::new(shield)),
+        }
+    }
+
+    /// The plane label (`"sync"` or `"switchless"`), for reports.
+    #[must_use]
+    pub fn mode(&self) -> &'static str {
+        match &self.inner {
+            DriverInner::Sync(_) => "sync",
+            DriverInner::Switchless(_) => "switchless",
+        }
+    }
+
+    /// Issues one shielded syscall over whichever plane this driver wraps.
+    ///
+    /// # Errors
+    ///
+    /// See [`SyncShield::call`] and [`AsyncShield::call`].
+    pub fn call(&self, mem: &mut MemorySim, call: &Syscall) -> Result<SyscallRet, SconeError> {
+        match &self.inner {
+            DriverInner::Sync(shield) => shield.call(mem, call),
+            DriverInner::Switchless(shield) => shield.borrow_mut().call(mem, call.clone()),
+        }
+    }
+
+    /// Routes shield telemetry into `telemetry`'s registry.
+    pub fn set_telemetry(&mut self, telemetry: Arc<Telemetry>) {
+        match &mut self.inner {
+            DriverInner::Sync(shield) => shield.set_telemetry(telemetry),
+            DriverInner::Switchless(shield) => shield.get_mut().set_telemetry(telemetry),
         }
     }
 }
@@ -538,6 +703,206 @@ mod tests {
             },
         );
         assert!(matches!(err, Err(SconeError::HostViolation(_))));
+    }
+
+    #[test]
+    fn switchless_shield_is_deterministic_across_runs() {
+        let run = |depth: usize| {
+            let host = Arc::new(MemHost::new());
+            let mut shield = AsyncShield::switchless(host, depth);
+            let mut mem = mem();
+            let SyscallRet::Fd(fd) = shield
+                .call(
+                    &mut mem,
+                    Syscall::Open {
+                        path: "/d".into(),
+                        create: true,
+                    },
+                )
+                .unwrap()
+            else {
+                panic!()
+            };
+            for i in 0..40u64 {
+                shield
+                    .submit(
+                        &mut mem,
+                        Syscall::Pwrite {
+                            fd,
+                            offset: i * 16,
+                            data: vec![i as u8; 16],
+                        },
+                    )
+                    .unwrap();
+            }
+            while shield.in_flight() > 0 {
+                shield.complete(&mut mem).unwrap();
+            }
+            mem.cycles()
+        };
+        for depth in [1usize, 8, 64] {
+            assert_eq!(run(depth), run(depth), "depth {depth} must be reproducible");
+        }
+    }
+
+    #[test]
+    fn submit_beyond_depth_reaps_to_free_a_slot() {
+        let host = Arc::new(MemHost::new());
+        let mut shield = AsyncShield::switchless(host.clone(), 4);
+        let mut mem = mem();
+        let SyscallRet::Fd(fd) = shield
+            .call(
+                &mut mem,
+                Syscall::Open {
+                    path: "/r".into(),
+                    create: true,
+                },
+            )
+            .unwrap()
+        else {
+            panic!()
+        };
+        // 12 submissions through a 4-deep ring: submit transparently reaps.
+        let ids: Vec<u64> = (0..12u64)
+            .map(|i| {
+                shield
+                    .submit(
+                        &mut mem,
+                        Syscall::Pwrite {
+                            fd,
+                            offset: i * 4,
+                            data: vec![i as u8; 4],
+                        },
+                    )
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(shield.in_flight(), 12);
+        let mut seen = Vec::new();
+        while shield.in_flight() > 0 {
+            seen.push(shield.complete(&mut mem).unwrap().id);
+        }
+        seen.sort_unstable();
+        assert_eq!(seen, ids);
+        assert_eq!(host.call_count(), 13);
+    }
+
+    #[test]
+    fn deterministic_mode_records_parks_without_spurious_wakes() {
+        let host = Arc::new(MemHost::new());
+        let telemetry = Arc::new(Telemetry::new());
+        let mut shield = AsyncShield::switchless(host, 8);
+        shield.set_telemetry(telemetry.clone());
+        let mut mem = mem();
+        let SyscallRet::Fd(fd) = shield
+            .call(
+                &mut mem,
+                Syscall::Open {
+                    path: "/p".into(),
+                    create: true,
+                },
+            )
+            .unwrap()
+        else {
+            panic!()
+        };
+        for i in 0..8u64 {
+            shield
+                .submit(
+                    &mut mem,
+                    Syscall::Pwrite {
+                        fd,
+                        offset: i,
+                        data: vec![1],
+                    },
+                )
+                .unwrap();
+        }
+        while shield.in_flight() > 0 {
+            shield.complete(&mut mem).unwrap();
+        }
+        // Open parks once, then the 8-write batch parks once and the
+        // remaining completions are already serviced.
+        let wakes = telemetry
+            .counter_with("securecloud_scone_ring_wakes_total", &[])
+            .value();
+        assert_eq!(wakes, 2);
+        assert_eq!(
+            telemetry
+                .counter_with("securecloud_scone_ring_spurious_wakes_total", &[])
+                .value(),
+            0,
+            "parking wakes exactly when a completion exists"
+        );
+        assert_eq!(
+            telemetry
+                .gauge_with("securecloud_scone_ring_depth", &[])
+                .value(),
+            0
+        );
+    }
+
+    #[test]
+    fn completion_with_unknown_id_is_a_host_violation() {
+        // A host that answers with a forged completion id: the in-enclave
+        // pending table must reject it before the payload is believed.
+        struct ForgingHost;
+        impl HostOs for ForgingHost {
+            fn execute(&self, _call: &Syscall) -> SyscallRet {
+                SyscallRet::Fd(7)
+            }
+        }
+        let mut shield =
+            AsyncShield::with_rings(Arc::new(ForgingHost), 4, ServicerMode::Deterministic);
+        let mut mem = mem();
+        shield
+            .submit(
+                &mut mem,
+                Syscall::Open {
+                    path: "/f".into(),
+                    create: true,
+                },
+            )
+            .unwrap();
+        // Corrupt the pending table's view by pretending the id was never
+        // issued: steal the entry and re-key it.
+        let call = shield.pending.remove(&0).unwrap();
+        shield.pending.insert(99, call);
+        let err = shield.complete(&mut mem);
+        assert!(matches!(err, Err(SconeError::HostViolation(_))));
+    }
+
+    #[test]
+    fn shield_driver_exposes_both_planes() {
+        let host = Arc::new(MemHost::new());
+        let sync_driver = ShieldDriver::sync(SyncShield::new(host.clone()));
+        let ring_driver = ShieldDriver::switchless(AsyncShield::switchless(host.clone(), 8));
+        assert_eq!(sync_driver.mode(), "sync");
+        assert_eq!(ring_driver.mode(), "switchless");
+        let mut mem_sync = mem();
+        let mut mem_ring = mem();
+        let open = Syscall::Open {
+            path: "/d".into(),
+            create: true,
+        };
+        let SyscallRet::Fd(fd_sync) = sync_driver.call(&mut mem_sync, &open).unwrap() else {
+            panic!()
+        };
+        let SyscallRet::Fd(fd_ring) = ring_driver.call(&mut mem_ring, &open).unwrap() else {
+            panic!()
+        };
+        // Past the one-time pending-table warm-up, the switchless plane
+        // never pays the transition pair.
+        let write = |fd| Syscall::Pwrite {
+            fd,
+            offset: 0,
+            data: vec![7u8; 32],
+        };
+        let s0 = mem_sync.cycles();
+        sync_driver.call(&mut mem_sync, &write(fd_sync)).unwrap();
+        let r0 = mem_ring.cycles();
+        ring_driver.call(&mut mem_ring, &write(fd_ring)).unwrap();
+        assert!(mem_ring.cycles() - r0 < mem_sync.cycles() - s0);
     }
 
     #[test]

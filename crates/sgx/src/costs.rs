@@ -41,6 +41,12 @@ pub struct CostModel {
     pub host_io_setup_cycles: u64,
     /// Per-KiB transfer cost of host block-device IO, in cycles.
     pub host_io_per_kib_cycles: u64,
+    /// Cost of moving one submission/completion-ring slot between cores:
+    /// a cross-core cache-line transfer plus the release/acquire fence pair.
+    /// This is the per-operation price of the *switchless* path — orders of
+    /// magnitude below [`CostModel::transition_pair`], which is the whole
+    /// point of shared-memory rings.
+    pub ring_slot_cycles: u64,
 }
 
 impl CostModel {
@@ -60,6 +66,9 @@ impl CostModel {
             // (~12 us at 3.4 GHz), then ~1.6 GB/s of streaming bandwidth.
             host_io_setup_cycles: 40_000,
             host_io_per_kib_cycles: 2_000,
+            // One cache line bounced between the enclave core and the host
+            // servicer core (~100 cycles on Skylake) plus the fences.
+            ring_slot_cycles: 120,
         }
     }
 
@@ -78,6 +87,7 @@ impl CostModel {
             compute_op_cycles: 0,
             host_io_setup_cycles: 0,
             host_io_per_kib_cycles: 0,
+            ring_slot_cycles: 0,
         }
     }
 
@@ -95,6 +105,22 @@ impl CostModel {
         self.ecall_cycles = cycles;
         self.ocall_cycles = cycles;
         self
+    }
+
+    /// Returns a copy with a different ring-slot (switchless) cost.
+    #[must_use]
+    pub fn with_ring_slot_cycles(mut self, cycles: u64) -> Self {
+        self.ring_slot_cycles = cycles;
+        self
+    }
+
+    /// The cost of one full enclave transition round trip (exit + re-enter,
+    /// or enter + exit). Every place that charges a transition pair goes
+    /// through this helper so the shield, the scheduler, and the sgx
+    /// mirrors cannot drift apart.
+    #[must_use]
+    pub fn transition_pair(&self) -> u64 {
+        self.ecall_cycles + self.ocall_cycles
     }
 
     /// Converts a cycle count to simulated wall-clock time.
@@ -213,10 +239,22 @@ mod tests {
     fn builders_override_fields() {
         let c = CostModel::sgx_v1()
             .with_epc_fault_cycles(99)
-            .with_transition_cycles(7);
+            .with_transition_cycles(7)
+            .with_ring_slot_cycles(3);
         assert_eq!(c.epc_fault_cycles, 99);
         assert_eq!(c.ecall_cycles, 7);
         assert_eq!(c.ocall_cycles, 7);
+        assert_eq!(c.ring_slot_cycles, 3);
+        assert_eq!(c.transition_pair(), 14);
+    }
+
+    #[test]
+    fn ring_slot_is_far_below_a_transition() {
+        // The switchless premise: bouncing a ring slot between cores must be
+        // orders of magnitude cheaper than an enclave transition pair.
+        let c = CostModel::sgx_v1();
+        assert!(c.ring_slot_cycles > 0);
+        assert!(c.transition_pair() >= 50 * c.ring_slot_cycles);
     }
 
     #[test]

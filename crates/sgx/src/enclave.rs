@@ -171,6 +171,7 @@ impl Platform {
 struct EnclaveMetrics {
     ecalls: Counter,
     ocalls: Counter,
+    switchless_calls: Counter,
     transition_cycles: Counter,
     aborts: Counter,
 }
@@ -180,6 +181,7 @@ impl EnclaveMetrics {
         EnclaveMetrics {
             ecalls: telemetry.counter("securecloud_sgx_ecalls_total"),
             ocalls: telemetry.counter("securecloud_sgx_ocalls_total"),
+            switchless_calls: telemetry.counter("securecloud_sgx_switchless_calls_total"),
             transition_cycles: telemetry.counter("securecloud_sgx_transition_cycles_total"),
             aborts: telemetry.counter("securecloud_sgx_enclave_aborts_total"),
         }
@@ -250,14 +252,43 @@ impl Enclave {
             return Err(SgxError::Destroyed);
         }
         let ecall = self.mem.costs().ecall_cycles;
-        let ocall = self.mem.costs().ocall_cycles;
+        let pair = self.mem.costs().transition_pair();
         if let Some(m) = &self.metrics {
             m.ecalls.inc();
-            m.transition_cycles.add(ecall + ocall);
+            m.transition_cycles.add(pair);
         }
         self.mem.charge_cycles(ecall);
         let result = body(&mut self.mem);
-        self.mem.charge_cycles(ocall);
+        self.mem.charge_cycles(pair - ecall);
+        Ok(result)
+    }
+
+    /// Runs `body` with access to the enclave memory system **without any
+    /// transition**: the request reaches the enclave thread over a
+    /// shared-memory ring slot, so only two ring-slot cache-coherency
+    /// charges apply (request in, response out). This is the switchless
+    /// boundary crossing used by the ring runtime; compare the counters
+    /// `securecloud_sgx_ecalls_total` vs
+    /// `securecloud_sgx_switchless_calls_total` to see transitions leave
+    /// the critical path.
+    ///
+    /// # Errors
+    ///
+    /// [`SgxError::Destroyed`] if the enclave has been destroyed.
+    pub fn switchless_call<R>(
+        &mut self,
+        body: impl FnOnce(&mut MemorySim) -> R,
+    ) -> Result<R, SgxError> {
+        if self.destroyed {
+            return Err(SgxError::Destroyed);
+        }
+        let slot = self.mem.costs().ring_slot_cycles;
+        if let Some(m) = &self.metrics {
+            m.switchless_calls.inc();
+        }
+        self.mem.charge_cycles(slot);
+        let result = body(&mut self.mem);
+        self.mem.charge_cycles(slot);
         Ok(result)
     }
 
@@ -271,7 +302,7 @@ impl Enclave {
         if self.destroyed {
             return Err(SgxError::Destroyed);
         }
-        let cost = self.mem.costs().ocall_cycles + self.mem.costs().ecall_cycles;
+        let cost = self.mem.costs().transition_pair();
         if let Some(m) = &self.metrics {
             m.ocalls.inc();
             m.transition_cycles.add(cost);
@@ -422,8 +453,26 @@ mod tests {
         let before = enclave.memory().cycles();
         enclave.ecall(|_mem| ()).unwrap();
         let cost = enclave.memory().cycles() - before;
-        let expected = CostModel::sgx_v1().ecall_cycles + CostModel::sgx_v1().ocall_cycles;
+        let expected = CostModel::sgx_v1().transition_pair();
         assert_eq!(cost, expected);
+    }
+
+    #[test]
+    fn switchless_call_charges_ring_slots_not_transitions() {
+        let platform = Platform::new();
+        let config = EnclaveConfig::new("t", b"code"); // real cost model
+        let mut enclave = platform.launch(config).unwrap();
+        let before = enclave.memory().cycles();
+        enclave.switchless_call(|_mem| ()).unwrap();
+        let cost = enclave.memory().cycles() - before;
+        let model = CostModel::sgx_v1();
+        assert_eq!(cost, 2 * model.ring_slot_cycles);
+        assert!(cost < model.transition_pair() / 10);
+        enclave.destroy();
+        assert!(matches!(
+            enclave.switchless_call(|_| ()),
+            Err(SgxError::Destroyed)
+        ));
     }
 
     #[test]

@@ -411,6 +411,7 @@ mod tests {
             compute_op_cycles: 3,
             host_io_setup_cycles: 100,
             host_io_per_kib_cycles: 7,
+            ring_slot_cycles: 2,
         }
     }
 
