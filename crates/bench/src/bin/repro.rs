@@ -6,12 +6,12 @@
 //! where `exp` is one of `fig3`, `cache`, `fig3opt`, `genpack`, `ablation`,
 //! `genpack_sweep`, `syscall`, `syscall_window`, `container`, `index`,
 //! `orchestration`, `replication`, `crypto`, `messaging`, `cluster`,
-//! `slo`, `storage`, `rings`, or `all` (default). `--smoke` runs reduced
-//! workloads (CI-sized) with the same code paths. `--jobs N` fans the
-//! fig3, replication, messaging, cluster, slo, storage, and rings sweeps
-//! across N worker threads (default: available parallelism; `--jobs 1`
-//! forces serial) — results and telemetry are byte-identical for any job
-//! count.
+//! `slo`, `storage`, `rings`, `streaming`, or `all` (default). `--smoke`
+//! runs reduced workloads (CI-sized) with the same code paths. `--jobs N`
+//! fans the fig3, replication, messaging, cluster, slo, storage, rings,
+//! and streaming sweeps across N worker threads (default: available
+//! parallelism; `--jobs 1` forces serial) — results and telemetry are
+//! byte-identical for any job count.
 //!
 //! Every run leaves a telemetry report (Prometheus snapshot, JSONL trace,
 //! chrome trace) under `target/telemetry/`; `crypto` additionally writes
@@ -22,11 +22,12 @@
 //! report `target/telemetry/critical_path.txt`, `storage` writes
 //! `target/telemetry/BENCH_storage.json`, and `rings` writes
 //! `target/telemetry/BENCH_rings.json` plus a switchless-plane rerun of
-//! E11 into `target/telemetry/BENCH_messaging.json`.
+//! E11 into `target/telemetry/BENCH_messaging.json`, and `streaming`
+//! writes `target/telemetry/BENCH_streaming.json`.
 
 use securecloud_bench::{
     cluster_exp, container, cryptobench, fig3, genpack_exp, indexcmp, messaging, orchestration_exp,
-    pool, replication, rings, slo, storage, syscalls,
+    pool, replication, rings, slo, storage, streaming_exp, syscalls,
 };
 use securecloud_telemetry::Telemetry;
 use std::path::Path;
@@ -108,6 +109,9 @@ fn main() {
     }
     if all || which == "rings" {
         run_rings(smoke, jobs, &telemetry);
+    }
+    if all || which == "streaming" {
+        run_streaming(smoke, jobs);
     }
     match telemetry.write_report(Path::new("target/telemetry")) {
         Ok(report) => println!(
@@ -716,6 +720,60 @@ fn run_rings(smoke: bool, jobs: usize, telemetry: &Telemetry) {
             mpath.display()
         ),
         Err(err) => eprintln!("\nwarning: messaging bench report not written: {err}\n"),
+    }
+}
+
+fn run_streaming(smoke: bool, jobs: usize) {
+    println!("== E16: streaming analytics — window x cardinality x EPC pressure ==");
+    println!("(city pipelines over the sealed plane; operator state in the tiered");
+    println!(" KV, charged to shrunken enclave geometries — flat cycles/event while");
+    println!(" peak state fits the EPC, a knee past it, host I/O past the memtable)\n");
+    let workload = if smoke {
+        streaming_exp::StreamingWorkload::smoke()
+    } else {
+        streaming_exp::StreamingWorkload::full()
+    };
+    let report = streaming_exp::report_jobs(&workload, jobs);
+    println!(
+        "city: {} meters/feeder, {} s interval, {} s trace\n",
+        report.households_per_feeder, report.interval_secs, report.duration_secs
+    );
+    println!(
+        "{:>9} {:>7} {:>8} {:>7} {:>8} {:>9} {:>9} {:>9} {:>8} {:>7} {:>5} {:>18}",
+        "window s",
+        "meters",
+        "EPC KiB",
+        "events",
+        "kev/s",
+        "cyc/ev",
+        "flt/kev",
+        "KiB/kev",
+        "state/E",
+        "flag",
+        "theft",
+        "digest"
+    );
+    for point in &report.points {
+        println!(
+            "{:>9} {:>7} {:>8} {:>7} {:>8.1} {:>9.0} {:>9.2} {:>9.3} {:>8.2} {:>7} {:>5} {:>18x}",
+            point.window_ms / 1_000,
+            point.meters,
+            point.usable_epc_kib,
+            point.events,
+            point.kevents_per_s,
+            point.cycles_per_event,
+            point.faults_per_kevent,
+            point.host_kib_per_kevent,
+            point.state_to_epc,
+            point.flagged_feeders,
+            point.theft_feeders,
+            point.results_digest
+        );
+    }
+    let path = Path::new("target/telemetry/BENCH_streaming.json");
+    match report.write_json(path) {
+        Ok(()) => println!("\nstreaming bench report: {}\n", path.display()),
+        Err(err) => eprintln!("\nwarning: streaming bench report not written: {err}\n"),
     }
 }
 

@@ -1,6 +1,6 @@
 //! The SecureCloud benchmark harness.
 //!
-//! One module per experiment in DESIGN.md's index (E1–E15), plus the
+//! One module per experiment in DESIGN.md's index (E1–E16), plus the
 //! ordered worker [`pool`] the sweeps fan out on. Each module exposes a
 //! runner returning structured results; the `repro` binary prints them as
 //! the tables recorded in EXPERIMENTS.md, and the Criterion benches in
@@ -25,4 +25,5 @@ pub mod replication;
 pub mod rings;
 pub mod slo;
 pub mod storage;
+pub mod streaming_exp;
 pub mod syscalls;

@@ -16,6 +16,7 @@
 //! | Attested shard/replication layer | [`replica`] |
 //! | Secure map/reduce | [`mapreduce`] |
 //! | Smart-grid use cases | [`smartgrid`] |
+//! | Streaming analytics (windows, joins) | [`streaming`] |
 //!
 //! [`SecureCloud`] assembles the trusted control plane (platform,
 //! attestation, configuration service, registry, container engine, event
@@ -55,6 +56,7 @@ pub use securecloud_scbr as scbr;
 pub use securecloud_scone as scone;
 pub use securecloud_sgx as sgx;
 pub use securecloud_smartgrid as smartgrid;
+pub use securecloud_streaming as streaming;
 pub use securecloud_telemetry as telemetry;
 
 use cluster::{ClusterController, PolicyError, ScalingPolicy};

@@ -1,0 +1,141 @@
+//! Typed errors for the smart-grid pipelines.
+//!
+//! The analytics jobs decode their own wire formats out of mapreduce
+//! output; a malformed or truncated record is an input problem the caller
+//! can report or retry, not a reason to abort the whole generator, so the
+//! decode paths surface [`SmartgridError`] instead of panicking.
+
+use securecloud_mapreduce::MrError;
+use std::error::Error as StdError;
+use std::fmt;
+
+/// Errors from the smart-grid analytics pipelines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SmartgridError {
+    /// A reducer emitted a key or value that does not decode as the
+    /// pipeline's wire format (wrong width or truncated bytes).
+    MalformedRecord {
+        /// Which field failed to decode.
+        field: &'static str,
+        /// Expected byte width.
+        expected: usize,
+        /// Bytes actually present.
+        actual: usize,
+    },
+    /// A reducer emitted a window index outside the job's sample range.
+    WindowOutOfRange {
+        /// The decoded window index.
+        window: usize,
+        /// Number of windows the job was sized for.
+        windows: usize,
+    },
+    /// The underlying map/reduce job failed.
+    MapReduce(MrError),
+}
+
+impl fmt::Display for SmartgridError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SmartgridError::MalformedRecord {
+                field,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "malformed reducer record: field {field} expected {expected} bytes, got {actual}"
+            ),
+            SmartgridError::WindowOutOfRange { window, windows } => write!(
+                f,
+                "reducer emitted window {window} outside the job's {windows} windows"
+            ),
+            SmartgridError::MapReduce(e) => write!(f, "map/reduce job failed: {e}"),
+        }
+    }
+}
+
+impl StdError for SmartgridError {
+    fn source(&self) -> Option<&(dyn StdError + 'static)> {
+        match self {
+            SmartgridError::MapReduce(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<MrError> for SmartgridError {
+    fn from(e: MrError) -> Self {
+        SmartgridError::MapReduce(e)
+    }
+}
+
+/// Decodes a fixed-width little-endian `f64`, surfacing a typed error on
+/// width mismatch instead of panicking.
+pub(crate) fn decode_f64(field: &'static str, bytes: &[u8]) -> Result<f64, SmartgridError> {
+    let arr: [u8; 8] = bytes
+        .try_into()
+        .map_err(|_| SmartgridError::MalformedRecord {
+            field,
+            expected: 8,
+            actual: bytes.len(),
+        })?;
+    Ok(f64::from_le_bytes(arr))
+}
+
+/// Decodes a fixed-width little-endian `u64` key.
+pub(crate) fn decode_u64(field: &'static str, bytes: &[u8]) -> Result<u64, SmartgridError> {
+    let arr: [u8; 8] = bytes
+        .try_into()
+        .map_err(|_| SmartgridError::MalformedRecord {
+            field,
+            expected: 8,
+            actual: bytes.len(),
+        })?;
+    Ok(u64::from_le_bytes(arr))
+}
+
+/// Decodes a big-endian `u32` window key.
+pub(crate) fn decode_window(field: &'static str, bytes: &[u8]) -> Result<usize, SmartgridError> {
+    let arr: [u8; 4] = bytes
+        .try_into()
+        .map_err(|_| SmartgridError::MalformedRecord {
+            field,
+            expected: 4,
+            actual: bytes.len(),
+        })?;
+    Ok(u32::from_be_bytes(arr) as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SmartgridError::MalformedRecord {
+            field: "sum",
+            expected: 8,
+            actual: 3,
+        };
+        assert!(e.to_string().contains("sum"));
+        assert!(e.source().is_none());
+        let e = SmartgridError::WindowOutOfRange {
+            window: 9,
+            windows: 4,
+        };
+        assert!(e.to_string().contains('9'));
+    }
+
+    #[test]
+    fn decoders_reject_wrong_widths() {
+        assert!(decode_f64("v", &[0u8; 8]).is_ok());
+        assert!(matches!(
+            decode_f64("v", &[0u8; 7]),
+            Err(SmartgridError::MalformedRecord { actual: 7, .. })
+        ));
+        assert!(decode_u64("k", &1u64.to_le_bytes()).is_ok());
+        assert!(decode_u64("k", &[]).is_err());
+        assert_eq!(decode_window("w", &3u32.to_be_bytes()).unwrap(), 3);
+        assert!(decode_window("w", &[1, 2]).is_err());
+    }
+}

@@ -13,9 +13,13 @@
 //! * [`privacy`] — the appliance-inference attack that motivates
 //!   encrypting meter data (works on plaintext, fails on sealed payloads),
 //! * [`orchestration`] — the monitoring/orchestration service reacting to
-//!   latency anomalies within one bus step.
+//!   latency anomalies within one bus step,
+//! * [`error`] — typed errors for the pipelines' wire-format decodes.
+
+pub use error::SmartgridError;
 
 pub mod billing;
+pub mod error;
 pub mod meters;
 pub mod orchestration;
 pub mod privacy;

@@ -70,10 +70,12 @@ impl Default for GridSpec {
 }
 
 impl GridSpec {
-    /// Samples per trace.
+    /// Samples per trace. A zero sampling interval is clamped to one
+    /// second, the same guard the appliance models apply below — sweep
+    /// configs with a degenerate interval degrade instead of panicking.
     #[must_use]
     pub fn samples(&self) -> usize {
-        (self.duration_secs / self.interval_secs) as usize
+        (self.duration_secs / self.interval_secs.max(1)) as usize
     }
 
     /// Generates every household trace, deterministically.
@@ -266,6 +268,25 @@ mod tests {
                 trace.actual[i] > 1800.0,
                 "kettle event sample {i} should spike"
             );
+        }
+    }
+
+    #[test]
+    fn zero_interval_spec_does_not_panic() {
+        // Regression: `samples()` divided by `interval_secs` unguarded, so
+        // a sweep config with a zero interval panicked before generating a
+        // single trace. It now clamps to one-second sampling.
+        let spec = GridSpec {
+            interval_secs: 0,
+            duration_secs: 120,
+            households: 2,
+            ..GridSpec::default()
+        };
+        assert_eq!(spec.samples(), 120);
+        let traces = spec.generate();
+        assert_eq!(traces.len(), 2);
+        for trace in &traces {
+            assert_eq!(trace.actual.len(), 120);
         }
     }
 

@@ -12,8 +12,9 @@
 //!    to their consumption, so their reported profile co-moves with the
 //!    loss.
 
+use crate::error::{decode_f64, decode_u64, decode_window, SmartgridError};
 use crate::meters::MeterTrace;
-use securecloud_mapreduce::{FnMapper, FnReducer, JobConfig, MapReduceRunner, MrError};
+use securecloud_mapreduce::{FnMapper, FnReducer, JobConfig, MapReduceRunner};
 
 /// A meter with its theft-suspicion score.
 #[derive(Debug, Clone, PartialEq)]
@@ -76,6 +77,29 @@ fn pearson(a: &[f64], b: &[f64]) -> f64 {
     cov / (va * vb).sqrt()
 }
 
+/// Folds phase-1 reducer output (`be32` window key, `le f64` sum) into a
+/// dense per-window series. The window index is decoded from reducer
+/// bytes, so it is validated against the job's sample range — corrupted
+/// or truncated shuffle output becomes a typed error, not an
+/// out-of-bounds panic.
+fn fold_window_sums<'a>(
+    output: impl IntoIterator<Item = (&'a Vec<u8>, &'a Vec<u8>)>,
+    samples: usize,
+) -> Result<Vec<f64>, SmartgridError> {
+    let mut totals = vec![0f64; samples];
+    for (k, v) in output {
+        let window = decode_window("window key", k)?;
+        let slot = totals
+            .get_mut(window)
+            .ok_or(SmartgridError::WindowOutOfRange {
+                window,
+                windows: samples,
+            })?;
+        *slot = decode_f64("window sum", v)?;
+    }
+    Ok(totals)
+}
+
 /// Runs the two-phase detection pipeline.
 ///
 /// `feeder_totals` is the substation measurement series (ground truth of
@@ -84,12 +108,16 @@ fn pearson(a: &[f64], b: &[f64]) -> f64 {
 ///
 /// # Errors
 ///
-/// Propagates [`MrError`] from the underlying jobs.
+/// [`SmartgridError::MapReduce`] from the underlying jobs, and
+/// [`SmartgridError::MalformedRecord`] / [`SmartgridError::WindowOutOfRange`]
+/// when reducer output does not decode as this pipeline's wire format —
+/// truncated bytes or an out-of-range window index surface as typed errors
+/// instead of panicking mid-aggregation.
 pub fn detect_theft(
     runner: &MapReduceRunner,
     traces: &[MeterTrace],
     feeder_totals: &[f64],
-) -> Result<TheftReport, MrError> {
+) -> Result<TheftReport, SmartgridError> {
     let samples = traces.first().map_or(0, |t| t.reported.len());
     let config = JobConfig {
         mappers: 4,
@@ -133,11 +161,7 @@ pub fn detect_theft(
         }),
     )?;
 
-    let mut reported_totals = vec![0f64; samples];
-    for (k, v) in &sums.output {
-        let window = u32::from_be_bytes(k.as_slice().try_into().expect("u32")) as usize;
-        reported_totals[window] = f64::from_le_bytes(v.as_slice().try_into().expect("f64"));
-    }
+    let reported_totals = fold_window_sums(&sums.output, samples)?;
     let loss: Vec<f64> = feeder_totals
         .iter()
         .zip(&reported_totals)
@@ -192,14 +216,13 @@ pub fn detect_theft(
         &FnReducer(|_k: &[u8], values: &[Vec<u8>]| values[0].clone()),
     )?;
 
-    let mut ranked: Vec<Suspicion> = scores
-        .output
-        .iter()
-        .map(|(k, v)| Suspicion {
-            meter: u64::from_le_bytes(k.as_slice().try_into().expect("u64")),
-            score: f64::from_le_bytes(v.as_slice().try_into().expect("f64")),
-        })
-        .collect();
+    let mut ranked = Vec::with_capacity(scores.output.len());
+    for (k, v) in &scores.output {
+        ranked.push(Suspicion {
+            meter: decode_u64("meter key", k)?,
+            score: decode_f64("suspicion score", v)?,
+        });
+    }
     ranked.sort_by(|a, b| b.score.total_cmp(&a.score));
 
     Ok(TheftReport {
@@ -288,6 +311,55 @@ mod tests {
         assert_eq!(pearson(&up, &flat), 0.0);
         assert_eq!(pearson(&[], &[]), 0.0);
         assert_eq!(pearson(&[1.0], &[2.0]), 0.0);
+    }
+
+    #[test]
+    fn malformed_reducer_output_surfaces_typed_errors() {
+        // Regression: `reported_totals[window]` indexed with a reducer-
+        // decoded window and `expect()` decodes panicked on short bytes.
+        use std::collections::BTreeMap;
+        let map = |pairs: Vec<(Vec<u8>, Vec<u8>)>| pairs.into_iter().collect::<BTreeMap<_, _>>();
+        // Out-of-range window index:
+        let out_of_range = map(vec![(
+            9u32.to_be_bytes().to_vec(),
+            1.0f64.to_le_bytes().to_vec(),
+        )]);
+        assert_eq!(
+            fold_window_sums(&out_of_range, 4).unwrap_err(),
+            SmartgridError::WindowOutOfRange {
+                window: 9,
+                windows: 4
+            }
+        );
+        // Truncated window key:
+        let short_key = map(vec![(vec![0u8, 1], 1.0f64.to_le_bytes().to_vec())]);
+        assert!(matches!(
+            fold_window_sums(&short_key, 4).unwrap_err(),
+            SmartgridError::MalformedRecord {
+                field: "window key",
+                expected: 4,
+                actual: 2
+            }
+        ));
+        // Truncated value:
+        let short_value = map(vec![(0u32.to_be_bytes().to_vec(), vec![1, 2, 3])]);
+        assert!(matches!(
+            fold_window_sums(&short_value, 4).unwrap_err(),
+            SmartgridError::MalformedRecord {
+                field: "window sum",
+                actual: 3,
+                ..
+            }
+        ));
+        // Well-formed output still folds densely.
+        let good = map(vec![
+            (1u32.to_be_bytes().to_vec(), 2.5f64.to_le_bytes().to_vec()),
+            (3u32.to_be_bytes().to_vec(), 4.0f64.to_le_bytes().to_vec()),
+        ]);
+        assert_eq!(
+            fold_window_sums(&good, 4).unwrap(),
+            vec![0.0, 2.5, 0.0, 4.0]
+        );
     }
 
     #[test]

@@ -1,0 +1,207 @@
+//! Property tests for window assignment and arrival-order determinism.
+
+use proptest::prelude::*;
+use securecloud_eventbus::service::ServiceHost;
+use securecloud_scbr::types::Value;
+use securecloud_sgx::costs::MemoryGeometry;
+use securecloud_streaming::operator::{
+    AggregatorConfig, StreamEvent, WindowedAggregator, ATTR_KEY,
+};
+use securecloud_streaming::pipeline::results_digest;
+use securecloud_streaming::state::OperatorState;
+use securecloud_streaming::window::WindowSpec;
+
+proptest! {
+    /// Every timestamp — including exact window boundaries — lands in
+    /// exactly one tumbling window, and that window contains it.
+    #[test]
+    fn tumbling_assignment_is_a_partition(
+        size in 1u64..100_000,
+        t in 0u64..10_000_000,
+    ) {
+        let spec = WindowSpec::tumbling(size).unwrap();
+        let starts = spec.assign(t);
+        prop_assert_eq!(starts.len(), 1, "tumbling: exactly one window");
+        let start = starts[0];
+        prop_assert!(start <= t && t < spec.end_ms(start), "window contains t");
+        prop_assert_eq!(start % size, 0, "window starts are aligned");
+        // The boundary itself belongs to the *next* window, never both.
+        let boundary = spec.assign(spec.end_ms(start));
+        prop_assert_eq!(boundary, vec![spec.end_ms(start)]);
+    }
+
+    /// A sliding window holds each event in exactly `size / stride`
+    /// overlapping windows (fewer near the time origin), every one
+    /// stride-aligned, containing the event, and consecutive windows
+    /// overlap by `size - stride`.
+    #[test]
+    fn sliding_assignment_overlaps_by_stride(
+        stride in 1u64..5_000,
+        factor in 1u64..8,
+        t in 0u64..10_000_000,
+    ) {
+        let size = stride * factor;
+        let spec = WindowSpec::sliding(size, stride).unwrap();
+        let starts = spec.assign(t);
+        let expected = (factor).min(t / stride + 1) as usize;
+        prop_assert_eq!(starts.len(), expected, "overlap count = size/stride");
+        for pair in starts.windows(2) {
+            prop_assert_eq!(pair[1] - pair[0], stride, "consecutive starts differ by stride");
+        }
+        for &start in &starts {
+            prop_assert_eq!(start % stride, 0);
+            prop_assert!(start <= t && t < spec.end_ms(start));
+        }
+    }
+
+    /// Window assignment is a pure function of the timestamp: events
+    /// arriving out of order — within the allowed lateness — produce
+    /// byte-identical aggregation results in any arrival order.
+    #[test]
+    fn out_of_order_within_lateness_is_arrival_order_invariant(
+        size in 1u64..2_000,
+        keys in prop::collection::vec(0u64..8, 2..40),
+        jitters in prop::collection::vec(0u64..5_000, 2..40),
+        values in prop::collection::vec(-100i64..100, 2..40),
+    ) {
+        let n = keys.len().min(jitters.len()).min(values.len());
+        // Spread timestamps over several windows, but keep the whole
+        // span within the allowed lateness so no arrival order can make
+        // any event late.
+        let lateness = 5_000u64;
+        let spec = WindowSpec::tumbling(size).unwrap().with_lateness(lateness);
+        let events: Vec<StreamEvent> = (0..n)
+            .map(|i| StreamEvent {
+                key: keys[i],
+                t_ms: jitters[i],
+                value: values[i] as f64,
+            })
+            .collect();
+        let run = |ordered: &[StreamEvent]| {
+            let state = OperatorState::shared(
+                "prop",
+                MemoryGeometry::sgx_v1(),
+                OperatorState::default_storage(),
+            );
+            let mut host = ServiceHost::new(60_000);
+            host.register(Box::new(WindowedAggregator::new(
+                AggregatorConfig {
+                    name: "prop".into(),
+                    input: "in".into(),
+                    output: "out".into(),
+                    output_stream: 1,
+                    key_attr: ATTR_KEY.into(),
+                    windows: spec,
+                    flush_in: "flush".into(),
+                    flush_out: None,
+                },
+                state.clone(),
+            )));
+            let results = host.bus_mut().subscribe("out", None);
+            for event in ordered {
+                host.bus_mut().publish("in", Vec::new(), event.publication(1));
+            }
+            host.pump_switchless(10_000);
+            host.bus_mut()
+                .publish("flush", Vec::new(), securecloud_scbr::types::Publication::new());
+            host.pump_switchless(10_000);
+            let out: Vec<_> = host
+                .bus_mut()
+                .fetch_batch(results, 4 * n)
+                .into_iter()
+                .map(|m| m.attributes)
+                .collect();
+            let dropped = state.lock().metrics.late_dropped;
+            (results_digest(&out), out.len(), dropped)
+        };
+        // Arrival order A: as generated. Arrival order B: reversed —
+        // maximally out of order relative to A.
+        let mut reversed = events.clone();
+        reversed.reverse();
+        let (digest_a, len_a, dropped_a) = run(&events);
+        let (digest_b, len_b, dropped_b) = run(&reversed);
+        prop_assert_eq!(dropped_a, 0, "span within lateness: nothing late");
+        prop_assert_eq!(dropped_b, 0);
+        prop_assert_eq!(len_a, len_b);
+        prop_assert_eq!(digest_a, digest_b, "results independent of arrival order");
+        // And a sorted (fully in-order) arrival gives the same bytes too.
+        let mut sorted = events.clone();
+        sorted.sort_by_key(|e| (e.t_ms, e.key, e.value.to_bits()));
+        let (digest_c, _, _) = run(&sorted);
+        prop_assert_eq!(digest_a, digest_c);
+    }
+
+    /// The lateness bound itself is deterministic: an event is admitted
+    /// iff its youngest window is still open, regardless of how the
+    /// watermark got there.
+    #[test]
+    fn lateness_boundary_is_exact(
+        size in 1u64..10_000,
+        lateness in 0u64..10_000,
+        t in 0u64..1_000_000,
+    ) {
+        let spec = WindowSpec::tumbling(size).unwrap().with_lateness(lateness);
+        let youngest = (t / size) * size;
+        let closes_at = youngest + size + lateness;
+        prop_assert!(!spec.is_late(t, closes_at.saturating_sub(1)));
+        prop_assert!(spec.is_late(t, closes_at));
+    }
+}
+
+/// Sliding-window aggregation counts every event `size / stride` times
+/// once windows are far from the origin — the overlap is visible in the
+/// emitted per-window counts.
+#[test]
+fn sliding_counts_reflect_overlap() {
+    let spec = WindowSpec::sliding(200, 100).unwrap();
+    let state = OperatorState::shared(
+        "overlap",
+        MemoryGeometry::sgx_v1(),
+        OperatorState::default_storage(),
+    );
+    let mut host = ServiceHost::new(60_000);
+    host.register(Box::new(WindowedAggregator::new(
+        AggregatorConfig {
+            name: "overlap".into(),
+            input: "in".into(),
+            output: "out".into(),
+            output_stream: 1,
+            key_attr: ATTR_KEY.into(),
+            windows: spec,
+            flush_in: "flush".into(),
+            flush_out: None,
+        },
+        state,
+    )));
+    let results = host.bus_mut().subscribe("out", None);
+    // One event per 50 ms in [200, 400): away from the origin, each lives
+    // in exactly two windows.
+    for i in 0..4u64 {
+        let event = StreamEvent {
+            key: 1,
+            t_ms: 200 + i * 50,
+            value: 1.0,
+        };
+        host.bus_mut()
+            .publish("in", Vec::new(), event.publication(1));
+    }
+    host.pump_switchless(10_000);
+    host.bus_mut().publish(
+        "flush",
+        Vec::new(),
+        securecloud_scbr::types::Publication::new(),
+    );
+    host.pump_switchless(10_000);
+    let out = host.bus_mut().fetch_batch(results, 64);
+    let total: i64 = out
+        .iter()
+        .map(|m| match m.attributes.attrs["n"] {
+            Value::Int(n) => n,
+            _ => panic!("int count"),
+        })
+        .sum();
+    assert_eq!(
+        total, 8,
+        "4 events x 2 overlapping windows = 8 window memberships"
+    );
+}
